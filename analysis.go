@@ -1,0 +1,57 @@
+package dspp
+
+import (
+	"dspp/internal/dispatch"
+	"dspp/internal/monitor"
+	"dspp/internal/sim"
+)
+
+// Analysis and validation types: streaming statistics (the Fig. 2
+// monitoring module) and the request-level replay.
+type (
+	// Welford tracks mean/variance online.
+	Welford = monitor.Welford
+	// EWMA is an exponentially weighted moving average.
+	EWMA = monitor.EWMA
+	// P2Quantile is the streaming P² quantile estimator.
+	P2Quantile = monitor.P2Quantile
+	// ForecastTracker scores a predictor online (bias, MAE, RMSE, p95).
+	ForecastTracker = monitor.ForecastTracker
+	// ForecastAccuracy is the per-location scorecard a simulation run
+	// reports.
+	ForecastAccuracy = sim.ForecastAccuracy
+
+	// DispatchConfig parameterizes a request-level replay.
+	DispatchConfig = dispatch.Config
+	// DispatchReport is the realized per-request latency distribution.
+	DispatchReport = dispatch.Report
+
+	// SweepItem pairs a label with a simulation configuration.
+	SweepItem = sim.SweepItem
+	// SweepResult is one completed sweep entry.
+	SweepResult = sim.SweepResult
+)
+
+// NewEWMA builds an exponentially weighted moving average with decay
+// factor alpha in (0, 1].
+func NewEWMA(alpha float64) (*EWMA, error) { return monitor.NewEWMA(alpha) }
+
+// NewP2Quantile builds a streaming estimator for quantile q in (0, 1).
+func NewP2Quantile(q float64) (*P2Quantile, error) { return monitor.NewP2Quantile(q) }
+
+// NewForecastTracker builds an online predictor scorecard.
+func NewForecastTracker() (*ForecastTracker, error) { return monitor.NewForecastTracker() }
+
+// Dispatch replays one control period at request granularity: the
+// allocation's demand is routed by the proportional policy (eq. 13) onto
+// per-server M/M/1 queues, returning the realized latency distribution.
+func Dispatch(inst *Instance, x State, demand []float64, cfg DispatchConfig) (*DispatchReport, error) {
+	return dispatch.Simulate(inst, x, demand, cfg)
+}
+
+// RunSweep executes independent simulations concurrently with at most
+// parallel workers (≤ 0 = one per item), returning results in input
+// order. Each item needs its own Policy instance.
+func RunSweep(items []SweepItem, parallel int) ([]SweepResult, error) {
+	return sim.RunSweep(items, parallel)
+}

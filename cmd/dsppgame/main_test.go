@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func runToString(t *testing.T, args []string) (string, error) {
+	t.Helper()
+	f, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	runErr := run(args, f)
+	data, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data), runErr
+}
+
+func TestRunGameBasic(t *testing.T) {
+	out, err := runToString(t, []string{"-players", "2", "-bottleneck", "100"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Algorithm 2", "social optimum", "sp1", "sp2", "ratio"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunGameFlagErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-players", "0"},
+		{"-players", "100"},
+		{"-window", "0"},
+	} {
+		if _, err := runToString(t, args); err == nil {
+			t.Errorf("run(%v) accepted invalid flags", args)
+		}
+	}
+}

@@ -1,0 +1,223 @@
+// Command dsppsim runs a single-provider dynamic service placement
+// simulation over a geo-distributed cloud and prints the per-period
+// series: realized demand, per-DC allocation and prices, cost components
+// and SLA outcome.
+//
+// The scenario follows the paper's setup: data centers in the four Fig. 3
+// regions priced by their regional electricity curves, population-weighted
+// diurnal demand from major US metros, an MPC controller with a chosen
+// prediction horizon and predictor.
+//
+// Usage:
+//
+//	dsppsim [-dcs 4] [-metros 8] [-periods 48] [-horizon 5]
+//	        [-predictor perfect|persistence|seasonal|ar] [-seed 7]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"dspp"
+	"dspp/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dsppsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("dsppsim", flag.ContinueOnError)
+	numDCs := fs.Int("dcs", 4, "number of data centers (1-4: San Jose, Houston, Atlanta, Chicago)")
+	numMetros := fs.Int("metros", 8, "number of demand metros")
+	periods := fs.Int("periods", 48, "control periods (hours)")
+	horizon := fs.Int("horizon", 5, "MPC prediction horizon W")
+	predictor := fs.String("predictor", "perfect", "demand predictor: perfect|persistence|seasonal|ar|holtwinters")
+	seed := fs.Int64("seed", 7, "random seed")
+	csvOut := fs.String("csv", "", "also write the per-period series to this CSV file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *numDCs < 1 || *numDCs > 4 {
+		return fmt.Errorf("dcs %d out of range 1-4", *numDCs)
+	}
+	if *numMetros < 1 || *numMetros > 20 {
+		return fmt.Errorf("metros %d out of range 1-20", *numMetros)
+	}
+
+	// Data centers at the paper's sites, priced by their regions.
+	dcNames := []string{"San Jose", "Houston", "Atlanta", "Chicago"}
+	regionNames := []string{"CA", "TX", "GA", "IL"}
+	var dcCities []dspp.City
+	var priceModels []dspp.PriceModel
+	for i := 0; i < *numDCs; i++ {
+		city, ok := dspp.CityByName(dcNames[i])
+		if !ok {
+			return fmt.Errorf("missing city %q", dcNames[i])
+		}
+		dcCities = append(dcCities, city)
+		region, ok := dspp.RegionByName(regionNames[i])
+		if !ok {
+			return fmt.Errorf("missing region %q", regionNames[i])
+		}
+		priceModels = append(priceModels, dspp.DiurnalServerPrice{
+			Region: region, Class: dspp.MediumVM,
+		})
+	}
+	// Demand metros: the most populous cities not hosting a DC.
+	var metros []dspp.City
+	for _, c := range dspp.USCities() {
+		hostsDC := false
+		for _, d := range dcCities {
+			if d.Name == c.Name {
+				hostsDC = true
+				break
+			}
+		}
+		if !hostsDC {
+			metros = append(metros, c)
+		}
+		if len(metros) == *numMetros {
+			break
+		}
+	}
+	net, err := dspp.BuildGeoNetwork(dcCities, metros, 0.002)
+	if err != nil {
+		return err
+	}
+	// A CDN-class SLA (30 ms end-to-end) makes locality matter: distant
+	// DCs are SLA-infeasible for most metros, so each region is served
+	// nearby and the controller trades the remaining latency headroom
+	// against regional prices as in Fig. 5. With few DCs (-dcs 1..2) some
+	// metros may have no feasible DC at this SLA; the constructor reports
+	// that as an infeasible-placement error.
+	sla, err := dspp.SLAMatrix(net.LatencyMatrix(), dspp.SLAConfig{Mu: 150, MaxDelay: 0.03})
+	if err != nil {
+		return err
+	}
+	weights := make([]float64, *numDCs)
+	caps := make([]float64, *numDCs)
+	for i := range weights {
+		weights[i] = 2e-5
+		caps[i] = 2000
+	}
+	inst, err := dspp.NewInstance(dspp.InstanceConfig{
+		SLA:             sla,
+		ReconfigWeights: weights,
+		Capacities:      caps,
+	})
+	if err != nil {
+		return err
+	}
+
+	// Population-weighted diurnal Poisson demand, phase-shifted per metro
+	// longitude (rough time zones).
+	total := 0
+	for _, m := range metros {
+		total += m.Population
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	demandTrace := make([][]float64, *periods+*horizon+1)
+	for k := range demandTrace {
+		demandTrace[k] = make([]float64, len(metros))
+	}
+	for v, m := range metros {
+		base := 3000 * float64(m.Population) / float64(total)
+		model, err := dspp.NewDiurnalDemand(base*0.15, base)
+		if err != nil {
+			return err
+		}
+		model.PhaseShift = int(m.Lon/15) + 6 // crude UTC offset alignment
+		for k := range demandTrace {
+			n, err := workload.SamplePoisson(model.Rate(k), 1, rng)
+			if err != nil {
+				return err
+			}
+			demandTrace[k][v] = float64(n)
+		}
+	}
+	priceTrace := make([][]float64, *periods+*horizon+1)
+	for k := range priceTrace {
+		priceTrace[k] = make([]float64, *numDCs)
+		for l, m := range priceModels {
+			priceTrace[k][l] = m.Price(k)
+		}
+	}
+
+	var demandPred dspp.Predictor
+	switch strings.ToLower(*predictor) {
+	case "perfect":
+		demandPred = nil
+	case "persistence":
+		demandPred = dspp.PersistencePredictor{}
+	case "seasonal":
+		demandPred = dspp.SeasonalNaivePredictor{Season: 24}
+	case "ar":
+		demandPred = dspp.ARPredictor{P: 2}
+	case "holtwinters":
+		demandPred = dspp.HoltWintersPredictor{Season: 24}
+	default:
+		return fmt.Errorf("unknown predictor %q", *predictor)
+	}
+
+	ctrl, err := dspp.NewController(inst, *horizon)
+	if err != nil {
+		return err
+	}
+	res, err := dspp.Simulate(dspp.SimConfig{
+		Instance:        inst,
+		Policy:          dspp.NewMPCPolicy(ctrl),
+		DemandTrace:     demandTrace,
+		PriceTrace:      priceTrace,
+		Periods:         *periods,
+		Horizon:         *horizon,
+		DemandPredictor: demandPred,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "dsppsim: %d DCs, %d metros, %d periods, W=%d, predictor=%s\n\n",
+		*numDCs, len(metros), *periods, *horizon, *predictor)
+	fmt.Fprintf(out, "%-6s %12s", "hour", "demand")
+	for i := 0; i < *numDCs; i++ {
+		fmt.Fprintf(out, " %14s", dcNames[i])
+	}
+	fmt.Fprintf(out, " %10s %6s\n", "cost", "SLA")
+	for _, s := range res.Steps {
+		var totalDemand float64
+		for _, d := range s.Demand {
+			totalDemand += d
+		}
+		fmt.Fprintf(out, "%-6d %12.0f", s.Period, totalDemand)
+		for _, x := range s.ServersByDC {
+			fmt.Fprintf(out, " %14.1f", x)
+		}
+		slaMark := "ok"
+		if !s.SLAMet {
+			slaMark = "MISS"
+		}
+		fmt.Fprintf(out, " %10.4f %6s\n", s.Cost.Total(), slaMark)
+	}
+	fmt.Fprintf(out, "\ntotal cost %.4f (resource %.4f, reconfig %.4f), SLA violations %d/%d\n",
+		res.TotalCost, res.TotalResource, res.TotalReconfig, res.SLAViolations, len(res.Steps))
+
+	if *csvOut != "" {
+		f, err := os.Create(*csvOut)
+		if err != nil {
+			return fmt.Errorf("create csv: %w", err)
+		}
+		defer f.Close()
+		if err := dspp.WriteSimResultCSV(f, res, dcNames[:*numDCs]); err != nil {
+			return fmt.Errorf("write csv: %w", err)
+		}
+		fmt.Fprintf(out, "wrote %s\n", *csvOut)
+	}
+	return nil
+}

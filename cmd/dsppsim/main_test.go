@@ -1,0 +1,84 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runToString(t *testing.T, args []string) string {
+	t.Helper()
+	f, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := run(args, f); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	data, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func TestRunBasic(t *testing.T) {
+	out := runToString(t, []string{"-periods", "3", "-metros", "4", "-horizon", "2"})
+	if !strings.Contains(out, "total cost") {
+		t.Errorf("missing summary:\n%s", out)
+	}
+	if !strings.Contains(out, "San Jose") {
+		t.Errorf("missing DC column:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// banner, blank, header, 3 periods, blank, summary
+	if len(lines) < 7 {
+		t.Errorf("too few lines (%d):\n%s", len(lines), out)
+	}
+}
+
+func TestRunPredictors(t *testing.T) {
+	for _, p := range []string{"perfect", "persistence", "seasonal", "ar", "holtwinters"} {
+		out := runToString(t, []string{"-periods", "3", "-metros", "3", "-horizon", "2", "-predictor", p})
+		if !strings.Contains(out, "predictor="+p) {
+			t.Errorf("%s: banner missing predictor", p)
+		}
+	}
+}
+
+func TestRunCSVExport(t *testing.T) {
+	csvPath := filepath.Join(t.TempDir(), "run.csv")
+	out := runToString(t, []string{"-periods", "3", "-metros", "3", "-csv", csvPath})
+	if !strings.Contains(out, "wrote "+csvPath) {
+		t.Errorf("missing csv confirmation:\n%s", out)
+	}
+	data, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "period,demand_total") {
+		t.Errorf("csv header wrong: %q", strings.SplitN(string(data), "\n", 2)[0])
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	f, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	cases := [][]string{
+		{"-dcs", "0"},
+		{"-dcs", "9"},
+		{"-metros", "0"},
+		{"-metros", "99"},
+		{"-predictor", "oracle-of-delphi"},
+	}
+	for _, args := range cases {
+		if err := run(args, f); err == nil {
+			t.Errorf("run(%v) accepted invalid flags", args)
+		}
+	}
+}

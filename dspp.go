@@ -1,0 +1,100 @@
+// Package dspp is the public API of the Dynamic Service Placement
+// library, a reproduction of Zhang, Zhu, Zhani and Boutaba, "Dynamic
+// Service Placement in Geographically Distributed Clouds" (IEEE ICDCS
+// 2012).
+//
+// The library solves the paper's DSPP: a service provider leases servers
+// in geographically distributed data centers under fluctuating demand and
+// electricity-driven prices, subject to an M/M/1-based latency SLA and
+// per-data-center capacities, minimizing server cost plus a quadratic
+// reconfiguration penalty. The online controller is Model Predictive
+// Control (Algorithm 1); the multi-provider extension computes the
+// resource-competition equilibrium with the dual-proportional quota
+// iteration of Algorithm 2.
+//
+// # Quickstart
+//
+//	sla, _ := dspp.SLAMatrix(latencies, dspp.SLAConfig{Mu: 250, MaxDelay: 0.25})
+//	inst, _ := dspp.NewInstance(dspp.InstanceConfig{
+//		SLA:             sla,
+//		ReconfigWeights: []float64{1e-4, 1e-4},
+//		Capacities:      []float64{2000, 2000},
+//	})
+//	ctrl, _ := dspp.NewController(inst, 5)
+//	res, _ := ctrl.Step(demandForecast, priceForecast) // one MPC period
+//
+// See examples/ for complete programs and internal/experiments for the
+// reproduction of every figure in the paper's evaluation.
+package dspp
+
+import (
+	"dspp/internal/core"
+	"dspp/internal/qp"
+)
+
+// Core problem types, re-exported from the implementation packages so the
+// whole public surface lives under one import path.
+type (
+	// Instance is an immutable DSPP instance (placement graph, SLA
+	// coefficients, reconfiguration weights, capacities).
+	Instance = core.Instance
+	// InstanceConfig assembles an Instance.
+	InstanceConfig = core.Config
+	// SLAConfig derives SLA coefficients a^lv from latencies (eq. 10).
+	SLAConfig = core.SLAConfig
+	// State is a dense L×V server allocation x^lv.
+	State = core.State
+	// Assignment is the demand-routing decision σ^lv (eq. 13).
+	Assignment = core.Assignment
+	// CostBreakdown reports per-period resource and reconfiguration cost.
+	CostBreakdown = core.CostBreakdown
+	// Controller is the MPC resource controller (Algorithm 1).
+	Controller = core.Controller
+	// ControllerOption customizes controller construction.
+	ControllerOption = core.ControllerOption
+	// StepResult reports one executed MPC step.
+	StepResult = core.StepResult
+	// HorizonInput is one horizon optimization problem.
+	HorizonInput = core.HorizonInput
+	// Plan is a solved horizon (controls, states, duals).
+	Plan = core.Plan
+	// RoundResult is an integer-rounded allocation (§VIII extension).
+	RoundResult = core.RoundResult
+	// QPOptions tunes the interior-point solver.
+	QPOptions = qp.Options
+)
+
+// Sentinel errors of the core problem, re-exported for errors.Is.
+var (
+	// ErrBadInstance flags inconsistent instance configuration.
+	ErrBadInstance = core.ErrBadInstance
+	// ErrInfeasible means demand cannot be placed within the SLA.
+	ErrInfeasible = core.ErrInfeasible
+	// ErrBadInput flags malformed runtime inputs.
+	ErrBadInput = core.ErrBadInput
+)
+
+// NewInstance validates and builds a DSPP instance.
+func NewInstance(cfg InstanceConfig) (*Instance, error) { return core.NewInstance(cfg) }
+
+// SLAMatrix converts an L×V latency matrix into the SLA coefficient
+// matrix a^lv of paper eq. 10 (+Inf marks pairs that can never meet the
+// SLA; they are excluded from the placement graph).
+func SLAMatrix(latency [][]float64, cfg SLAConfig) ([][]float64, error) {
+	return core.SLAMatrix(latency, cfg)
+}
+
+// NewController creates an MPC controller with prediction horizon W ≥ 1.
+func NewController(inst *Instance, horizon int, opts ...ControllerOption) (*Controller, error) {
+	return core.NewController(inst, horizon, opts...)
+}
+
+// WithQPOptions overrides the interior-point solver settings of a
+// controller.
+func WithQPOptions(opts QPOptions) ControllerOption { return core.WithQPOptions(opts) }
+
+// WithInitialState sets a controller's starting allocation.
+func WithInitialState(s State) ControllerOption { return core.WithInitialState(s) }
+
+// DefaultQPOptions returns the recommended interior-point settings.
+func DefaultQPOptions() QPOptions { return qp.DefaultOptions() }

@@ -1,0 +1,116 @@
+package dspp
+
+import (
+	"math/rand"
+
+	"dspp/internal/pricing"
+	"dspp/internal/topology"
+	"dspp/internal/workload"
+)
+
+// Environment types: the substrates that generate the controller's
+// inputs — topologies and latencies, demand models, and price models.
+type (
+	// City is a metro area from the built-in US database.
+	City = topology.City
+	// Network is the bipartite DC/access-network placement graph with
+	// its latency matrix.
+	Network = topology.Network
+	// TopologyConfig parameterizes the transit-stub generator.
+	TopologyConfig = topology.GeneratorConfig
+	// TransitStub is a generated router-level topology.
+	TransitStub = topology.TransitStub
+
+	// DemandModel produces a mean arrival rate per period.
+	DemandModel = workload.Model
+	// ConstantDemand is a fixed-rate demand model.
+	ConstantDemand = workload.Constant
+	// DiurnalDemand is the paper's on-off working-hours profile.
+	DiurnalDemand = workload.Diurnal
+	// FlashCrowd injects a multiplicative demand spike.
+	FlashCrowd = workload.FlashCrowd
+	// DemandTrace is a precomputed demand series.
+	DemandTrace = workload.Trace
+
+	// PriceModel produces a per-server price per period.
+	PriceModel = pricing.Model
+	// ConstantPrice is a fixed price model.
+	ConstantPrice = pricing.Constant
+	// RegionProfile is a parametric diurnal electricity price curve.
+	RegionProfile = pricing.RegionProfile
+	// DiurnalServerPrice prices one server from a regional curve.
+	DiurnalServerPrice = pricing.DiurnalServer
+	// VMClass enumerates the paper's three VM power classes.
+	VMClass = pricing.VMClass
+	// PriceTrace is a precomputed price series.
+	PriceTrace = pricing.Trace
+	// SpotMarket is an EC2-spot-style dynamic price process (the paper's
+	// §I cites spot instances as the public-cloud dynamic-pricing
+	// mechanism).
+	SpotMarket = pricing.SpotMarket
+	// SpotConfig parameterizes NewSpotMarket.
+	SpotConfig = pricing.SpotConfig
+	// BidPolicy pays spot below a bid fraction and falls back to
+	// on-demand above it.
+	BidPolicy = pricing.BidPolicy
+)
+
+// VM classes with the paper's power draws (30/70/140 W).
+const (
+	SmallVM  = pricing.SmallVM
+	MediumVM = pricing.MediumVM
+	LargeVM  = pricing.LargeVM
+)
+
+// USCities returns the built-in US metro database (paper DC sites plus
+// the major demand metros).
+func USCities() []City { return topology.USCities() }
+
+// CityByName looks up a built-in city.
+func CityByName(name string) (City, bool) { return topology.CityByName(name) }
+
+// GenerateTopology builds a seeded transit-stub router topology with the
+// paper's per-tier link latencies (20/5/2 ms).
+func GenerateTopology(cfg TopologyConfig) (*TransitStub, error) { return topology.Generate(cfg) }
+
+// BuildNetwork places data centers and access networks on a generated
+// topology and computes shortest-path latencies.
+func BuildNetwork(ts *TransitStub, dcCities, accessCities []City) (*Network, error) {
+	return topology.BuildFromTransitStub(ts, dcCities, accessCities)
+}
+
+// BuildGeoNetwork derives latencies from great-circle distances plus a
+// per-endpoint last-mile delay — the quick path to a realistic network.
+func BuildGeoNetwork(dcCities, accessCities []City, lastMileDelay float64) (*Network, error) {
+	return topology.BuildGeo(dcCities, accessCities, lastMileDelay)
+}
+
+// PaperRegions returns the four Fig. 3 electricity price profiles
+// (CA, TX, GA, IL).
+func PaperRegions() []RegionProfile { return pricing.PaperRegions() }
+
+// RegionByName looks up one of the paper's regional price profiles.
+func RegionByName(name string) (RegionProfile, bool) { return pricing.RegionByName(name) }
+
+// NewDiurnalDemand builds the paper's on-off profile with hourly periods
+// (high 8am–5pm at peak, low otherwise).
+func NewDiurnalDemand(base, peak float64) (*DiurnalDemand, error) {
+	return workload.NewDiurnal(base, peak)
+}
+
+// MaterializeDemand evaluates a demand model over [0, periods).
+func MaterializeDemand(m DemandModel, periods int) (DemandTrace, error) {
+	return workload.Materialize(m, periods)
+}
+
+// MaterializePrices evaluates a price model over [0, periods).
+func MaterializePrices(m PriceModel, periods int) (PriceTrace, error) {
+	return pricing.Materialize(m, periods)
+}
+
+// NewSpotMarket wraps an on-demand price model with a spot-auction price
+// process (mean-reverting discount with occasional capacity-crunch jumps,
+// capped at CapFactor x on-demand).
+func NewSpotMarket(onDemand PriceModel, cfg SpotConfig, rng *rand.Rand) (*SpotMarket, error) {
+	return pricing.NewSpotMarket(onDemand, cfg, rng)
+}

@@ -1,0 +1,107 @@
+package dspp_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dspp"
+)
+
+// ExampleNewController shows the minimal MPC loop: build the SLA matrix,
+// the instance and a controller, then run one control period.
+func ExampleNewController() {
+	// One location, one DC 10 ms away; servers handle 250 req/s; mean
+	// total delay must stay below 250 ms.
+	sla, err := dspp.SLAMatrix([][]float64{{0.010}},
+		dspp.SLAConfig{Mu: 250, MaxDelay: 0.25})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	inst, err := dspp.NewInstance(dspp.InstanceConfig{
+		SLA:             sla,
+		ReconfigWeights: []float64{0.001},
+		Capacities:      []float64{100},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	ctrl, err := dspp.NewController(inst, 2)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	res, err := ctrl.Step(
+		[][]float64{{1000}, {1000}}, // demand forecast (req/s)
+		[][]float64{{0.05}, {0.05}}, // price forecast ($/server/period)
+	)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("servers: %.1f\n", res.NewState[0][0])
+	// Output: servers: 4.1
+}
+
+// ExampleInstance_Assign demonstrates the paper's proportional routing
+// policy (eq. 13): demand splits across DCs in proportion to x/a.
+func ExampleInstance_Assign() {
+	inst, err := dspp.NewInstance(dspp.InstanceConfig{
+		SLA:             [][]float64{{0.01}, {0.01}}, // equal a for both DCs
+		ReconfigWeights: []float64{1e-3, 1e-3},
+		Capacities:      []float64{100, 100},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	x := inst.NewState()
+	x[0][0] = 3 // DC0 holds three times DC1's servers
+	x[1][0] = 1
+	assign, err := inst.Assign(x, []float64{1000})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("DC0: %.0f req/s, DC1: %.0f req/s\n", assign[0][0], assign[1][0])
+	// Output: DC0: 750 req/s, DC1: 250 req/s
+}
+
+// ExampleSLAMatrix shows the M/M/1 reduction (eq. 10): pairs whose
+// network latency exceeds the SLA budget are excluded with +Inf.
+func ExampleSLAMatrix() {
+	sla, err := dspp.SLAMatrix([][]float64{
+		{0.050}, // within budget
+		{0.300}, // beyond the 250 ms SLA on its own
+	}, dspp.SLAConfig{Mu: 10, MaxDelay: 0.25})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("a(near) = %.2f servers per req/s\n", sla[0][0])
+	fmt.Printf("a(far)  = %v\n", sla[1][0])
+	// Output:
+	// a(near) = 0.20 servers per req/s
+	// a(far)  = +Inf
+}
+
+// ExampleNewSpotMarket prices servers under a spot bid strategy layered
+// on a regional diurnal curve.
+func ExampleNewSpotMarket() {
+	region, _ := dspp.RegionByName("TX")
+	onDemand := dspp.DiurnalServerPrice{Region: region, Class: dspp.MediumVM}
+	market, err := dspp.NewSpotMarket(onDemand, dspp.SpotConfig{}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	bid := dspp.BidPolicy{Market: market, BidFraction: 0.6}
+	var spotTotal, odTotal float64
+	for k := 0; k < 24; k++ {
+		spotTotal += bid.Price(k)
+		odTotal += onDemand.Price(k)
+	}
+	fmt.Printf("spot strategy cheaper than on-demand: %v\n", spotTotal < odTotal)
+	// Output: spot strategy cheaper than on-demand: true
+}

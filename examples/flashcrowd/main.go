@@ -1,0 +1,140 @@
+// Flashcrowd: prediction robustness under a demand spike.
+//
+// The paper's architecture (§III) notes that demand "can behave in an
+// unexpected manner, e.g., flash-crowd effect". This example runs the
+// same MPC controller against the same workload — a diurnal day with an
+// 6x flash crowd at 2pm — under three predictors: a perfect oracle, a
+// persistence forecaster, and a seasonal-naive forecaster that knows the
+// daily shape but not the spike. It reports cost and SLA violations per
+// predictor, and then shows the §IV-B mitigation: a reservation ratio
+// (capacity cushion) that buys back SLA compliance for the imperfect
+// predictors.
+//
+// Run with:
+//
+//	go run ./examples/flashcrowd
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"dspp"
+	"dspp/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+const (
+	periods = 48
+	horizon = 4
+)
+
+func buildTraces(seed int64) ([][]float64, [][]float64, error) {
+	base, err := dspp.NewDiurnalDemand(1500, 9000)
+	if err != nil {
+		return nil, nil, err
+	}
+	spiky := dspp.FlashCrowd{
+		Base:       base,
+		Start:      38, // 2pm on day 2
+		Duration:   3,
+		Multiplier: 6,
+	}
+	rng := rand.New(rand.NewSource(seed))
+	demand := make([][]float64, periods+horizon+1)
+	for k := range demand {
+		n, err := workload.SamplePoisson(spiky.Rate(k), 1, rng)
+		if err != nil {
+			return nil, nil, err
+		}
+		demand[k] = []float64{float64(n)}
+	}
+	prices := make([][]float64, periods+horizon+1)
+	for k := range prices {
+		prices[k] = []float64{0.05}
+	}
+	return demand, prices, nil
+}
+
+func mkInstance(reservation float64) (*dspp.Instance, error) {
+	cfg := dspp.SLAConfig{Mu: 250, MaxDelay: 0.25, ReservationRatio: reservation}
+	sla, err := dspp.SLAMatrix([][]float64{{0.02}}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return dspp.NewInstance(dspp.InstanceConfig{
+		SLA:             sla,
+		ReconfigWeights: []float64{2e-5},
+		Capacities:      []float64{5000},
+	})
+}
+
+func runOnce(demand, prices [][]float64, pred dspp.Predictor, reservation float64) (*dspp.SimResult, error) {
+	inst, err := mkInstance(reservation)
+	if err != nil {
+		return nil, err
+	}
+	// Violations are judged against the true (uncushioned) SLA even when
+	// the controller plans with a reservation cushion.
+	judge, err := mkInstance(0)
+	if err != nil {
+		return nil, err
+	}
+	ctrl, err := dspp.NewController(inst, horizon)
+	if err != nil {
+		return nil, err
+	}
+	return dspp.Simulate(dspp.SimConfig{
+		Instance:        inst,
+		Policy:          dspp.NewMPCPolicy(ctrl),
+		DemandTrace:     demand,
+		PriceTrace:      prices,
+		Periods:         periods,
+		Horizon:         horizon,
+		DemandPredictor: pred,
+		SLAJudge:        judge,
+	})
+}
+
+func run() error {
+	demand, prices, err := buildTraces(99)
+	if err != nil {
+		return err
+	}
+	predictors := []struct {
+		name string
+		p    dspp.Predictor
+	}{
+		{"perfect oracle", nil},
+		{"persistence", dspp.PersistencePredictor{}},
+		{"seasonal-naive", dspp.SeasonalNaivePredictor{Season: 24}},
+	}
+
+	fmt.Println("Flash crowd (6x for 3 hours) under different predictors:")
+	fmt.Println()
+	fmt.Println("predictor        reservation  total cost  SLA violations")
+	for _, pd := range predictors {
+		for _, r := range []float64{0, 1.4} {
+			res, err := runOnce(demand, prices, pd.p, r)
+			if err != nil {
+				return err
+			}
+			label := "none"
+			if r > 0 {
+				label = fmt.Sprintf("r=%.1f", r)
+			}
+			fmt.Printf("%-16s %-12s %-11.2f %d/%d\n",
+				pd.name, label, res.TotalCost, res.SLAViolations, len(res.Steps))
+		}
+	}
+	fmt.Println()
+	fmt.Println("the oracle absorbs the spike; simple forecasters miss it and violate")
+	fmt.Println("the SLA unless the §IV-B capacity cushion (reservation ratio) is on")
+	return nil
+}

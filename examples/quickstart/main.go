@@ -1,0 +1,89 @@
+// Quickstart: the smallest complete use of the dspp library.
+//
+// Two data centers serve one customer location. We build the SLA
+// coefficient matrix from latencies, create an MPC controller with a
+// 3-period horizon, run a handful of control periods against simple
+// forecasts, and print the resulting allocation, routing and cost.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dspp"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// One customer location; DC0 is nearby (10 ms), DC1 distant (40 ms).
+	// Servers handle 250 req/s each; the SLA bounds average total delay
+	// at 250 ms.
+	sla, err := dspp.SLAMatrix([][]float64{
+		{0.010}, // DC0 → location 0
+		{0.040}, // DC1 → location 0
+	}, dspp.SLAConfig{Mu: 250, MaxDelay: 0.25})
+	if err != nil {
+		return err
+	}
+
+	inst, err := dspp.NewInstance(dspp.InstanceConfig{
+		SLA:             sla,
+		ReconfigWeights: []float64{0.001, 0.001}, // quadratic penalty on change
+		Capacities:      []float64{100, 18},      // the cheap DC is small
+	})
+	if err != nil {
+		return err
+	}
+
+	ctrl, err := dspp.NewController(inst, 3) // MPC horizon W = 3
+	if err != nil {
+		return err
+	}
+
+	// Demand ramps up then down; DC1 is always cheaper.
+	demand := []float64{2000, 4000, 6000, 4000, 2000}
+	fmt.Println("period  demand  DC0-servers  DC1-servers  route->DC0  route->DC1  cost")
+	for k, d := range demand {
+		// Forecast this and the next 2 periods (perfect foresight of the
+		// ramp, clamped at the end of the series). The controller shapes
+		// the allocation that serves the forecast's first period.
+		demandFC := make([][]float64, 3)
+		priceFC := make([][]float64, 3)
+		for t := 0; t < 3; t++ {
+			idx := k + t
+			if idx >= len(demand) {
+				idx = len(demand) - 1
+			}
+			demandFC[t] = []float64{demand[idx]}
+			priceFC[t] = []float64{0.10, 0.06} // DC1 cheaper but small
+		}
+		res, err := ctrl.Step(demandFC, priceFC)
+		if err != nil {
+			return err
+		}
+		// Route this period's demand with the paper's proportional policy.
+		assign, err := inst.Assign(res.NewState, []float64{d})
+		if err != nil {
+			return err
+		}
+		cost, err := inst.PeriodCost(res.NewState, res.Applied, priceFC[0])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-7d %-7.0f %-12.1f %-12.1f %-11.0f %-11.0f %.3f\n",
+			k, d,
+			res.NewState[0][0], res.NewState[1][0],
+			assign[0][0], assign[1][0],
+			cost.Total())
+	}
+	return nil
+}

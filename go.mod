@@ -1,0 +1,3 @@
+module dspp
+
+go 1.22

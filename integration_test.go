@@ -1,0 +1,340 @@
+package dspp_test
+
+// Full-pipeline integration tests: each test walks a realistic story
+// through the public API only, crossing every layer the paper's system
+// spans — topology → SLA reduction → forecasting → MPC control →
+// routing → request-level validation → persistence — and asserts the
+// cross-module invariants that no unit test can see.
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"dspp"
+	"dspp/internal/workload"
+)
+
+// TestIntegrationGeoPipeline builds the paper's environment from the city
+// database up and runs the controller for two days under an imperfect
+// (Holt-Winters) forecaster, then validates the busiest hour at request
+// granularity and round-trips the run through CSV.
+func TestIntegrationGeoPipeline(t *testing.T) {
+	// --- Topology: 3 paper DC sites, 6 demand metros, geo latencies.
+	var dcs []dspp.City
+	for _, name := range []string{"San Jose", "Houston", "Chicago"} {
+		c, ok := dspp.CityByName(name)
+		if !ok {
+			t.Fatalf("city %q missing", name)
+		}
+		dcs = append(dcs, c)
+	}
+	var metros []dspp.City
+	for _, name := range []string{"New York", "Los Angeles", "Denver", "Miami", "Seattle", "Boston"} {
+		c, ok := dspp.CityByName(name)
+		if !ok {
+			t.Fatalf("metro %q missing", name)
+		}
+		metros = append(metros, c)
+	}
+	net, err := dspp.BuildGeoNetwork(dcs, metros, 0.002)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// --- SLA reduction: a 45 ms SLA keeps every metro's nearest DC
+	// feasible but makes cross-country serving costly or impossible.
+	sla, err := dspp.SLAMatrix(net.LatencyMatrix(), dspp.SLAConfig{Mu: 100, MaxDelay: 0.045})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feasiblePairs := 0
+	for l := range sla {
+		for v := range sla[l] {
+			if !math.IsInf(sla[l][v], 1) {
+				feasiblePairs++
+			}
+		}
+	}
+	if feasiblePairs == len(dcs)*len(metros) {
+		t.Fatal("SLA excludes nothing: scenario has no locality structure")
+	}
+	// The controller plans with a §IV-B reservation cushion (forecasts of
+	// Poisson demand always miss by a little); violations are judged
+	// against the true, uncushioned SLA.
+	cushioned, err := dspp.SLAMatrix(net.LatencyMatrix(),
+		dspp.SLAConfig{Mu: 100, MaxDelay: 0.045, ReservationRatio: 1.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := dspp.NewInstance(dspp.InstanceConfig{
+		SLA:             cushioned,
+		ReconfigWeights: []float64{1e-4, 1e-4, 1e-4},
+		Capacities:      []float64{500, 500, 500},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	judge, err := dspp.NewInstance(dspp.InstanceConfig{
+		SLA:             sla,
+		ReconfigWeights: []float64{1e-4, 1e-4, 1e-4},
+		Capacities:      []float64{500, 500, 500},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// --- Workload: population-weighted diurnal Poisson demand.
+	const periods = 48
+	const horizon = 4
+	rng := rand.New(rand.NewSource(42))
+	demand := make([][]float64, periods+horizon+1)
+	for k := range demand {
+		demand[k] = make([]float64, len(metros))
+	}
+	totalPop := 0
+	for _, m := range metros {
+		totalPop += m.Population
+	}
+	for v, m := range metros {
+		model, err := dspp.NewDiurnalDemand(0, 25000*float64(m.Population)/float64(totalPop))
+		if err != nil {
+			t.Fatal(err)
+		}
+		model.Base = model.Peak * 0.2
+		for k := range demand {
+			n, err := workload.SamplePoisson(model.Rate(k), 1, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			demand[k][v] = float64(n)
+		}
+	}
+	// --- Prices: regional curves with a spot market on the TX site.
+	regions := []string{"CA", "TX", "IL"}
+	models := make([]dspp.PriceModel, len(regions))
+	for i, name := range regions {
+		r, ok := dspp.RegionByName(name)
+		if !ok {
+			t.Fatalf("region %q missing", name)
+		}
+		models[i] = dspp.DiurnalServerPrice{Region: r, Class: dspp.MediumVM}
+	}
+	spot, err := dspp.NewSpotMarket(models[1], dspp.SpotConfig{}, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	models[1] = dspp.BidPolicy{Market: spot, BidFraction: 0.7}
+	prices := make([][]float64, periods+horizon+1)
+	for k := range prices {
+		prices[k] = make([]float64, len(dcs))
+		for l, m := range models {
+			prices[k][l] = m.Price(k)
+		}
+	}
+
+	// --- Control loop with an imperfect forecaster.
+	ctrl, err := dspp.NewController(inst, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dspp.Simulate(dspp.SimConfig{
+		Instance:        inst,
+		Policy:          dspp.NewMPCPolicy(ctrl),
+		DemandTrace:     demand,
+		PriceTrace:      prices,
+		Periods:         periods,
+		Horizon:         horizon,
+		DemandPredictor: dspp.SeasonalNaivePredictor{Season: 24},
+		SLAJudge:        judge,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) != periods {
+		t.Fatalf("steps = %d", len(res.Steps))
+	}
+	// Cross-module invariants on every executed period.
+	for _, s := range res.Steps {
+		for l := range dcs {
+			if s.ServersByDC[l] > 500+1e-6 {
+				t.Fatalf("period %d: DC %d over capacity: %g", s.Period, l, s.ServersByDC[l])
+			}
+		}
+		assign, err := inst.Assign(s.State, s.Demand)
+		if err != nil {
+			t.Fatalf("period %d: %v", s.Period, err)
+		}
+		for v := range metros {
+			var routed float64
+			for l := range dcs {
+				routed += assign[l][v]
+			}
+			if math.Abs(routed-s.Demand[v]) > 1e-6*(1+s.Demand[v]) {
+				t.Fatalf("period %d metro %d: routed %g of %g", s.Period, v, routed, s.Demand[v])
+			}
+		}
+	}
+	// The forecaster is imperfect on Poisson data: accuracy must be
+	// recorded and nonzero. Day 1 runs on the persistence fallback (no
+	// full season of history yet) and eats the ramp misses; day 2 runs on
+	// seasonal forecasts and the cushion absorbs the Poisson noise.
+	if len(res.ForecastAccuracy) != len(metros) {
+		t.Fatalf("forecast accuracy entries = %d", len(res.ForecastAccuracy))
+	}
+	for _, fa := range res.ForecastAccuracy {
+		if fa.RMSE <= 0 {
+			t.Errorf("metro %d: RMSE %g, want > 0 under Poisson noise", fa.Location, fa.RMSE)
+		}
+	}
+	if res.SLAViolations > periods/3 {
+		t.Errorf("violations %d/%d despite the reservation cushion", res.SLAViolations, periods)
+	}
+	day2Violations := 0
+	for _, s := range res.Steps[24:] {
+		if !s.SLAMet {
+			day2Violations++
+		}
+	}
+	if day2Violations > 4 {
+		t.Errorf("day-2 violations %d/24: seasonal forecasts + cushion should hold", day2Violations)
+	}
+
+	// --- Request-level validation of the busiest hour.
+	busiest := 0
+	busiestLoad := 0.0
+	for i, s := range res.Steps {
+		var load float64
+		for _, d := range s.Demand {
+			load += d
+		}
+		if load > busiestLoad && s.SLAMet {
+			busiest, busiestLoad = i, load
+		}
+	}
+	peak := res.Steps[busiest]
+	rep, err := dspp.Dispatch(judge, peak.State, peak.Demand, dspp.DispatchConfig{
+		Latency:  net.LatencyMatrix(),
+		Mu:       100,
+		SLABound: 0.045,
+		Requests: 60000,
+		Rng:      rand.New(rand.NewSource(99)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mean > 0.045 {
+		t.Errorf("request-level mean latency %g exceeds the 45 ms SLA", rep.Mean)
+	}
+	if rep.P50 > rep.P95 {
+		t.Errorf("percentiles inverted: p50 %g > p95 %g", rep.P50, rep.P95)
+	}
+
+	// --- Persistence round trip.
+	var buf bytes.Buffer
+	dcNames := []string{"SanJose", "Houston", "Chicago"}
+	if err := dspp.WriteSimResultCSV(&buf, res, dcNames); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty CSV export")
+	}
+	var traceBuf bytes.Buffer
+	if err := dspp.WriteTraceCSV(&traceBuf, []string{"ny", "la", "den", "mia", "sea", "bos"}, demand); err != nil {
+		t.Fatal(err)
+	}
+	_, back, err := dspp.ReadTraceCSV(&traceBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(demand) {
+		t.Fatalf("trace round trip lost rows: %d vs %d", len(back), len(demand))
+	}
+}
+
+// TestIntegrationCompetitionPipeline runs the closed-loop W-MPC game over
+// generated transit-stub latencies and checks that the receding-horizon
+// equilibrium respects the shared bottleneck while serving every
+// provider's demand.
+func TestIntegrationCompetitionPipeline(t *testing.T) {
+	ts, err := dspp.GenerateTopology(dspp.TopologyConfig{
+		TransitNodes: 3, StubsPerTransit: 3, NodesPerStub: 3, Seed: 77,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cities := dspp.USCities()
+	net, err := dspp.BuildNetwork(ts, cities[:2], cities[2:4])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const periods = 5
+	const window = 2
+	mkProvider := func(name string, vi int, level float64, size float64) *dspp.DynamicProvider {
+		lat := net.LatencyMatrix()
+		sla := make([][]float64, 2)
+		for l := 0; l < 2; l++ {
+			sla[l] = make([]float64, 1)
+			a, err := dspp.SLAMatrix([][]float64{{lat[l][vi]}}, dspp.SLAConfig{Mu: 200, MaxDelay: 0.25})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sla[l][0] = a[0][0]
+		}
+		demand := make([][]float64, periods+window)
+		prices := make([][]float64, periods+window)
+		for k := range demand {
+			demand[k] = []float64{level * (1 + 0.2*math.Sin(float64(k)))}
+			prices[k] = []float64{0.03, 0.15}
+		}
+		return &dspp.DynamicProvider{
+			Name:            name,
+			SLA:             sla,
+			ReconfigWeights: []float64{1e-4, 1e-4},
+			ServerSize:      size,
+			Demand:          demand,
+			Prices:          prices,
+		}
+	}
+	providers := []*dspp.DynamicProvider{
+		mkProvider("cdn", 0, 2000, 2),
+		mkProvider("saas", 1, 1500, 1),
+	}
+	const bottleneck = 15.0
+	res, err := dspp.RunRecedingGame([]float64{bottleneck, math.Inf(1)}, providers, dspp.RecedingConfig{
+		Window:  window,
+		Periods: periods,
+		BestResponse: dspp.BestResponseConfig{
+			Alpha: 50, StepDecay: 1, Epsilon: 0.03, MaxIterations: 500,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	usage, err := res.CapacityUsage(providers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, u := range usage {
+		if u > bottleneck+1e-3 {
+			t.Errorf("period %d: bottleneck usage %g > %g", k, u, bottleneck)
+		}
+	}
+	for i, p := range providers {
+		for k, x := range res.States[i] {
+			var served float64
+			for l := 0; l < 2; l++ {
+				served += x[l][0] / p.SLA[l][0]
+			}
+			want := p.Demand[k+1][0]
+			if served < want*0.999-1 {
+				t.Errorf("provider %s period %d: serves %g of %g", p.Name, k, served, want)
+			}
+		}
+	}
+	if res.Total <= 0 {
+		t.Errorf("total cost %g", res.Total)
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Assignment holds the request-routing decision σ^lv: the demand arrival
+// rate from location v dispatched to data center l (paper eq. 13).
+type Assignment [][]float64
+
+// Assign implements the paper's proportional demand-assignment policy
+// (eq. 13): each request router splits its location's demand across data
+// centers proportionally to x^lv / a^lv, which meets the SLA whenever the
+// aggregate constraint (eq. 12) holds.
+func (in *Instance) Assign(x State, demand []float64) (Assignment, error) {
+	if err := in.CheckState(x); err != nil {
+		return nil, err
+	}
+	if len(demand) != in.v {
+		return nil, fmt.Errorf("demand has %d locations, want %d: %w", len(demand), in.v, ErrBadInput)
+	}
+	out := make(Assignment, in.l)
+	for l := range out {
+		out[l] = make([]float64, in.v)
+	}
+	for v := 0; v < in.v; v++ {
+		d := demand[v]
+		if d < 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+			return nil, fmt.Errorf("demand[%d] = %g: %w", v, d, ErrBadInput)
+		}
+		if d == 0 {
+			continue
+		}
+		var denom float64
+		for l := 0; l < in.l; l++ {
+			if in.pairIdx[l][v] < 0 {
+				continue
+			}
+			denom += x[l][v] / in.a[l][v]
+		}
+		if denom <= 0 {
+			return nil, fmt.Errorf("location %d has demand %g but no serving capacity: %w", v, d, ErrInfeasible)
+		}
+		for l := 0; l < in.l; l++ {
+			if in.pairIdx[l][v] < 0 {
+				continue
+			}
+			out[l][v] = d * (x[l][v] / in.a[l][v]) / denom
+		}
+	}
+	return out, nil
+}
+
+// SLASatisfied reports whether the allocation x meets the SLA for the
+// given demand under the proportional assignment policy, i.e. whether
+// x^lv ≥ a^lv·σ^lv for every pair carrying load (within tol). When the
+// aggregate demand constraint (eq. 12) holds this is guaranteed; the check
+// exists for monitoring realized (non-forecast) demand.
+func (in *Instance) SLASatisfied(x State, demand []float64, tol float64) (bool, error) {
+	assign, err := in.Assign(x, demand)
+	if err != nil {
+		return false, err
+	}
+	for l := 0; l < in.l; l++ {
+		for v := 0; v < in.v; v++ {
+			sigma := assign[l][v]
+			if sigma == 0 {
+				continue
+			}
+			if x[l][v]+tol < in.a[l][v]*sigma {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// DemandSlack returns, per location, Σ_l x^lv/a^lv − D^v: nonnegative
+// slack means the aggregate SLA constraint (eq. 12) holds for location v.
+func (in *Instance) DemandSlack(x State, demand []float64) ([]float64, error) {
+	if err := in.CheckState(x); err != nil {
+		return nil, err
+	}
+	if len(demand) != in.v {
+		return nil, fmt.Errorf("demand has %d locations, want %d: %w", len(demand), in.v, ErrBadInput)
+	}
+	out := make([]float64, in.v)
+	for v := 0; v < in.v; v++ {
+		var cap64 float64
+		for l := 0; l < in.l; l++ {
+			if in.pairIdx[l][v] < 0 {
+				continue
+			}
+			cap64 += x[l][v] / in.a[l][v]
+		}
+		out[v] = cap64 - demand[v]
+	}
+	return out, nil
+}

@@ -1,0 +1,276 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAssignProportional(t *testing.T) {
+	// Two DCs with equal a: load splits proportionally to x.
+	inst := twoByTwo(t)
+	x := inst.NewState()
+	x[0][0] = 3
+	x[1][0] = 1
+	assign, err := inst.Assign(x, []float64{100, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(assign[0][0]-75) > 1e-9 || math.Abs(assign[1][0]-25) > 1e-9 {
+		t.Errorf("assign = %v, want 75/25", assign)
+	}
+	if assign[0][1] != 0 || assign[1][1] != 0 {
+		t.Error("zero-demand location received load")
+	}
+}
+
+func TestAssignWeightsBySLACoefficient(t *testing.T) {
+	// Equal x but DC1 needs twice the servers per request (a doubled):
+	// effective capacity halves, so it receives half the share.
+	inst, err := NewInstance(Config{
+		SLA:             [][]float64{{1}, {2}},
+		ReconfigWeights: []float64{1, 1},
+		Capacities:      []float64{100, 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := inst.NewState()
+	x[0][0] = 10
+	x[1][0] = 10
+	assign, err := inst.Assign(x, []float64{30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(assign[0][0]-20) > 1e-9 || math.Abs(assign[1][0]-10) > 1e-9 {
+		t.Errorf("assign = %v, want 20/10", assign)
+	}
+}
+
+func TestAssignErrors(t *testing.T) {
+	inst := twoByTwo(t)
+	x := inst.NewState()
+	if _, err := inst.Assign(x, []float64{1}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("demand length err = %v", err)
+	}
+	if _, err := inst.Assign(x, []float64{-1, 0}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("negative demand err = %v", err)
+	}
+	// Demand with zero allocation anywhere is infeasible to route.
+	if _, err := inst.Assign(x, []float64{5, 0}); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("no capacity err = %v", err)
+	}
+	bad := State{{1}}
+	if _, err := inst.Assign(bad, []float64{1, 1}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("bad state err = %v", err)
+	}
+}
+
+func TestAssignConservesDemand(t *testing.T) {
+	inst, err := NewInstance(Config{
+		SLA:             [][]float64{{0.5, 1, math.Inf(1)}, {2, 0.25, 1}},
+		ReconfigWeights: []float64{1, 1},
+		Capacities:      []float64{100, 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := inst.NewState()
+	x[0][0], x[0][1] = 4, 2
+	x[1][0], x[1][1], x[1][2] = 1, 5, 3
+	demand := []float64{40, 70, 11}
+	assign, err := inst.Assign(x, demand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range demand {
+		var sum float64
+		for l := 0; l < inst.NumDataCenters(); l++ {
+			sum += assign[l][v]
+		}
+		if math.Abs(sum-demand[v]) > 1e-9 {
+			t.Errorf("location %d: routed %g of %g", v, sum, demand[v])
+		}
+	}
+	// Nothing routed to the infeasible pair.
+	if assign[0][2] != 0 {
+		t.Errorf("infeasible pair carries %g", assign[0][2])
+	}
+}
+
+func TestSLASatisfied(t *testing.T) {
+	inst := singleDC(t, 1, math.Inf(1)) // a = 0.01
+	x := inst.NewState()
+	x[0][0] = 10 // supports demand up to 1000
+	ok, err := inst.SLASatisfied(x, []float64{900}, 1e-9)
+	if err != nil || !ok {
+		t.Errorf("SLA should hold: ok=%v err=%v", ok, err)
+	}
+	ok, err = inst.SLASatisfied(x, []float64{1500}, 1e-9)
+	if err != nil || ok {
+		t.Errorf("SLA should fail at 1500 req/s: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestDemandSlack(t *testing.T) {
+	inst := twoByTwo(t)
+	x := inst.NewState()
+	x[0][0] = 3
+	x[1][0] = 2
+	slack, err := inst.DemandSlack(x, []float64{4, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(slack[0]-1) > 1e-12 {
+		t.Errorf("slack[0] = %g, want 1", slack[0])
+	}
+	if math.Abs(slack[1]+1) > 1e-12 {
+		t.Errorf("slack[1] = %g, want -1", slack[1])
+	}
+	if _, err := inst.DemandSlack(x, []float64{1}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("length err = %v", err)
+	}
+}
+
+// Property (paper §IV-C): whenever the aggregate constraint (eq. 12)
+// holds, the proportional assignment meets the per-pair SLA x ≥ a·σ.
+func TestQuickProportionalAssignmentMeetsSLA(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := 1 + rng.Intn(4)
+		v := 1 + rng.Intn(4)
+		sla := make([][]float64, l)
+		for i := range sla {
+			sla[i] = make([]float64, v)
+			for j := range sla[i] {
+				sla[i][j] = 0.1 + rng.Float64()*2
+			}
+		}
+		weights := make([]float64, l)
+		caps := make([]float64, l)
+		for i := range weights {
+			weights[i] = 1
+			caps[i] = math.Inf(1)
+		}
+		inst, err := NewInstance(Config{SLA: sla, ReconfigWeights: weights, Capacities: caps})
+		if err != nil {
+			return false
+		}
+		x := inst.NewState()
+		for i := 0; i < l; i++ {
+			for j := 0; j < v; j++ {
+				x[i][j] = rng.Float64() * 20
+			}
+		}
+		// Draw demand within the supported envelope so eq. 12 holds.
+		demand := make([]float64, v)
+		slack, err := inst.DemandSlack(x, make([]float64, v))
+		if err != nil {
+			return false
+		}
+		for j := range demand {
+			demand[j] = slack[j] * rng.Float64() // ≤ capacity envelope
+		}
+		ok, err := inst.SLASatisfied(x, demand, 1e-9)
+		if err != nil {
+			// Zero-capacity locations with nonzero sampled demand can
+			// legitimately fail to route; skip those draws.
+			return errors.Is(err, ErrInfeasible)
+		}
+		return ok
+	}
+	cfg := &quick.Config{MaxCount: 120, Rand: rand.New(rand.NewSource(15))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundUpBasic(t *testing.T) {
+	inst := twoByTwo(t)
+	x := inst.NewState()
+	x[0][0] = 2.3
+	x[1][1] = 4.7
+	res, err := inst.RoundUp(x, []float64{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.X[0][0] != 3 || res.X[1][1] != 5 {
+		t.Errorf("rounded = %v", res.X)
+	}
+	if math.Abs(res.ExtraServers-1.0) > 1e-9 {
+		t.Errorf("extra = %g, want 1.0", res.ExtraServers)
+	}
+	for l, o := range res.Overflow {
+		if o != 0 {
+			t.Errorf("overflow[%d] = %g", l, o)
+		}
+	}
+}
+
+func TestRoundUpCapacityRepair(t *testing.T) {
+	// DC capacity 5; continuous solution 2.5 + 2.5 rounds to 3+3 = 6 > 5.
+	// Demand only needs 5 effective servers, so repair rounds one down.
+	inst, err := NewInstance(Config{
+		SLA:             [][]float64{{1, 1}},
+		ReconfigWeights: []float64{1},
+		Capacities:      []float64{5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := inst.NewState()
+	x[0][0], x[0][1] = 2.5, 2.5
+	res, err := inst.RoundUp(x, []float64{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := res.X[0][0] + res.X[0][1]
+	if total > 5+1e-9 {
+		t.Errorf("repaired total %g exceeds capacity", total)
+	}
+	if res.Overflow[0] != 0 {
+		t.Errorf("overflow = %g after successful repair", res.Overflow[0])
+	}
+	slack, err := inst.DemandSlack(res.X, []float64{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, s := range slack {
+		if s < -1e-9 {
+			t.Errorf("repair broke demand at %d: slack %g", v, s)
+		}
+	}
+}
+
+func TestRoundUpReportsIrreparableOverflow(t *testing.T) {
+	// Demand pins both entries: repair impossible, overflow reported.
+	inst, err := NewInstance(Config{
+		SLA:             [][]float64{{1, 1}},
+		ReconfigWeights: []float64{1},
+		Capacities:      []float64{5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := inst.NewState()
+	x[0][0], x[0][1] = 2.5, 2.5
+	res, err := inst.RoundUp(x, []float64{2.5, 2.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Overflow[0] <= 0 {
+		t.Errorf("expected reported overflow, got %g", res.Overflow[0])
+	}
+}
+
+func TestRoundUpErrors(t *testing.T) {
+	inst := twoByTwo(t)
+	if _, err := inst.RoundUp(State{{1}}, []float64{1, 1}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("bad state err = %v", err)
+	}
+	if _, err := inst.RoundUp(inst.NewState(), []float64{1}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("bad demand err = %v", err)
+	}
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+
+	"dspp/internal/qp"
+)
+
+// Controller is the paper's MPC resource controller (Algorithm 1): at each
+// control period it solves the horizon QP from the current state and
+// applies only the first control action.
+type Controller struct {
+	inst    *Instance
+	horizon int
+	opts    qp.Options
+	state   State
+}
+
+// ControllerOption customizes a Controller.
+type ControllerOption func(*Controller)
+
+// WithQPOptions overrides the interior-point solver settings.
+func WithQPOptions(opts qp.Options) ControllerOption {
+	return func(c *Controller) { c.opts = opts }
+}
+
+// WithInitialState sets the starting allocation (default: all zeros).
+func WithInitialState(s State) ControllerOption {
+	return func(c *Controller) { c.state = s.Clone() }
+}
+
+// NewController creates an MPC controller with prediction horizon W ≥ 1.
+func NewController(inst *Instance, horizon int, opts ...ControllerOption) (*Controller, error) {
+	if inst == nil {
+		return nil, fmt.Errorf("nil instance: %w", ErrBadInput)
+	}
+	if horizon < 1 {
+		return nil, fmt.Errorf("horizon %d: %w", horizon, ErrBadInput)
+	}
+	c := &Controller{
+		inst:    inst,
+		horizon: horizon,
+		opts:    qp.DefaultOptions(),
+		state:   inst.NewState(),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	if err := inst.CheckState(c.state); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Instance returns the controlled DSPP instance.
+func (c *Controller) Instance() *Instance { return c.inst }
+
+// Horizon returns the prediction window W.
+func (c *Controller) Horizon() int { return c.horizon }
+
+// State returns a copy of the current allocation.
+func (c *Controller) State() State { return c.state.Clone() }
+
+// SetState overwrites the current allocation (e.g. after external scaling).
+func (c *Controller) SetState(s State) error {
+	if err := c.inst.CheckState(s); err != nil {
+		return err
+	}
+	c.state = s.Clone()
+	return nil
+}
+
+// StepResult reports one executed MPC step.
+type StepResult struct {
+	// Applied is the executed control u_{k|k} (the plan's first step).
+	Applied State
+	// NewState is the allocation after applying the control.
+	NewState State
+	// Plan is the full horizon solution (U[0] == Applied).
+	Plan *Plan
+}
+
+// Step executes one period of Algorithm 1: solve the horizon QP for the
+// forecasts and apply the first control. Demand[t][v] and Prices[t][l]
+// must cover t = 0..W−1 (forecasts for the next W periods); shorter
+// forecasts are an error, longer ones are truncated to W.
+func (c *Controller) Step(demand, prices [][]float64) (*StepResult, error) {
+	if len(demand) < c.horizon || len(prices) < c.horizon {
+		return nil, fmt.Errorf("forecasts cover %d/%d periods, horizon %d: %w",
+			len(demand), len(prices), c.horizon, ErrBadInput)
+	}
+	plan, err := c.inst.SolveHorizon(HorizonInput{
+		X0:     c.state,
+		Demand: demand[:c.horizon],
+		Prices: prices[:c.horizon],
+	}, c.opts)
+	if err != nil {
+		return nil, err
+	}
+	c.state = plan.X[0].Clone()
+	return &StepResult{
+		Applied:  plan.U[0],
+		NewState: plan.X[0],
+		Plan:     plan,
+	}, nil
+}

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"dspp/internal/linalg"
+	"dspp/internal/qp"
+)
+
+// HorizonInput is one MPC optimization problem: from the current state X0
+// at period k, choose controls u for the next W periods given forecasts.
+// Demand[t][v] and Prices[t][l] refer to period k+1+t (the period shaped
+// by control u_t), for t = 0..W−1.
+type HorizonInput struct {
+	X0     State
+	Demand [][]float64 // W×V forecast demand
+	Prices [][]float64 // W×L forecast prices
+}
+
+// Plan is the solved horizon: the control sequence, the resulting state
+// trajectory, the predicted cost, and the constraint duals that the
+// competition game consumes.
+type Plan struct {
+	// U[t] is the planned control for period k+t (only U[0] is applied
+	// by MPC).
+	U []State
+	// X[t] is the planned state at period k+1+t.
+	X []State
+	// Objective is the predicted horizon cost Σ p·x + Σ c·u² including
+	// the holding cost of the planned states.
+	Objective float64
+	// CapacityDuals[t][l] is the dual of DC l's capacity constraint at
+	// horizon step t (zero for uncapacitated DCs).
+	CapacityDuals [][]float64
+	// DemandDuals[t][v] is the dual of location v's demand constraint.
+	DemandDuals [][]float64
+	// QPIterations reports interior-point iterations used.
+	QPIterations int
+}
+
+// Horizon returns len(plan.U).
+func (p *Plan) Horizon() int { return len(p.U) }
+
+// TotalCapacityDuals sums the capacity duals over the horizon per DC —
+// the λ^il quantity reported to the infrastructure provider in the
+// paper's Algorithm 2.
+func (p *Plan) TotalCapacityDuals() []float64 {
+	if len(p.CapacityDuals) == 0 {
+		return nil
+	}
+	out := make([]float64, len(p.CapacityDuals[0]))
+	for _, row := range p.CapacityDuals {
+		for l, d := range row {
+			out[l] += d
+		}
+	}
+	return out
+}
+
+// SolveHorizon builds and solves the horizon QP (the DSPP of §IV-D
+// restricted to a window, states substituted out) and reconstructs the
+// trajectory. It is the computational core of Algorithm 1.
+func (in *Instance) SolveHorizon(input HorizonInput, opts qp.Options) (*Plan, error) {
+	w := len(input.Demand)
+	if w == 0 {
+		return nil, fmt.Errorf("empty horizon: %w", ErrBadInput)
+	}
+	if len(input.Prices) != w {
+		return nil, fmt.Errorf("prices horizon %d, demand horizon %d: %w", len(input.Prices), w, ErrBadInput)
+	}
+	if err := in.CheckState(input.X0); err != nil {
+		return nil, err
+	}
+	for t := 0; t < w; t++ {
+		if len(input.Demand[t]) != in.v {
+			return nil, fmt.Errorf("demand[%d] has %d locations, want %d: %w", t, len(input.Demand[t]), in.v, ErrBadInput)
+		}
+		if len(input.Prices[t]) != in.l {
+			return nil, fmt.Errorf("prices[%d] has %d DCs, want %d: %w", t, len(input.Prices[t]), in.l, ErrBadInput)
+		}
+		for v, d := range input.Demand[t] {
+			if d < 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+				return nil, fmt.Errorf("demand[%d][%d] = %g: %w", t, v, d, ErrBadInput)
+			}
+		}
+		for l, p := range input.Prices[t] {
+			if p < 0 || math.IsNaN(p) || math.IsInf(p, 0) {
+				return nil, fmt.Errorf("prices[%d][%d] = %g: %w", t, l, p, ErrBadInput)
+			}
+		}
+		// Cheap necessary feasibility check: even granting location v
+		// every feasible DC's full capacity, the demand must fit. It
+		// catches the common misconfiguration (demand beyond physical
+		// capacity) with a clear error instead of a QP solver failure.
+		for v := 0; v < in.v; v++ {
+			var ceiling float64
+			for l := 0; l < in.l; l++ {
+				pi := in.pairIdx[l][v]
+				if pi < 0 {
+					continue
+				}
+				if math.IsInf(in.capacity[l], 1) {
+					ceiling = math.Inf(1)
+					break
+				}
+				ceiling += in.capacity[l] / in.a[l][v]
+			}
+			if input.Demand[t][v] > ceiling {
+				return nil, fmt.Errorf(
+					"demand[%d][%d] = %g exceeds the %g req/s ceiling of its feasible DCs: %w",
+					t, v, input.Demand[t][v], ceiling, ErrInfeasible)
+			}
+		}
+	}
+
+	e := len(in.pairs)
+	n := e * w // decision variables: u_t^pair
+
+	// Quadratic term: ½ uᵀQu with Q = diag(2 c^l).
+	qMat := linalg.NewMatrix(n, n)
+	for t := 0; t < w; t++ {
+		for pi, pr := range in.pairs {
+			idx := t*e + pi
+			qMat.Set(idx, idx, 2*in.reconfig[pr.l])
+		}
+	}
+	// Linear term: u_τ^e contributes to the holding cost of every later
+	// planned state, so its coefficient is Σ_{t≥τ} Prices[t][l(e)].
+	cVec := linalg.NewVector(n)
+	for pi, pr := range in.pairs {
+		var tail float64
+		for t := w - 1; t >= 0; t-- {
+			tail += input.Prices[t][pr.l]
+			cVec[t*e+pi] = tail
+		}
+	}
+	// Sunk holding cost of x0 carried through the horizon (constant).
+	var constCost float64
+	for t := 0; t < w; t++ {
+		for _, pr := range in.pairs {
+			constCost += input.Prices[t][pr.l] * input.X0[pr.l][pr.v]
+		}
+	}
+
+	// Inequality rows: per horizon step t — demand (V), capacity
+	// (capacitated DCs), nonnegativity (E).
+	capacitated := make([]int, 0, in.l)
+	for l := 0; l < in.l; l++ {
+		if !math.IsInf(in.capacity[l], 1) {
+			capacitated = append(capacitated, l)
+		}
+	}
+	rowsPerStep := in.v + len(capacitated) + e
+	m := w * rowsPerStep
+	gMat := linalg.NewMatrix(m, n)
+	hVec := linalg.NewVector(m)
+
+	row := 0
+	// Row bookkeeping for dual extraction.
+	demandRow := make([][]int, w)
+	capRow := make([][]int, w)
+	for t := 0; t < w; t++ {
+		demandRow[t] = make([]int, in.v)
+		capRow[t] = make([]int, in.l)
+		for l := range capRow[t] {
+			capRow[t][l] = -1
+		}
+		// Demand: −Σ_{e∈v} Σ_{τ≤t} u_τ^e / a_e ≤ −D + Σ_{e∈v} x0_e/a_e.
+		for v := 0; v < in.v; v++ {
+			demandRow[t][v] = row
+			rhs := -input.Demand[t][v]
+			for l := 0; l < in.l; l++ {
+				pi := in.pairIdx[l][v]
+				if pi < 0 {
+					continue
+				}
+				inv := 1 / in.a[l][v]
+				rhs += input.X0[l][v] * inv
+				for tau := 0; tau <= t; tau++ {
+					gMat.Set(row, tau*e+pi, -inv)
+				}
+			}
+			hVec[row] = rhs
+			row++
+		}
+		// Capacity: Σ_{e∈l} Σ_{τ≤t} u ≤ C_l − Σ_{e∈l} x0.
+		for _, l := range capacitated {
+			capRow[t][l] = row
+			rhs := in.capacity[l]
+			for v := 0; v < in.v; v++ {
+				pi := in.pairIdx[l][v]
+				if pi < 0 {
+					continue
+				}
+				rhs -= input.X0[l][v]
+				for tau := 0; tau <= t; tau++ {
+					gMat.Set(row, tau*e+pi, 1)
+				}
+			}
+			hVec[row] = rhs
+			row++
+		}
+		// Nonnegativity: −Σ_{τ≤t} u_τ^e ≤ x0_e.
+		for pi, pr := range in.pairs {
+			for tau := 0; tau <= t; tau++ {
+				gMat.Set(row, tau*e+pi, -1)
+			}
+			hVec[row] = input.X0[pr.l][pr.v]
+			row++
+		}
+	}
+
+	prob := &qp.Problem{Q: qMat, C: cVec, G: gMat, H: hVec}
+	res, err := qp.Solve(prob, opts)
+	if err != nil {
+		return nil, fmt.Errorf("horizon QP (W=%d, n=%d, m=%d): %w", w, n, m, err)
+	}
+
+	plan := &Plan{
+		U:             make([]State, w),
+		X:             make([]State, w),
+		Objective:     res.Objective + constCost,
+		CapacityDuals: make([][]float64, w),
+		DemandDuals:   make([][]float64, w),
+		QPIterations:  res.Iterations,
+	}
+	prev := input.X0.Clone()
+	for t := 0; t < w; t++ {
+		u := in.NewState()
+		for pi, pr := range in.pairs {
+			u[pr.l][pr.v] = res.X[t*e+pi]
+		}
+		x := prev.Clone()
+		for l := 0; l < in.l; l++ {
+			for v := 0; v < in.v; v++ {
+				x[l][v] += u[l][v]
+				// Clamp the tiny interior-point slack so states stay
+				// exactly feasible for downstream consumers.
+				if x[l][v] < 0 {
+					x[l][v] = 0
+				}
+			}
+		}
+		plan.U[t] = u
+		plan.X[t] = x
+		prev = x
+
+		plan.DemandDuals[t] = make([]float64, in.v)
+		for v := 0; v < in.v; v++ {
+			plan.DemandDuals[t][v] = res.IneqDuals[demandRow[t][v]]
+		}
+		plan.CapacityDuals[t] = make([]float64, in.l)
+		for l := 0; l < in.l; l++ {
+			if r := capRow[t][l]; r >= 0 {
+				plan.CapacityDuals[t][l] = res.IneqDuals[r]
+			}
+		}
+	}
+	return plan, nil
+}

@@ -1,0 +1,336 @@
+// Package core implements the paper's primary contribution: the Dynamic
+// Service Placement Problem (DSPP, §IV) and its Model Predictive Control
+// solution (Algorithm 1, §V).
+//
+// A DSPP instance is defined over L data centers and V client locations.
+// The state x ∈ R₊^{L·V} counts servers at DC l dedicated to demand from
+// location v; the control u changes x between periods. Each period the SP
+// pays p_k^l per server plus a quadratic reconfiguration penalty c^l·u².
+// Demand must be absorbed within an SLA latency bound, which the M/M/1
+// reduction (package queue) turns into the linear constraint
+// Σ_l x^lv / a^lv ≥ D^v, and DC capacities bound Σ_v x^lv ≤ C^l.
+//
+// The MPC controller solves, at each period, a strictly convex QP over the
+// next W periods (states substituted out, so the decision variable is the
+// control sequence) and applies only the first control — exactly the
+// paper's Algorithm 1.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dspp/internal/queue"
+)
+
+// Sentinel errors.
+var (
+	// ErrBadInstance flags inconsistent instance dimensions or values.
+	ErrBadInstance = errors.New("core: invalid instance")
+	// ErrInfeasible means a location has demand but no feasible data
+	// center, or the requested horizon inputs are malformed.
+	ErrInfeasible = errors.New("core: infeasible placement")
+	// ErrBadInput flags malformed controller inputs.
+	ErrBadInput = errors.New("core: invalid input")
+)
+
+// Instance is an immutable DSPP instance: the placement graph with SLA
+// coefficients, per-DC reconfiguration weights and capacities.
+type Instance struct {
+	l, v int
+	// a[l][v] is the SLA coefficient a^lv (servers per unit arrival
+	// rate); +Inf marks an infeasible (l, v) pair, excluded from the QP.
+	a [][]float64
+	// reconfig[l] is the quadratic reconfiguration weight c^l > 0.
+	reconfig []float64
+	// capacity[l] is C^l; +Inf means uncapacitated.
+	capacity []float64
+	// pairs enumerates the feasible (l, v) pairs; pairIdx[l][v] is the
+	// dense variable index of the pair or -1.
+	pairs   []pair
+	pairIdx [][]int
+}
+
+type pair struct{ l, v int }
+
+// Config assembles an Instance.
+type Config struct {
+	// SLA is the L×V matrix of SLA coefficients a^lv. Use math.Inf(1)
+	// for pairs that can never meet the SLA.
+	SLA [][]float64
+	// ReconfigWeights holds c^l > 0 per data center.
+	ReconfigWeights []float64
+	// Capacities holds C^l per data center; +Inf (or 0 treated as an
+	// error) for explicit bounds. Use math.Inf(1) for uncapacitated DCs.
+	Capacities []float64
+}
+
+// NewInstance validates and builds an instance.
+func NewInstance(cfg Config) (*Instance, error) {
+	l := len(cfg.SLA)
+	if l == 0 {
+		return nil, fmt.Errorf("no data centers: %w", ErrBadInstance)
+	}
+	v := len(cfg.SLA[0])
+	if v == 0 {
+		return nil, fmt.Errorf("no client locations: %w", ErrBadInstance)
+	}
+	if len(cfg.ReconfigWeights) != l {
+		return nil, fmt.Errorf("reconfig weights %d, want %d: %w", len(cfg.ReconfigWeights), l, ErrBadInstance)
+	}
+	if len(cfg.Capacities) != l {
+		return nil, fmt.Errorf("capacities %d, want %d: %w", len(cfg.Capacities), l, ErrBadInstance)
+	}
+	inst := &Instance{
+		l: l, v: v,
+		a:        make([][]float64, l),
+		reconfig: append([]float64(nil), cfg.ReconfigWeights...),
+		capacity: append([]float64(nil), cfg.Capacities...),
+		pairIdx:  make([][]int, l),
+	}
+	for li := 0; li < l; li++ {
+		if len(cfg.SLA[li]) != v {
+			return nil, fmt.Errorf("SLA row %d has %d cols, want %d: %w", li, len(cfg.SLA[li]), v, ErrBadInstance)
+		}
+		if w := cfg.ReconfigWeights[li]; w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("reconfig weight[%d] = %g: %w", li, w, ErrBadInstance)
+		}
+		if c := cfg.Capacities[li]; c <= 0 || math.IsNaN(c) {
+			return nil, fmt.Errorf("capacity[%d] = %g: %w", li, c, ErrBadInstance)
+		}
+		inst.a[li] = append([]float64(nil), cfg.SLA[li]...)
+		inst.pairIdx[li] = make([]int, v)
+		for vi := 0; vi < v; vi++ {
+			aVal := cfg.SLA[li][vi]
+			if math.IsNaN(aVal) || aVal <= 0 {
+				return nil, fmt.Errorf("a[%d][%d] = %g: %w", li, vi, aVal, ErrBadInstance)
+			}
+			if math.IsInf(aVal, 1) {
+				inst.pairIdx[li][vi] = -1
+				continue
+			}
+			inst.pairIdx[li][vi] = len(inst.pairs)
+			inst.pairs = append(inst.pairs, pair{l: li, v: vi})
+		}
+	}
+	// Every location must have at least one feasible DC.
+	for vi := 0; vi < v; vi++ {
+		ok := false
+		for li := 0; li < l; li++ {
+			if inst.pairIdx[li][vi] >= 0 {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return nil, fmt.Errorf("location %d has no feasible data center: %w", vi, ErrInfeasible)
+		}
+	}
+	return inst, nil
+}
+
+// SLAConfig builds the SLA coefficient matrix from a latency matrix and a
+// uniform queueing configuration, excluding pairs the SLA can never admit
+// (a^lv = +Inf), per paper eq. 10.
+type SLAConfig struct {
+	// Mu is the per-server service rate (req/s).
+	Mu float64
+	// MaxDelay is the SLA latency bound d̄ applied to every pair.
+	MaxDelay float64
+	// ReservationRatio and Percentile are the §IV-B extensions; zero
+	// values mean r = 1 and mean-delay SLA.
+	ReservationRatio float64
+	Percentile       float64
+}
+
+// SLAMatrix converts an L×V network latency matrix into the a^lv matrix.
+func SLAMatrix(latency [][]float64, cfg SLAConfig) ([][]float64, error) {
+	if len(latency) == 0 || len(latency[0]) == 0 {
+		return nil, fmt.Errorf("empty latency matrix: %w", ErrBadInstance)
+	}
+	out := make([][]float64, len(latency))
+	for l, row := range latency {
+		out[l] = make([]float64, len(row))
+		for v, d := range row {
+			params := queue.SLAParams{
+				Mu:               cfg.Mu,
+				NetworkDelay:     d,
+				MaxDelay:         cfg.MaxDelay,
+				ReservationRatio: cfg.ReservationRatio,
+				Percentile:       cfg.Percentile,
+			}
+			a, err := params.Coefficient()
+			if err != nil {
+				return nil, fmt.Errorf("pair (%d,%d): %w", l, v, err)
+			}
+			out[l][v] = a
+		}
+	}
+	return out, nil
+}
+
+// NumDataCenters returns L.
+func (in *Instance) NumDataCenters() int { return in.l }
+
+// NumLocations returns V.
+func (in *Instance) NumLocations() int { return in.v }
+
+// NumPairs returns the number of feasible (l, v) pairs, i.e. the per-period
+// decision dimension.
+func (in *Instance) NumPairs() int { return len(in.pairs) }
+
+// Feasible reports whether pair (l, v) can meet the SLA.
+func (in *Instance) Feasible(l, v int) bool {
+	if l < 0 || l >= in.l || v < 0 || v >= in.v {
+		return false
+	}
+	return in.pairIdx[l][v] >= 0
+}
+
+// SLACoefficient returns a^lv (possibly +Inf).
+func (in *Instance) SLACoefficient(l, v int) (float64, error) {
+	if l < 0 || l >= in.l || v < 0 || v >= in.v {
+		return 0, fmt.Errorf("pair (%d,%d) of (%d,%d): %w", l, v, in.l, in.v, ErrBadInput)
+	}
+	return in.a[l][v], nil
+}
+
+// Capacity returns C^l.
+func (in *Instance) Capacity(l int) (float64, error) {
+	if l < 0 || l >= in.l {
+		return 0, fmt.Errorf("dc %d of %d: %w", l, in.l, ErrBadInput)
+	}
+	return in.capacity[l], nil
+}
+
+// ReconfigWeight returns c^l.
+func (in *Instance) ReconfigWeight(l int) (float64, error) {
+	if l < 0 || l >= in.l {
+		return 0, fmt.Errorf("dc %d of %d: %w", l, in.l, ErrBadInput)
+	}
+	return in.reconfig[l], nil
+}
+
+// WithCapacities returns a copy of the instance with new per-DC capacities
+// (used by the competition game to impose per-provider quotas).
+func (in *Instance) WithCapacities(caps []float64) (*Instance, error) {
+	if len(caps) != in.l {
+		return nil, fmt.Errorf("capacities %d, want %d: %w", len(caps), in.l, ErrBadInstance)
+	}
+	sla := make([][]float64, in.l)
+	for l := range sla {
+		sla[l] = append([]float64(nil), in.a[l]...)
+	}
+	return NewInstance(Config{
+		SLA:             sla,
+		ReconfigWeights: append([]float64(nil), in.reconfig...),
+		Capacities:      append([]float64(nil), caps...),
+	})
+}
+
+// State is a dense L×V server allocation, indexed x[l][v]. Infeasible
+// pairs must stay at zero.
+type State [][]float64
+
+// NewState returns the all-zero allocation for the instance.
+func (in *Instance) NewState() State {
+	s := make(State, in.l)
+	for l := range s {
+		s[l] = make([]float64, in.v)
+	}
+	return s
+}
+
+// CheckState validates dimensions and nonnegativity against the instance.
+func (in *Instance) CheckState(s State) error {
+	if len(s) != in.l {
+		return fmt.Errorf("state has %d DCs, want %d: %w", len(s), in.l, ErrBadInput)
+	}
+	for l, row := range s {
+		if len(row) != in.v {
+			return fmt.Errorf("state row %d has %d cols, want %d: %w", l, len(row), in.v, ErrBadInput)
+		}
+		for v, x := range row {
+			if x < 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+				return fmt.Errorf("state[%d][%d] = %g: %w", l, v, x, ErrBadInput)
+			}
+			if x > 0 && in.pairIdx[l][v] < 0 {
+				return fmt.Errorf("state[%d][%d] = %g on infeasible pair: %w", l, v, x, ErrBadInput)
+			}
+		}
+	}
+	return nil
+}
+
+// Clone deep-copies a state.
+func (s State) Clone() State {
+	out := make(State, len(s))
+	for i, row := range s {
+		out[i] = append([]float64(nil), row...)
+	}
+	return out
+}
+
+// TotalByDC returns Σ_v x^lv per data center.
+func (s State) TotalByDC() []float64 {
+	out := make([]float64, len(s))
+	for l, row := range s {
+		for _, x := range row {
+			out[l] += x
+		}
+	}
+	return out
+}
+
+// Total returns the total number of servers in the allocation.
+func (s State) Total() float64 {
+	var t float64
+	for _, row := range s {
+		for _, x := range row {
+			t += x
+		}
+	}
+	return t
+}
+
+// CostBreakdown reports the per-period cost components (paper eqs. 3–4).
+type CostBreakdown struct {
+	Resource float64 // H_k = Σ p^l x^lv
+	Reconfig float64 // G_k = Σ c^l (u^lv)²
+}
+
+// Total returns H_k + G_k.
+func (c CostBreakdown) Total() float64 { return c.Resource + c.Reconfig }
+
+// PeriodCost computes the cost of holding allocation x at prices p (per
+// DC) after applying control u (x is the post-control state; u may be nil
+// for a pure holding cost).
+func (in *Instance) PeriodCost(x State, u State, prices []float64) (CostBreakdown, error) {
+	if err := in.CheckState(x); err != nil {
+		return CostBreakdown{}, err
+	}
+	if len(prices) != in.l {
+		return CostBreakdown{}, fmt.Errorf("prices %d, want %d: %w", len(prices), in.l, ErrBadInput)
+	}
+	var cb CostBreakdown
+	for l := 0; l < in.l; l++ {
+		for v := 0; v < in.v; v++ {
+			cb.Resource += prices[l] * x[l][v]
+		}
+	}
+	if u != nil {
+		if len(u) != in.l {
+			return CostBreakdown{}, fmt.Errorf("control has %d DCs, want %d: %w", len(u), in.l, ErrBadInput)
+		}
+		for l := 0; l < in.l; l++ {
+			if len(u[l]) != in.v {
+				return CostBreakdown{}, fmt.Errorf("control row %d has %d cols, want %d: %w", l, len(u[l]), in.v, ErrBadInput)
+			}
+			for v := 0; v < in.v; v++ {
+				cb.Reconfig += in.reconfig[l] * u[l][v] * u[l][v]
+			}
+		}
+	}
+	return cb, nil
+}

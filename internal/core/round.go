@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// RoundResult reports an integer-feasible allocation derived from a
+// continuous one (the paper's future-work item on integer server counts,
+// §VIII, implemented as a rounding post-processor rather than a MIP).
+type RoundResult struct {
+	// X is the integral allocation.
+	X State
+	// Overflow[l] is the amount by which rounding pushed DC l above its
+	// capacity before repair (0 after successful repair).
+	Overflow []float64
+	// ExtraServers is the integrality cost: total servers added relative
+	// to the continuous allocation.
+	ExtraServers float64
+}
+
+// RoundUp converts a continuous allocation to integers by rounding each
+// positive entry up (the paper's §IV argument: for services needing tens
+// or hundreds of servers the relative gap is small). If a DC exceeds its
+// capacity after rounding, the repair step walks that DC's entries and
+// rounds the largest fractional parts down instead, provided the demand
+// slack allows it; any remaining overflow is reported.
+func (in *Instance) RoundUp(x State, demand []float64) (*RoundResult, error) {
+	if err := in.CheckState(x); err != nil {
+		return nil, err
+	}
+	if len(demand) != in.v {
+		return nil, fmt.Errorf("demand has %d locations, want %d: %w", len(demand), in.v, ErrBadInput)
+	}
+	res := &RoundResult{
+		X:        in.NewState(),
+		Overflow: make([]float64, in.l),
+	}
+	var contTotal, intTotal float64
+	for l := 0; l < in.l; l++ {
+		for v := 0; v < in.v; v++ {
+			val := x[l][v]
+			contTotal += val
+			if val <= 0 {
+				continue
+			}
+			r := math.Ceil(val - 1e-9)
+			res.X[l][v] = r
+			intTotal += r
+		}
+	}
+	// Capacity repair: round down entries with enough aggregate slack.
+	for l := 0; l < in.l; l++ {
+		capL := in.capacity[l]
+		if math.IsInf(capL, 1) {
+			continue
+		}
+		total := 0.0
+		for v := 0; v < in.v; v++ {
+			total += res.X[l][v]
+		}
+		for total > capL+1e-9 {
+			// Find the entry whose round-down least harms demand slack.
+			bestV := -1
+			for v := 0; v < in.v; v++ {
+				if res.X[l][v] < 1 {
+					continue
+				}
+				res.X[l][v]--
+				slack, err := in.DemandSlack(res.X, demand)
+				res.X[l][v]++
+				if err != nil {
+					return nil, err
+				}
+				ok := true
+				for _, s := range slack {
+					if s < -1e-9 {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					bestV = v
+					break
+				}
+			}
+			if bestV < 0 {
+				break // cannot repair without violating demand
+			}
+			res.X[l][bestV]--
+			total--
+			intTotal--
+		}
+		if total > capL+1e-9 {
+			res.Overflow[l] = total - capL
+		}
+	}
+	res.ExtraServers = intTotal - contTotal
+	return res, nil
+}

@@ -1,0 +1,207 @@
+// Package dispatch replays a control period at the granularity of
+// individual requests: demand from each location is split across data
+// centers by the paper's proportional routing policy (eq. 13), thinned
+// uniformly onto the integer number of servers actually deployed, and each
+// server is simulated as an M/M/1 queue (Lindley recursion). The output is
+// the realized per-request latency distribution — the end-to-end check
+// that the controller's closed-form SLA reasoning survives contact with a
+// discrete-event system.
+package dispatch
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"dspp/internal/core"
+)
+
+// Sentinel errors.
+var (
+	// ErrBadConfig flags invalid simulation parameters.
+	ErrBadConfig = errors.New("dispatch: invalid configuration")
+)
+
+// Config parameterizes a request-level replay.
+type Config struct {
+	// Latency[l][v] is the network latency added to every request routed
+	// from location v to DC l (seconds).
+	Latency [][]float64
+	// Mu is the per-server service rate (req/s).
+	Mu float64
+	// SLABound is the total-latency bound d̄ used for the WithinSLA
+	// fraction (0 disables that statistic).
+	SLABound float64
+	// Requests is the total number of requests to simulate across all
+	// (location, DC) flows (≥ 1).
+	Requests int
+	// Rng drives all randomness (required).
+	Rng *rand.Rand
+}
+
+// LocationStats summarizes one location's realized latency.
+type LocationStats struct {
+	Location  int
+	Requests  int
+	Mean, P95 float64
+}
+
+// Report is the outcome of a replay.
+type Report struct {
+	// Total requests completed.
+	Total int
+	// Mean, P50, P95, P99 of total (network + queueing) latency.
+	Mean, P50, P95, P99 float64
+	// WithinSLA is the fraction of requests meeting the SLA bound.
+	WithinSLA float64
+	// PerLocation breaks the statistics down by origin.
+	PerLocation []LocationStats
+}
+
+// Simulate replays one period: allocation x serves demand (req/s per
+// location) under the instance's routing policy.
+func Simulate(inst *core.Instance, x core.State, demand []float64, cfg Config) (*Report, error) {
+	if inst == nil {
+		return nil, fmt.Errorf("nil instance: %w", ErrBadConfig)
+	}
+	if cfg.Rng == nil {
+		return nil, fmt.Errorf("nil rng: %w", ErrBadConfig)
+	}
+	if cfg.Requests < 1 {
+		return nil, fmt.Errorf("requests %d: %w", cfg.Requests, ErrBadConfig)
+	}
+	if cfg.Mu <= 0 {
+		return nil, fmt.Errorf("mu %g: %w", cfg.Mu, ErrBadConfig)
+	}
+	l, v := inst.NumDataCenters(), inst.NumLocations()
+	if len(cfg.Latency) != l {
+		return nil, fmt.Errorf("latency has %d DCs, want %d: %w", len(cfg.Latency), l, ErrBadConfig)
+	}
+	for li, row := range cfg.Latency {
+		if len(row) != v {
+			return nil, fmt.Errorf("latency[%d] has %d locations, want %d: %w", li, len(row), v, ErrBadConfig)
+		}
+	}
+	assign, err := inst.Assign(x, demand)
+	if err != nil {
+		return nil, err
+	}
+	var totalRate float64
+	for _, d := range demand {
+		totalRate += d
+	}
+	if totalRate <= 0 {
+		return nil, fmt.Errorf("no demand: %w", ErrBadConfig)
+	}
+
+	all := make([]float64, 0, cfg.Requests)
+	perLoc := make([][]float64, v)
+	for li := 0; li < l; li++ {
+		for vi := 0; vi < v; vi++ {
+			sigma := assign[li][vi]
+			if sigma <= 0 {
+				continue
+			}
+			// Integer servers actually deployed for this flow.
+			servers := int(math.Ceil(x[li][vi] - 1e-9))
+			if servers < 1 {
+				servers = 1
+			}
+			perServerRate := sigma / float64(servers)
+			flowRequests := int(math.Round(float64(cfg.Requests) * sigma / totalRate))
+			if flowRequests == 0 {
+				continue
+			}
+			perServer := flowRequests / servers
+			if perServer == 0 {
+				perServer = 1
+			}
+			remaining := flowRequests
+			for s := 0; s < servers && remaining > 0; s++ {
+				take := perServer
+				if take > remaining {
+					take = remaining
+				}
+				samples := lindleyMM1(perServerRate, cfg.Mu, take, cfg.Rng)
+				for _, soj := range samples {
+					lat := cfg.Latency[li][vi] + soj
+					all = append(all, lat)
+					perLoc[vi] = append(perLoc[vi], lat)
+				}
+				remaining -= take
+			}
+		}
+	}
+	if len(all) == 0 {
+		return nil, fmt.Errorf("no requests generated: %w", ErrBadConfig)
+	}
+	sort.Float64s(all)
+	rep := &Report{
+		Total: len(all),
+		Mean:  mean(all),
+		P50:   quantile(all, 0.50),
+		P95:   quantile(all, 0.95),
+		P99:   quantile(all, 0.99),
+	}
+	if cfg.SLABound > 0 {
+		within := sort.SearchFloat64s(all, cfg.SLABound)
+		rep.WithinSLA = float64(within) / float64(len(all))
+	}
+	for vi := 0; vi < v; vi++ {
+		if len(perLoc[vi]) == 0 {
+			continue
+		}
+		sort.Float64s(perLoc[vi])
+		rep.PerLocation = append(rep.PerLocation, LocationStats{
+			Location: vi,
+			Requests: len(perLoc[vi]),
+			Mean:     mean(perLoc[vi]),
+			P95:      quantile(perLoc[vi], 0.95),
+		})
+	}
+	return rep, nil
+}
+
+// lindleyMM1 draws n sojourn times of a stationary M/M/1 queue via the
+// Lindley recursion W⁺ = max(0, W + S − A), discarding a warmup prefix.
+// An unstable flow (lambda ≥ mu) still simulates — waits simply grow —
+// mirroring what an overloaded real server does.
+func lindleyMM1(lambda, mu float64, n int, rng *rand.Rand) []float64 {
+	if n < 1 {
+		return nil
+	}
+	const warmup = 64
+	out := make([]float64, 0, n)
+	var wait float64
+	for i := 0; i < n+warmup; i++ {
+		service := rng.ExpFloat64() / mu
+		if i >= warmup {
+			out = append(out, wait+service)
+		}
+		inter := rng.ExpFloat64() / lambda
+		wait = math.Max(0, wait+service-inter)
+	}
+	return out
+}
+
+func mean(sorted []float64) float64 {
+	var s float64
+	for _, x := range sorted {
+		s += x
+	}
+	return s / float64(len(sorted))
+}
+
+// quantile reads the q-quantile from an ascending-sorted slice.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)))
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

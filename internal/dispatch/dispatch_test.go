@@ -1,0 +1,205 @@
+package dispatch
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"dspp/internal/core"
+	"dspp/internal/queue"
+)
+
+func newInstance(t *testing.T, sla [][]float64) *core.Instance {
+	t.Helper()
+	l := len(sla)
+	weights := make([]float64, l)
+	caps := make([]float64, l)
+	for i := range weights {
+		weights[i] = 1e-3
+		caps[i] = math.Inf(1)
+	}
+	inst, err := core.NewInstance(core.Config{
+		SLA:             sla,
+		ReconfigWeights: weights,
+		Capacities:      caps,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestSimulateValidation(t *testing.T) {
+	inst := newInstance(t, [][]float64{{0.01}})
+	x := inst.NewState()
+	x[0][0] = 10
+	demand := []float64{500}
+	lat := [][]float64{{0.02}}
+	rng := rand.New(rand.NewSource(1))
+	good := Config{Latency: lat, Mu: 250, Requests: 100, Rng: rng}
+
+	if _, err := Simulate(nil, x, demand, good); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("nil inst err = %v", err)
+	}
+	bad := good
+	bad.Rng = nil
+	if _, err := Simulate(inst, x, demand, bad); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("nil rng err = %v", err)
+	}
+	bad = good
+	bad.Requests = 0
+	if _, err := Simulate(inst, x, demand, bad); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("requests err = %v", err)
+	}
+	bad = good
+	bad.Mu = 0
+	if _, err := Simulate(inst, x, demand, bad); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("mu err = %v", err)
+	}
+	bad = good
+	bad.Latency = [][]float64{{0.02}, {0.02}}
+	if _, err := Simulate(inst, x, demand, bad); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("latency rows err = %v", err)
+	}
+	bad = good
+	bad.Latency = [][]float64{{0.02, 0.03}}
+	if _, err := Simulate(inst, x, demand, bad); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("latency cols err = %v", err)
+	}
+	if _, err := Simulate(inst, x, []float64{0}, good); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("no demand err = %v", err)
+	}
+}
+
+// A properly provisioned allocation (x = a·σ rounded up) must meet the
+// mean SLA at request level.
+func TestSimulateProperAllocationMeetsSLA(t *testing.T) {
+	params := queue.SLAParams{Mu: 250, NetworkDelay: 0.02, MaxDelay: 0.25}
+	a, err := params.Coefficient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := newInstance(t, [][]float64{{a}})
+	demand := []float64{5000}
+	x := inst.NewState()
+	x[0][0] = math.Ceil(a * demand[0])
+	rep, err := Simulate(inst, x, demand, Config{
+		Latency:  [][]float64{{0.02}},
+		Mu:       250,
+		SLABound: 0.25,
+		Requests: 200000,
+		Rng:      rand.New(rand.NewSource(7)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mean > 0.25 {
+		t.Errorf("mean latency %g exceeds SLA 0.25", rep.Mean)
+	}
+	if rep.Mean < 0.02 {
+		t.Errorf("mean latency %g below network floor", rep.Mean)
+	}
+	// Sojourn times are exponential-ish: the percentiles must be ordered.
+	if !(rep.P50 <= rep.P95 && rep.P95 <= rep.P99) {
+		t.Errorf("percentiles out of order: %g %g %g", rep.P50, rep.P95, rep.P99)
+	}
+	if rep.WithinSLA < 0.80 {
+		t.Errorf("only %g of requests within SLA", rep.WithinSLA)
+	}
+	if len(rep.PerLocation) != 1 || rep.PerLocation[0].Requests == 0 {
+		t.Errorf("per-location stats missing: %+v", rep.PerLocation)
+	}
+}
+
+// An under-provisioned allocation must show clear SLA degradation.
+func TestSimulateUnderProvisioningDegrades(t *testing.T) {
+	params := queue.SLAParams{Mu: 250, NetworkDelay: 0.02, MaxDelay: 0.25}
+	a, err := params.Coefficient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := newInstance(t, [][]float64{{a}})
+	demand := []float64{5000}
+	proper := math.Ceil(a * demand[0])
+
+	run := func(servers float64) float64 {
+		x := inst.NewState()
+		x[0][0] = servers
+		rep, err := Simulate(inst, x, demand, Config{
+			Latency:  [][]float64{{0.02}},
+			Mu:       250,
+			SLABound: 0.25,
+			Requests: 50000,
+			Rng:      rand.New(rand.NewSource(11)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Mean
+	}
+	ok := run(proper)
+	starved := run(proper * 0.92) // push per-server load close to mu
+	if starved <= ok {
+		t.Errorf("under-provisioned mean %g not above proper %g", starved, ok)
+	}
+}
+
+// Multi-DC routing: latency mix must reflect the proportional split.
+func TestSimulateMultiDCRouting(t *testing.T) {
+	inst := newInstance(t, [][]float64{{0.005}, {0.005}})
+	x := inst.NewState()
+	x[0][0] = 30
+	x[1][0] = 10 // 3:1 split by eq. 13 with equal a
+	demand := []float64{4000}
+	rep, err := Simulate(inst, x, demand, Config{
+		Latency:  [][]float64{{0.010}, {0.100}},
+		Mu:       250,
+		Requests: 40000,
+		Rng:      rand.New(rand.NewSource(3)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 75% of traffic sees 10ms, 25% sees 100ms network latency:
+	// mean network ≈ 0.0325; with queueing the mean sits above that but
+	// well below the all-remote 0.1.
+	if rep.Mean < 0.032 || rep.Mean > 0.08 {
+		t.Errorf("mean %g inconsistent with 3:1 split", rep.Mean)
+	}
+	// P50 served by the near DC: near 10ms + queueing.
+	if rep.P50 > 0.05 {
+		t.Errorf("p50 %g too high for majority-local routing", rep.P50)
+	}
+}
+
+func TestLindleyMatchesMM1Formula(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	lambda, mu := 200.0, 250.0
+	samples := lindleyMM1(lambda, mu, 400000, rng)
+	var sum float64
+	for _, s := range samples {
+		sum += s
+	}
+	got := sum / float64(len(samples))
+	want := 1 / (mu - lambda)
+	if rel := math.Abs(got-want) / want; rel > 0.05 {
+		t.Errorf("lindley mean %g vs analytic %g (rel %g)", got, want, rel)
+	}
+	if lindleyMM1(1, 1, 0, rng) != nil {
+		t.Error("n=0 should return nil")
+	}
+}
+
+func TestQuantileEdges(t *testing.T) {
+	if quantile(nil, 0.5) != 0 {
+		t.Error("empty quantile")
+	}
+	s := []float64{1, 2, 3, 4}
+	if quantile(s, 0.999) != 4 {
+		t.Errorf("tail quantile = %g", quantile(s, 0.999))
+	}
+	if quantile(s, 0) != 1 {
+		t.Errorf("zero quantile = %g", quantile(s, 0))
+	}
+}

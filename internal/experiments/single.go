@@ -1,0 +1,558 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dspp/internal/core"
+	"dspp/internal/predict"
+	"dspp/internal/pricing"
+	"dspp/internal/sim"
+	"dspp/internal/workload"
+)
+
+// paperSLA is the queueing/SLA configuration shared by the single-provider
+// experiments: 250 req/s per server, 250 ms total-latency SLA.
+var paperSLA = core.SLAConfig{Mu: 250, MaxDelay: 0.25}
+
+// Fig3Result holds the regenerated electricity price curves of Fig. 3.
+type Fig3Result struct {
+	Hours    []int
+	Regions  []string
+	PriceMWh [][]float64 // [region][hour]
+	Table    *Table
+}
+
+// Fig3Prices regenerates the input price curves: hourly $/MWh per region.
+func Fig3Prices() *Fig3Result {
+	regions := pricing.PaperRegions()
+	res := &Fig3Result{
+		Table: &Table{
+			Title:   "Fig 3: electricity prices over one day ($/MWh)",
+			Columns: []string{"hour", "CA", "TX", "GA", "IL"},
+		},
+	}
+	for _, r := range regions {
+		res.Regions = append(res.Regions, r.Name)
+	}
+	res.PriceMWh = make([][]float64, len(regions))
+	for h := 0; h < 24; h++ {
+		res.Hours = append(res.Hours, h)
+		cells := []string{itoa(h)}
+		for i, r := range regions {
+			p := r.PriceMWh(float64(h))
+			res.PriceMWh[i] = append(res.PriceMWh[i], p)
+			cells = append(cells, f1(p))
+		}
+		res.Table.AddRow(cells...)
+	}
+	return res
+}
+
+// Check verifies the Fig. 3 shape: CA most expensive, TX cheapest, with
+// the CA–TX spread peaking in the afternoon.
+func (r *Fig3Result) Check() error {
+	caIdx, txIdx := -1, -1
+	for i, name := range r.Regions {
+		switch name {
+		case "CA":
+			caIdx = i
+		case "TX":
+			txIdx = i
+		}
+	}
+	if caIdx < 0 || txIdx < 0 {
+		return fmt.Errorf("missing CA/TX region: %w", ErrShape)
+	}
+	peakHour, peakSpread := 0, 0.0
+	for h := range r.Hours {
+		if r.PriceMWh[caIdx][h] <= r.PriceMWh[txIdx][h] {
+			return fmt.Errorf("hour %d: CA not above TX: %w", h, ErrShape)
+		}
+		if s := r.PriceMWh[caIdx][h] - r.PriceMWh[txIdx][h]; s > peakSpread {
+			peakHour, peakSpread = h, s
+		}
+	}
+	if peakHour < 12 || peakHour > 20 {
+		return fmt.Errorf("CA-TX spread peaks at hour %d, want afternoon: %w", peakHour, ErrShape)
+	}
+	return nil
+}
+
+// fig4Scenario builds the single-DC, single-access-network workload of
+// Fig. 4: a diurnal on-off Poisson demand peaking around 2.2e4 req/s,
+// with the given reconfiguration weight.
+func fig4Scenario(seed int64, periods int, reconfigWeight float64) (*core.Instance, [][]float64, [][]float64, error) {
+	sla, err := core.SLAMatrix([][]float64{{0.020}}, paperSLA)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	inst, err := core.NewInstance(core.Config{
+		SLA:             sla,
+		ReconfigWeights: []float64{reconfigWeight},
+		Capacities:      []float64{2000},
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	model, err := workload.NewDiurnal(2500, 22000)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	demand := make([][]float64, periods+2)
+	for k := range demand {
+		mean := model.Rate(k)
+		// Poisson-realized request count for the hour, expressed back as
+		// a mean rate (the controller sees realized arrivals).
+		n, err := workload.SamplePoisson(mean, 1, rng)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		demand[k] = []float64{float64(n)}
+	}
+	tx, _ := pricing.RegionByName("TX")
+	price := pricing.DiurnalServer{Region: tx, Class: pricing.MediumVM}
+	prices := make([][]float64, periods+2)
+	for k := range prices {
+		prices[k] = []float64{price.Price(k)}
+	}
+	return inst, demand, prices, nil
+}
+
+// Fig4Result holds the demand-tracking run of Fig. 4.
+type Fig4Result struct {
+	Hours   []int
+	Demand  []float64 // realized req/s
+	Servers []float64 // allocated servers
+	Table   *Table
+	Run     *sim.Result
+}
+
+// Fig4DemandTracking reproduces Fig. 4: the controller matches the daily
+// demand curve while damping reconfiguration.
+func Fig4DemandTracking(seed int64) (*Fig4Result, error) {
+	const periods = 24
+	inst, demand, prices, err := fig4Scenario(seed, periods, 2e-5)
+	if err != nil {
+		return nil, err
+	}
+	ctrl, err := core.NewController(inst, 5)
+	if err != nil {
+		return nil, err
+	}
+	run, err := sim.Run(sim.Config{
+		Instance:    inst,
+		Policy:      &sim.MPCPolicy{Ctrl: ctrl},
+		DemandTrace: demand,
+		PriceTrace:  prices,
+		Periods:     periods,
+		Horizon:     5,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig4Result{
+		Run: run,
+		Table: &Table{
+			Title:   "Fig 4: demand vs allocated servers (1 DC, 1 access network)",
+			Columns: []string{"hour", "demand(req/s)", "servers"},
+		},
+	}
+	for i, step := range run.Steps {
+		res.Hours = append(res.Hours, i)
+		res.Demand = append(res.Demand, step.Demand[0])
+		res.Servers = append(res.Servers, step.ServersByDC[0])
+		res.Table.AddRow(itoa(i), f1(step.Demand[0]), f1(step.ServersByDC[0]))
+	}
+	return res, nil
+}
+
+// Check verifies Fig. 4's shape: allocation rises with the working-hours
+// demand and falls back at night, staying SLA-feasible throughout.
+func (r *Fig4Result) Check() error {
+	if r.Run.SLAViolations > 0 {
+		return fmt.Errorf("%d SLA violations with perfect forecast: %w", r.Run.SLAViolations, ErrShape)
+	}
+	day := r.Servers[12]  // noon
+	night := r.Servers[3] // 4am
+	if day < 4*night {
+		return fmt.Errorf("noon %g vs night %g servers: tracking too weak: %w", day, night, ErrShape)
+	}
+	// Demand and allocation must be strongly correlated.
+	if corr := correlation(r.Demand, r.Servers); corr < 0.9 {
+		return fmt.Errorf("demand/server correlation %g < 0.9: %w", corr, ErrShape)
+	}
+	return nil
+}
+
+// Fig5Result holds the price-shifting run of Fig. 5.
+type Fig5Result struct {
+	Hours   []int
+	DCNames []string
+	Servers [][]float64 // [dc][hour]
+	Table   *Table
+	Run     *sim.Result
+}
+
+// Fig5PriceShifting reproduces Fig. 5: with constant aggregate demand and
+// diurnal regional prices, the controller shifts servers away from
+// Mountain View (CA, expensive) toward Houston (TX, cheap), most strongly
+// in the late afternoon when the CA-TX spread peaks.
+func Fig5PriceShifting() (*Fig5Result, error) {
+	// 3 DCs: Mountain View CA, Houston TX, Atlanta GA, each local to one
+	// customer region. Serving a region from a remote DC is SLA-feasible
+	// but needs ~1.9x the servers (the remote latency eats most of the
+	// delay budget), so the controller faces the paper's trade-off: pay
+	// the local price, or pay the remote server-count premium. The CA-TX
+	// price ratio crosses that premium in the afternoon, which is when
+	// load migrates out of Mountain View.
+	latency := [][]float64{
+		{0.020, 0.052, 0.052},
+		{0.052, 0.020, 0.052},
+		{0.052, 0.052, 0.020},
+	}
+	sla, err := core.SLAMatrix(latency, core.SLAConfig{Mu: 30, MaxDelay: 0.1})
+	if err != nil {
+		return nil, err
+	}
+	inst, err := core.NewInstance(core.Config{
+		SLA:             sla,
+		ReconfigWeights: []float64{2e-4, 2e-4, 2e-4},
+		Capacities:      []float64{2000, 2000, 2000},
+	})
+	if err != nil {
+		return nil, err
+	}
+	const periods = 24
+	demand := make([][]float64, periods+2)
+	for k := range demand {
+		demand[k] = []float64{300, 300, 300} // constant arrival rate
+	}
+	ca, _ := pricing.RegionByName("CA")
+	tx, _ := pricing.RegionByName("TX")
+	ga, _ := pricing.RegionByName("GA")
+	models := []pricing.Model{
+		pricing.DiurnalServer{Region: ca, Class: pricing.MediumVM},
+		pricing.DiurnalServer{Region: tx, Class: pricing.MediumVM},
+		pricing.DiurnalServer{Region: ga, Class: pricing.MediumVM},
+	}
+	prices := make([][]float64, periods+2)
+	for k := range prices {
+		prices[k] = make([]float64, 3)
+		for l, m := range models {
+			prices[k][l] = m.Price(k)
+		}
+	}
+	ctrl, err := core.NewController(inst, 5)
+	if err != nil {
+		return nil, err
+	}
+	run, err := sim.Run(sim.Config{
+		Instance:    inst,
+		Policy:      &sim.MPCPolicy{Ctrl: ctrl},
+		DemandTrace: demand,
+		PriceTrace:  prices,
+		Periods:     periods,
+		Horizon:     5,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig5Result{
+		DCNames: []string{"Mountain View, CA", "Houston, TX", "Atlanta, GA"},
+		Servers: make([][]float64, 3),
+		Run:     run,
+		Table: &Table{
+			Title:   "Fig 5: servers per data center under diurnal prices (constant demand)",
+			Columns: []string{"hour", "MountainView", "Houston", "Atlanta"},
+		},
+	}
+	for i, step := range run.Steps {
+		res.Hours = append(res.Hours, i)
+		cells := []string{itoa(i)}
+		for l := 0; l < 3; l++ {
+			res.Servers[l] = append(res.Servers[l], step.ServersByDC[l])
+			cells = append(cells, f1(step.ServersByDC[l]))
+		}
+		res.Table.AddRow(cells...)
+	}
+	return res, nil
+}
+
+// Check verifies Fig. 5's shape: in the afternoon Mountain View's share
+// shrinks below Houston's, and Mountain View holds fewer servers in the
+// afternoon than overnight.
+func (r *Fig5Result) Check() error {
+	if r.Run.SLAViolations > 0 {
+		return fmt.Errorf("%d SLA violations: %w", r.Run.SLAViolations, ErrShape)
+	}
+	mv, hou := r.Servers[0], r.Servers[1]
+	afternoon := 17
+	if mv[afternoon] >= hou[afternoon] {
+		return fmt.Errorf("5pm: MV %g ≥ Houston %g: %w", mv[afternoon], hou[afternoon], ErrShape)
+	}
+	if mv[afternoon] >= mv[2]-1e-9 {
+		return fmt.Errorf("MV afternoon %g not below MV night %g: %w", mv[afternoon], mv[2], ErrShape)
+	}
+	return nil
+}
+
+// Fig6Result holds the horizon-smoothing sweep of Fig. 6.
+type Fig6Result struct {
+	Horizons  []int
+	MaxStep   []float64   // max per-period total |u|
+	Servers   [][]float64 // [horizon][hour]
+	TotalCost []float64
+	Table     *Table
+}
+
+// Fig6HorizonSmoothing reproduces Fig. 6: the same diurnal workload run
+// with prediction horizons K ∈ {1, 10, 20, 30}; longer horizons change
+// the server count more gradually.
+func Fig6HorizonSmoothing(seed int64) (*Fig6Result, error) {
+	const periods = 24
+	horizons := []int{1, 10, 20, 30}
+	res := &Fig6Result{
+		Horizons: horizons,
+		Table: &Table{
+			Title:   "Fig 6: effect of prediction horizon on allocation smoothness",
+			Columns: []string{"K", "max|u| per period", "total cost"},
+		},
+	}
+	for _, w := range horizons {
+		// A substantial reconfiguration weight makes lookahead matter:
+		// with c this large the controller pre-ramps ahead of the 8am
+		// demand step when it can see it coming.
+		inst, demand, prices, err := fig4Scenario(seed, periods+w, 5e-3)
+		if err != nil {
+			return nil, err
+		}
+		ctrl, err := core.NewController(inst, w)
+		if err != nil {
+			return nil, err
+		}
+		run, err := sim.Run(sim.Config{
+			Instance:    inst,
+			Policy:      &sim.MPCPolicy{Ctrl: ctrl},
+			DemandTrace: demand,
+			PriceTrace:  prices,
+			Periods:     periods,
+			Horizon:     w,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("K=%d: %w", w, err)
+		}
+		res.MaxStep = append(res.MaxStep, run.MaxControl())
+		res.Servers = append(res.Servers, run.ServersSeries())
+		res.TotalCost = append(res.TotalCost, run.TotalCost)
+		res.Table.AddRow(itoa(w), f1(run.MaxControl()), f2(run.TotalCost))
+	}
+	return res, nil
+}
+
+// Check verifies Fig. 6's shape: the largest per-period change shrinks as
+// the horizon grows.
+func (r *Fig6Result) Check() error {
+	return checkMonotone("fig6 max|u|", r.MaxStep, -1, 0.02)
+}
+
+// HorizonCostResult is shared by Figs. 9 and 10: solution cost as a
+// function of the prediction horizon.
+type HorizonCostResult struct {
+	Horizons []int
+	Cost     []float64
+	Table    *Table
+}
+
+// Fig9HorizonVsCost reproduces Fig. 9: with volatile demand and prices
+// forecast by a simple AR model, longer horizons eventually hurt; the
+// paper finds the sweet spot at K ≈ 2.
+func Fig9HorizonVsCost(seed int64) (*HorizonCostResult, error) {
+	const periods = 48
+	maxW := 12
+	sla, err := core.SLAMatrix([][]float64{{0.02, 0.05}, {0.05, 0.02}}, paperSLA)
+	if err != nil {
+		return nil, err
+	}
+	// The reconfiguration weight is substantial so the prediction horizon
+	// genuinely shapes the control: the controller pre-positions servers
+	// based on multi-step forecasts, which backfires when those forecasts
+	// are wrong (the paper's Fig. 9 effect).
+	inst, err := core.NewInstance(core.Config{
+		SLA:             sla,
+		ReconfigWeights: []float64{8e-3, 8e-3},
+		Capacities:      []float64{2000, 2000},
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Volatile mean-reverting demand and prices (hard for AR forecasts).
+	demandRNG := rand.New(rand.NewSource(seed))
+	walk1, err := workload.NewRandomWalk(8000, 0.3, 0.15, demandRNG)
+	if err != nil {
+		return nil, err
+	}
+	walk2, err := workload.NewRandomWalk(6000, 0.3, 0.15, demandRNG)
+	if err != nil {
+		return nil, err
+	}
+	demand := make([][]float64, periods+maxW+2)
+	for k := range demand {
+		demand[k] = []float64{walk1.Rate(k), walk2.Rate(k)}
+	}
+	priceRNG := rand.New(rand.NewSource(seed + 1))
+	pv1, err := pricing.NewVolatile(pricing.Constant{Level: 0.05}, 0.3, 0.05, priceRNG)
+	if err != nil {
+		return nil, err
+	}
+	pv2, err := pricing.NewVolatile(pricing.Constant{Level: 0.06}, 0.3, 0.05, priceRNG)
+	if err != nil {
+		return nil, err
+	}
+	prices := make([][]float64, periods+maxW+2)
+	for k := range prices {
+		prices[k] = []float64{pv1.Price(k), pv2.Price(k)}
+	}
+
+	res := &HorizonCostResult{
+		Table: &Table{
+			Title:   "Fig 9: cost vs prediction horizon (volatile demand+price, AR predictor)",
+			Columns: []string{"W", "total cost"},
+		},
+	}
+	for w := 1; w <= maxW; w++ {
+		ctrl, err := core.NewController(inst, w)
+		if err != nil {
+			return nil, err
+		}
+		run, err := sim.Run(sim.Config{
+			Instance:        inst,
+			Policy:          &sim.MPCPolicy{Ctrl: ctrl},
+			DemandTrace:     demand,
+			PriceTrace:      prices,
+			Periods:         periods,
+			Horizon:         w,
+			DemandPredictor: predict.AR{P: 2, Window: 10},
+			PricePredictor:  predict.AR{P: 2, Window: 10},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("W=%d: %w", w, err)
+		}
+		res.Horizons = append(res.Horizons, w)
+		res.Cost = append(res.Cost, run.TotalCost)
+		res.Table.AddRow(itoa(w), f2(run.TotalCost))
+	}
+	return res, nil
+}
+
+// CheckFig9 verifies Fig. 9's shape: the best horizon is short (≤ 4) and
+// the longest horizon is strictly worse than the best.
+func (r *HorizonCostResult) CheckFig9() error {
+	best, bestW := math.Inf(1), 0
+	for i, c := range r.Cost {
+		if c < best {
+			best, bestW = c, r.Horizons[i]
+		}
+	}
+	if bestW > 4 {
+		return fmt.Errorf("best horizon %d, want short (≤4): %w", bestW, ErrShape)
+	}
+	last := r.Cost[len(r.Cost)-1]
+	if last <= best*1.005 {
+		return fmt.Errorf("long horizon %g not worse than best %g: %w", last, best, ErrShape)
+	}
+	return nil
+}
+
+// Fig10ConstantHorizon reproduces Fig. 10: with constant demand and
+// prices (perfectly predictable), longer horizons never hurt. The run
+// starts over-provisioned, so the controller must plan a scale-down glide
+// path: with a longer window it spreads the (quadratic) reconfiguration
+// over more periods and lands on a cheaper trajectory.
+func Fig10ConstantHorizon() (*HorizonCostResult, error) {
+	const periods = 24
+	maxW := 10
+	sla, err := core.SLAMatrix([][]float64{{0.02}}, paperSLA)
+	if err != nil {
+		return nil, err
+	}
+	inst, err := core.NewInstance(core.Config{
+		SLA:             sla,
+		ReconfigWeights: []float64{2e-2},
+		Capacities:      []float64{2000},
+	})
+	if err != nil {
+		return nil, err
+	}
+	demand := make([][]float64, periods+maxW+2)
+	prices := make([][]float64, periods+maxW+2)
+	for k := range demand {
+		demand[k] = []float64{10000}
+		prices[k] = []float64{0.05}
+	}
+	res := &HorizonCostResult{
+		Table: &Table{
+			Title:   "Fig 10: cost vs prediction horizon (constant demand and price)",
+			Columns: []string{"W", "total cost"},
+		},
+	}
+	// Start 3x over-provisioned: the interesting control problem is the
+	// glide path down to the steady state.
+	start := inst.NewState()
+	start[0][0] = 125
+	for w := 1; w <= maxW; w++ {
+		ctrl, err := core.NewController(inst, w, core.WithInitialState(start))
+		if err != nil {
+			return nil, err
+		}
+		run, err := sim.Run(sim.Config{
+			Instance:    inst,
+			Policy:      &sim.MPCPolicy{Ctrl: ctrl},
+			DemandTrace: demand,
+			PriceTrace:  prices,
+			Periods:     periods,
+			Horizon:     w,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("W=%d: %w", w, err)
+		}
+		res.Horizons = append(res.Horizons, w)
+		res.Cost = append(res.Cost, run.TotalCost)
+		res.Table.AddRow(itoa(w), f2(run.TotalCost))
+	}
+	return res, nil
+}
+
+// CheckFig10 verifies Fig. 10's shape: cost is non-increasing in the
+// horizon when the future is perfectly predictable.
+func (r *HorizonCostResult) CheckFig10() error {
+	return checkMonotone("fig10 cost", r.Cost, -1, 0.01)
+}
+
+// correlation returns the Pearson correlation of two equal-length series.
+func correlation(a, b []float64) float64 {
+	n := float64(len(a))
+	if n == 0 || len(a) != len(b) {
+		return 0
+	}
+	var ma, mb float64
+	for i := range a {
+		ma += a[i]
+		mb += b[i]
+	}
+	ma /= n
+	mb /= n
+	var cov, va, vb float64
+	for i := range a {
+		da, db := a[i]-ma, b[i]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(va*vb)
+}

@@ -1,0 +1,107 @@
+// Package experiments defines one reproducible experiment per figure of
+// the paper's evaluation (§VII, Figs. 3–10) plus the ablations listed in
+// DESIGN.md. Each experiment builds its scenario from the substrate
+// packages, runs the controller/game, and returns structured series
+// together with a rendered text table, so that cmd/experiments and the
+// benchmark harness share one implementation.
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ErrShape is returned by the Check* helpers when a reproduced series does
+// not exhibit the qualitative shape reported in the paper.
+var ErrShape = errors.New("experiments: shape check failed")
+
+// Table is a rendered experiment output: a title, column headers, and
+// string-formatted rows.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of already-formatted cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render produces an aligned plain-text table.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if pad := widths[i] - len(cell); pad > 0 && i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// f1 formats a float with one decimal.
+func f1(x float64) string { return strconv.FormatFloat(x, 'f', 1, 64) }
+
+// f2 formats a float with two decimals.
+func f2(x float64) string { return strconv.FormatFloat(x, 'f', 2, 64) }
+
+// f4 formats a float with four decimals.
+func f4(x float64) string { return strconv.FormatFloat(x, 'f', 4, 64) }
+
+// itoa is a short alias.
+func itoa(i int) string { return strconv.Itoa(i) }
+
+// checkMonotone verifies a series is non-increasing (dir < 0) or
+// non-decreasing (dir > 0) within a relative tolerance.
+func checkMonotone(name string, ys []float64, dir int, tol float64) error {
+	for i := 1; i < len(ys); i++ {
+		diff := ys[i] - ys[i-1]
+		scale := tol * (1 + abs(ys[i-1]))
+		if dir < 0 && diff > scale {
+			return fmt.Errorf("%s: rose from %g to %g at index %d: %w", name, ys[i-1], ys[i], i, ErrShape)
+		}
+		if dir > 0 && diff < -scale {
+			return fmt.Errorf("%s: fell from %g to %g at index %d: %w", name, ys[i-1], ys[i], i, ErrShape)
+		}
+	}
+	return nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,230 @@
+package game
+
+import (
+	"fmt"
+	"math"
+
+	"dspp/internal/core"
+	"dspp/internal/qp"
+)
+
+// BestResponseConfig tunes Algorithm 2.
+type BestResponseConfig struct {
+	// Alpha is the quota-update step size α (default 0.5).
+	Alpha float64
+	// Epsilon is the relative stability threshold ε (default 0.05, the
+	// paper's experimental setting).
+	Epsilon float64
+	// MaxIterations caps the loop (default 500).
+	MaxIterations int
+	// QP configures the per-provider DSPP solves.
+	QP qp.Options
+	// MinQuota floors each provider's per-DC quota to keep individual
+	// problems well posed (default 1e-6 of the DC capacity).
+	MinQuota float64
+	// StepDecay makes the effective step α/√(1+decay·iter), the standard
+	// diminishing step of dual subgradient methods; 0 disables decay.
+	StepDecay float64
+	// InitialQuotas[i][l] overrides the default equal split of each
+	// capacitated DC (entries for uncapacitated DCs are ignored). Each
+	// capacitated column must be positive and is renormalized to the DC
+	// capacity. Different starts can reach different ε-stable outcomes —
+	// which is exactly how the price-of-anarchy experiment probes the
+	// equilibrium set.
+	InitialQuotas [][]float64
+}
+
+func (c BestResponseConfig) withDefaults() BestResponseConfig {
+	if c.Alpha <= 0 {
+		c.Alpha = 0.5
+	}
+	if c.Epsilon <= 0 {
+		c.Epsilon = 0.05
+	}
+	if c.MaxIterations <= 0 {
+		c.MaxIterations = 500
+	}
+	if c.MinQuota <= 0 {
+		c.MinQuota = 1e-6
+	}
+	return c
+}
+
+// BestResponseResult reports the outcome of Algorithm 2.
+type BestResponseResult struct {
+	// Outcomes holds each provider's final trajectory and cost.
+	Outcomes []Outcome
+	// Quotas[i][l] is provider i's final capacity quota at DC l.
+	Quotas [][]float64
+	// Iterations is the number of best-response rounds executed.
+	Iterations int
+	// CostHistory records the total cost after every round.
+	CostHistory []float64
+	// Converged reports whether the ε-stability test passed.
+	Converged bool
+	// Total is the final total cost Σᵢ Jᵢ.
+	Total float64
+}
+
+// BestResponse runs the paper's Algorithm 2. Each round, every provider
+// solves its DSPP against its current capacity quotas and reports the
+// dual variables of the quota constraints; the infrastructure provider
+// then shifts quota toward providers with higher duals (marginal value of
+// capacity) and renormalizes so each DC's quotas sum to its capacity. The
+// loop stops when total cost changes by at most ε (relative), which the
+// paper uses as its "approximately stable outcome" criterion.
+func BestResponse(s *Scenario, cfg BestResponseConfig) (*BestResponseResult, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	n := len(s.Providers)
+	l := len(s.Capacity)
+
+	// Initial quotas: equal split of each capacitated DC, or the caller's
+	// normalized split.
+	quotas := make([][]float64, n)
+	for i := range quotas {
+		quotas[i] = make([]float64, l)
+		for li, c := range s.Capacity {
+			if math.IsInf(c, 1) {
+				quotas[i][li] = math.Inf(1)
+			} else {
+				quotas[i][li] = c / float64(n)
+			}
+		}
+	}
+	if cfg.InitialQuotas != nil {
+		if len(cfg.InitialQuotas) != n {
+			return nil, fmt.Errorf("initial quotas for %d providers, want %d: %w",
+				len(cfg.InitialQuotas), n, ErrBadScenario)
+		}
+		for li, c := range s.Capacity {
+			if math.IsInf(c, 1) {
+				continue
+			}
+			var sum float64
+			for i := range cfg.InitialQuotas {
+				if len(cfg.InitialQuotas[i]) != l {
+					return nil, fmt.Errorf("initial quotas row %d has %d DCs, want %d: %w",
+						i, len(cfg.InitialQuotas[i]), l, ErrBadScenario)
+				}
+				q := cfg.InitialQuotas[i][li]
+				if q <= 0 || math.IsNaN(q) || math.IsInf(q, 0) {
+					return nil, fmt.Errorf("initial quota[%d][%d] = %g: %w", i, li, q, ErrBadScenario)
+				}
+				sum += q
+			}
+			for i := range quotas {
+				quotas[i][li] = cfg.InitialQuotas[i][li] * c / sum
+			}
+		}
+	}
+
+	res := &BestResponseResult{Quotas: quotas}
+	prev := make([]float64, n)
+	havePrev := false
+	duals := make([][]float64, n)
+
+	for iter := 0; iter < cfg.MaxIterations; iter++ {
+		outcomes := make([]Outcome, n)
+		var total float64
+		for i, p := range s.Providers {
+			plan, err := solveProvider(p, quotas[i], cfg.QP)
+			if err != nil {
+				return nil, fmt.Errorf("round %d provider %d (%s): %w", iter, i, p.Name, err)
+			}
+			outcomes[i] = Outcome{U: plan.U, X: plan.X, Cost: plan.Objective}
+			// The plan reports duals of the server-count constraint
+			// (quota/sᵢ slots); one capacity unit buys 1/sᵢ servers, so
+			// the marginal value of quota is the dual divided by sᵢ.
+			duals[i] = plan.TotalCapacityDuals()
+			for li := range duals[i] {
+				duals[i][li] /= p.ServerSize
+			}
+			total += plan.Objective
+		}
+		res.Outcomes = outcomes
+		res.Total = total
+		res.Iterations = iter + 1
+		res.CostHistory = append(res.CostHistory, total)
+
+		// "This process repeats until no SP can significantly improve its
+		// total cost" (§VI): every provider's cost must be ε-stable.
+		if havePrev {
+			stable := true
+			for i, oc := range outcomes {
+				if math.Abs(oc.Cost-prev[i]) > cfg.Epsilon*math.Abs(prev[i]) {
+					stable = false
+					break
+				}
+			}
+			if stable {
+				res.Converged = true
+				return res, nil
+			}
+		}
+		for i, oc := range outcomes {
+			prev[i] = oc.Cost
+		}
+		havePrev = true
+
+		// Quota update: C̄ᵢ = Cᵢ + α·λᵢ, floored, then renormalized per DC.
+		alpha := cfg.Alpha
+		if cfg.StepDecay > 0 {
+			alpha /= math.Sqrt(1 + cfg.StepDecay*float64(iter))
+		}
+		for li := 0; li < l; li++ {
+			if math.IsInf(s.Capacity[li], 1) {
+				continue
+			}
+			floor := cfg.MinQuota * s.Capacity[li]
+			var sum float64
+			raw := make([]float64, n)
+			for i := range quotas {
+				d := 0.0
+				if duals[i] != nil {
+					d = duals[i][li]
+				}
+				raw[i] = quotas[i][li] + alpha*d
+				if raw[i] < floor {
+					raw[i] = floor
+				}
+				sum += raw[i]
+			}
+			for i := range quotas {
+				quotas[i][li] = raw[i] * s.Capacity[li] / sum
+			}
+		}
+	}
+	return res, fmt.Errorf("after %d rounds (ε=%g): %w", cfg.MaxIterations, cfg.Epsilon, ErrNotConverged)
+}
+
+// solveProvider solves one provider's DSPP under the given quotas.
+func solveProvider(p *Provider, quota []float64, opts qp.Options) (*core.Plan, error) {
+	inst, err := p.instance(quota)
+	if err != nil {
+		return nil, err
+	}
+	return inst.SolveHorizon(core.HorizonInput{
+		X0:     p.x0(),
+		Demand: p.Demand,
+		Prices: p.Prices,
+	}, opts)
+}
+
+// EfficiencyRatio returns NE-total-cost / SWP-total-cost: the realized
+// inefficiency of the computed equilibrium (≥ 1 up to solver tolerance;
+// the paper's Theorem 1 predicts a best-case ratio — PoS — of exactly 1).
+func EfficiencyRatio(ne *BestResponseResult, swp *SWPResult) (float64, error) {
+	if ne == nil || swp == nil {
+		return 0, fmt.Errorf("nil result: %w", ErrBadScenario)
+	}
+	if swp.Total <= 0 {
+		if ne.Total <= 0 {
+			return 1, nil
+		}
+		return 0, fmt.Errorf("SWP total %g: %w", swp.Total, ErrBadScenario)
+	}
+	return ne.Total / swp.Total, nil
+}

@@ -1,0 +1,168 @@
+package game
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"dspp/internal/core"
+)
+
+// dynProvider builds a DynamicProvider with a sinusoid-ish demand trace.
+func dynProvider(name string, level float64, periods, window int) *DynamicProvider {
+	demand := make([][]float64, periods+window)
+	prices := make([][]float64, periods+window)
+	for k := range demand {
+		wave := 1 + 0.3*math.Sin(float64(k)/3)
+		demand[k] = []float64{level * wave}
+		prices[k] = []float64{0.1, 1.0}
+	}
+	return &DynamicProvider{
+		Name:            name,
+		SLA:             [][]float64{{0.01}, {0.01}},
+		ReconfigWeights: []float64{1e-4, 1e-4},
+		ServerSize:      1,
+		Demand:          demand,
+		Prices:          prices,
+	}
+}
+
+func TestRunRecedingValidation(t *testing.T) {
+	p := dynProvider("a", 1000, 4, 2)
+	cases := []struct {
+		name string
+		call func() (*RecedingResult, error)
+	}{
+		{"window 0", func() (*RecedingResult, error) {
+			return RunReceding([]float64{10, math.Inf(1)}, []*DynamicProvider{p},
+				RecedingConfig{Window: 0, Periods: 2})
+		}},
+		{"periods 0", func() (*RecedingResult, error) {
+			return RunReceding([]float64{10, math.Inf(1)}, []*DynamicProvider{p},
+				RecedingConfig{Window: 2, Periods: 0})
+		}},
+		{"no providers", func() (*RecedingResult, error) {
+			return RunReceding([]float64{10, math.Inf(1)}, nil,
+				RecedingConfig{Window: 2, Periods: 2})
+		}},
+		{"nil provider", func() (*RecedingResult, error) {
+			return RunReceding([]float64{10, math.Inf(1)}, []*DynamicProvider{nil},
+				RecedingConfig{Window: 2, Periods: 2})
+		}},
+		{"short traces", func() (*RecedingResult, error) {
+			return RunReceding([]float64{10, math.Inf(1)}, []*DynamicProvider{p},
+				RecedingConfig{Window: 2, Periods: 100})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := tc.call(); !errors.Is(err, ErrBadScenario) {
+				t.Errorf("err = %v, want ErrBadScenario", err)
+			}
+		})
+	}
+}
+
+func TestRunRecedingClosedLoop(t *testing.T) {
+	const periods = 6
+	const window = 3
+	providers := []*DynamicProvider{
+		dynProvider("a", 1000, periods, window),
+		dynProvider("b", 1600, periods, window),
+	}
+	capacity := []float64{12, math.Inf(1)}
+	res, err := RunReceding(capacity, providers, RecedingConfig{
+		Window:  window,
+		Periods: periods,
+		BestResponse: BestResponseConfig{
+			Alpha: 50, StepDecay: 1, Epsilon: 0.02, MaxIterations: 400,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.States[0]) != periods || len(res.Rounds) != periods {
+		t.Fatalf("recorded %d states, %d rounds", len(res.States[0]), len(res.Rounds))
+	}
+	// Shared capacity respected in every period.
+	usage, err := res.CapacityUsage(providers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, u := range usage {
+		if u > 12+1e-3 {
+			t.Errorf("period %d: shared DC0 usage %g > 12", k, u)
+		}
+	}
+	// Every provider's demand served in every period.
+	for i, p := range providers {
+		for k, x := range res.States[i] {
+			served := x[0][0]/0.01 + x[1][0]/0.01
+			want := p.Demand[k+1][0]
+			if served < want-1 {
+				t.Errorf("provider %d period %d: serves %g of %g", i, k, served, want)
+			}
+		}
+	}
+	if res.Total <= 0 {
+		t.Errorf("total cost %g", res.Total)
+	}
+	sum := res.Costs[0] + res.Costs[1]
+	if math.Abs(sum-res.Total) > 1e-9 {
+		t.Errorf("cost sum %g != total %g", sum, res.Total)
+	}
+}
+
+// With one provider and no binding capacity, the receding game must match
+// the single-provider MPC controller exactly.
+func TestRunRecedingMatchesSingleProviderMPC(t *testing.T) {
+	const periods = 5
+	const window = 2
+	p := dynProvider("solo", 1200, periods, window)
+	res, err := RunReceding([]float64{math.Inf(1), math.Inf(1)},
+		[]*DynamicProvider{p}, RecedingConfig{Window: window, Periods: periods})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inst, err := core.NewInstance(core.Config{
+		SLA:             p.SLA,
+		ReconfigWeights: p.ReconfigWeights,
+		Capacities:      []float64{math.Inf(1), math.Inf(1)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := core.NewController(inst, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < periods; k++ {
+		step, err := ctrl.Step(p.Demand[k+1:k+1+window], p.Prices[k+1:k+1+window])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for l := 0; l < 2; l++ {
+			got := res.States[0][k][l][0]
+			want := step.NewState[l][0]
+			if math.Abs(got-want) > 1e-4*(1+want) {
+				t.Fatalf("period %d DC %d: receding %g vs MPC %g", k, l, got, want)
+			}
+		}
+	}
+}
+
+func TestCapacityUsageErrors(t *testing.T) {
+	p := dynProvider("a", 1000, 2, 2)
+	good, err := RunReceding([]float64{10, math.Inf(1)}, []*DynamicProvider{p},
+		RecedingConfig{Window: 2, Periods: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := good.CapacityUsage(nil, 0); !errors.Is(err, ErrBadScenario) {
+		t.Errorf("mismatched providers err = %v", err)
+	}
+	if _, err := good.CapacityUsage([]*DynamicProvider{p}, 9); !errors.Is(err, ErrBadScenario) {
+		t.Errorf("dc range err = %v", err)
+	}
+}

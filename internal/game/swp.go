@@ -1,0 +1,235 @@
+package game
+
+import (
+	"fmt"
+	"math"
+
+	"dspp/internal/core"
+	"dspp/internal/linalg"
+	"dspp/internal/qp"
+)
+
+// SWPResult is the social-welfare optimum: the joint cost-minimizing
+// allocation over all providers under the shared capacity constraints.
+type SWPResult struct {
+	Outcomes []Outcome
+	// Total is Σᵢ Jᵢ at the optimum.
+	Total float64
+	// CapacityDuals[t][l] are the shared capacity constraint duals.
+	CapacityDuals [][]float64
+	// QPIterations reports interior-point iterations.
+	QPIterations int
+}
+
+// swpLayout captures the variable block structure of the joint QP.
+type swpLayout struct {
+	w          int
+	l          int
+	offsets    []int   // per provider: first variable index
+	pairsL     [][]int // per provider: pair index -> DC
+	pairsV     [][]int // per provider: pair index -> location
+	pairAt     [][]float64
+	numVars    int
+	capDCs     []int
+	x0         []core.State
+	totalByDCL [][]float64 // per provider: capacity units held at t=0 per DC
+}
+
+func buildLayout(s *Scenario) (*swpLayout, error) {
+	w := s.Window()
+	l := len(s.Capacity)
+	lay := &swpLayout{w: w, l: l}
+	for li := 0; li < l; li++ {
+		if !math.IsInf(s.Capacity[li], 1) {
+			lay.capDCs = append(lay.capDCs, li)
+		}
+	}
+	for _, p := range s.Providers {
+		lay.offsets = append(lay.offsets, lay.numVars)
+		var pl, pv []int
+		var pa []float64
+		for li := 0; li < l; li++ {
+			for vi := 0; vi < p.numLocations(); vi++ {
+				a := p.SLA[li][vi]
+				if math.IsInf(a, 1) {
+					continue
+				}
+				if a <= 0 || math.IsNaN(a) {
+					return nil, fmt.Errorf("provider SLA (%d,%d) = %g: %w", li, vi, a, ErrBadScenario)
+				}
+				pl = append(pl, li)
+				pv = append(pv, vi)
+				pa = append(pa, a)
+			}
+		}
+		lay.pairsL = append(lay.pairsL, pl)
+		lay.pairsV = append(lay.pairsV, pv)
+		lay.pairAt = append(lay.pairAt, pa)
+		lay.numVars += len(pl) * w
+		lay.x0 = append(lay.x0, p.x0())
+	}
+	return lay, nil
+}
+
+// varIdx returns the QP variable index of provider i, horizon step t,
+// dense pair pi.
+func (lay *swpLayout) varIdx(i, t, pi int) int {
+	return lay.offsets[i] + t*len(lay.pairsL[i]) + pi
+}
+
+// SolveSocialWelfare solves the joint SWP (§VI-B) as a single QP. Every
+// provider's demand and nonnegativity constraints appear alongside the
+// shared capacity constraints Σᵢ sᵢ·xᵢ ≤ C.
+func SolveSocialWelfare(s *Scenario, opts qp.Options) (*SWPResult, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	lay, err := buildLayout(s)
+	if err != nil {
+		return nil, err
+	}
+	w, n := lay.w, lay.numVars
+
+	qMat := linalg.NewMatrix(n, n)
+	cVec := linalg.NewVector(n)
+	var constCost float64
+	for i, p := range s.Providers {
+		for pi, li := range lay.pairsL[i] {
+			vi := lay.pairsV[i][pi]
+			var tail float64
+			for t := w - 1; t >= 0; t-- {
+				tail += p.Prices[t][li]
+				idx := lay.varIdx(i, t, pi)
+				cVec[idx] = tail
+				qMat.Set(idx, idx, 2*p.ReconfigWeights[li])
+			}
+			for t := 0; t < w; t++ {
+				constCost += p.Prices[t][li] * lay.x0[i][li][vi]
+			}
+		}
+	}
+
+	// Row count: per provider per step, demand (Vᵢ) + nonneg (Eᵢ);
+	// shared capacity rows per step per capacitated DC.
+	m := 0
+	for i, p := range s.Providers {
+		m += w * (p.numLocations() + len(lay.pairsL[i]))
+	}
+	m += w * len(lay.capDCs)
+	gMat := linalg.NewMatrix(m, n)
+	hVec := linalg.NewVector(m)
+	row := 0
+	capRows := make([][]int, w)
+
+	for i, p := range s.Providers {
+		v := p.numLocations()
+		for t := 0; t < w; t++ {
+			// Demand rows.
+			for vi := 0; vi < v; vi++ {
+				rhs := -p.Demand[t][vi]
+				for pi, li := range lay.pairsL[i] {
+					if lay.pairsV[i][pi] != vi {
+						continue
+					}
+					inv := 1 / lay.pairAt[i][pi]
+					rhs += lay.x0[i][li][vi] * inv
+					for tau := 0; tau <= t; tau++ {
+						gMat.Set(row, lay.varIdx(i, tau, pi), -inv)
+					}
+				}
+				hVec[row] = rhs
+				row++
+			}
+			// Nonnegativity rows.
+			for pi, li := range lay.pairsL[i] {
+				vi := lay.pairsV[i][pi]
+				for tau := 0; tau <= t; tau++ {
+					gMat.Set(row, lay.varIdx(i, tau, pi), -1)
+				}
+				hVec[row] = lay.x0[i][li][vi]
+				row++
+			}
+		}
+	}
+	// Shared capacity rows.
+	for t := 0; t < w; t++ {
+		capRows[t] = make([]int, lay.l)
+		for li := range capRows[t] {
+			capRows[t][li] = -1
+		}
+		for _, li := range lay.capDCs {
+			capRows[t][li] = row
+			rhs := s.Capacity[li]
+			for i, p := range s.Providers {
+				for pi, pl := range lay.pairsL[i] {
+					if pl != li {
+						continue
+					}
+					vi := lay.pairsV[i][pi]
+					rhs -= p.ServerSize * lay.x0[i][li][vi]
+					for tau := 0; tau <= t; tau++ {
+						gMat.Set(row, lay.varIdx(i, tau, pi), p.ServerSize)
+					}
+				}
+			}
+			hVec[row] = rhs
+			row++
+		}
+	}
+
+	res, err := qp.Solve(&qp.Problem{Q: qMat, C: cVec, G: gMat, H: hVec}, opts)
+	if err != nil {
+		return nil, fmt.Errorf("SWP QP (n=%d, m=%d): %w", n, m, err)
+	}
+
+	out := &SWPResult{
+		Outcomes:      make([]Outcome, len(s.Providers)),
+		QPIterations:  res.Iterations,
+		CapacityDuals: make([][]float64, w),
+	}
+	for t := 0; t < w; t++ {
+		out.CapacityDuals[t] = make([]float64, lay.l)
+		for _, li := range lay.capDCs {
+			out.CapacityDuals[t][li] = res.IneqDuals[capRows[t][li]]
+		}
+	}
+	for i, p := range s.Providers {
+		oc, cost := lay.extract(i, p, res.X)
+		out.Outcomes[i] = oc
+		out.Total += cost
+	}
+	return out, nil
+}
+
+// extract rebuilds provider i's trajectory from the QP solution and
+// computes its individual cost.
+func (lay *swpLayout) extract(i int, p *Provider, sol linalg.Vector) (Outcome, float64) {
+	w := lay.w
+	v := p.numLocations()
+	oc := Outcome{U: make([]core.State, w), X: make([]core.State, w)}
+	prev := lay.x0[i].Clone()
+	var cost float64
+	for t := 0; t < w; t++ {
+		u := make(core.State, lay.l)
+		x := make(core.State, lay.l)
+		for li := 0; li < lay.l; li++ {
+			u[li] = make([]float64, v)
+			x[li] = append([]float64(nil), prev[li]...)
+		}
+		for pi, li := range lay.pairsL[i] {
+			vi := lay.pairsV[i][pi]
+			uv := sol[lay.varIdx(i, t, pi)]
+			u[li][vi] = uv
+			x[li][vi] += uv
+			if x[li][vi] < 0 {
+				x[li][vi] = 0
+			}
+			cost += p.Prices[t][li]*x[li][vi] + p.ReconfigWeights[li]*uv*uv
+		}
+		oc.U[t] = u
+		oc.X[t] = x
+		prev = x
+	}
+	oc.Cost = cost
+	return oc, cost
+}

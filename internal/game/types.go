@@ -1,0 +1,190 @@
+// Package game implements the paper's multi-provider resource-competition
+// model (§VI): N service providers share the capacity of L data centers,
+// each minimizing its own DSPP cost. It provides
+//
+//   - the social welfare problem (SWP): one joint QP over all providers
+//     with shared capacity constraints, whose optimum is the benchmark for
+//     the price of anarchy/stability;
+//   - Algorithm 2: the distributed best-response iteration in which the
+//     infrastructure provider re-divides each DC's capacity into per-SP
+//     quotas proportionally to the reported capacity-constraint duals,
+//     until the total cost stabilizes (|J − J̄| ≤ ε·J̄);
+//   - PoA/PoS-style efficiency metrics comparing the two.
+package game
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dspp/internal/core"
+)
+
+// Sentinel errors.
+var (
+	// ErrBadScenario flags inconsistent scenario dimensions or values.
+	ErrBadScenario = errors.New("game: invalid scenario")
+	// ErrNotConverged means Algorithm 2 hit its iteration cap before the
+	// stability test passed. Partial results are still returned.
+	ErrNotConverged = errors.New("game: best response did not converge")
+)
+
+// Provider describes one competing service provider.
+type Provider struct {
+	// Name identifies the provider in reports.
+	Name string
+	// SLA is the provider's L×Vᵢ coefficient matrix a^ilv (+Inf marks
+	// infeasible pairs).
+	SLA [][]float64
+	// ReconfigWeights holds the quadratic weights c^il per DC.
+	ReconfigWeights []float64
+	// ServerSize is s^i: the capacity units one of this provider's
+	// servers occupies in a data center (§VI, eq. 16).
+	ServerSize float64
+	// X0 is the initial allocation (nil means all zeros).
+	X0 core.State
+	// Demand[t][v] is the demand forecast over the game window.
+	Demand [][]float64
+	// Prices[t][l] is the price forecast over the game window.
+	Prices [][]float64
+}
+
+// numLocations returns Vᵢ.
+func (p *Provider) numLocations() int {
+	if len(p.SLA) == 0 {
+		return 0
+	}
+	return len(p.SLA[0])
+}
+
+// instance builds the provider's core instance for given per-DC quotas in
+// capacity units (quota/serverSize server slots).
+func (p *Provider) instance(quota []float64) (*core.Instance, error) {
+	caps := make([]float64, len(quota))
+	for l, q := range quota {
+		if math.IsInf(q, 1) {
+			caps[l] = math.Inf(1)
+		} else {
+			caps[l] = q / p.ServerSize
+		}
+	}
+	return core.NewInstance(core.Config{
+		SLA:             p.SLA,
+		ReconfigWeights: p.ReconfigWeights,
+		Capacities:      caps,
+	})
+}
+
+// Scenario is a complete competition setting.
+type Scenario struct {
+	// Capacity[l] is each DC's total capacity in capacity units; +Inf
+	// means uncapacitated.
+	Capacity []float64
+	// Providers are the competing SPs. All must share the horizon length
+	// (Theorem 1's common-window assumption W^i = W̄).
+	Providers []*Provider
+}
+
+// Window returns the shared horizon length (0 when undeterminable).
+func (s *Scenario) Window() int {
+	if len(s.Providers) == 0 || s.Providers[0] == nil {
+		return 0
+	}
+	return len(s.Providers[0].Demand)
+}
+
+// Validate checks the scenario.
+func (s *Scenario) Validate() error {
+	if len(s.Providers) == 0 {
+		return fmt.Errorf("no providers: %w", ErrBadScenario)
+	}
+	l := len(s.Capacity)
+	if l == 0 {
+		return fmt.Errorf("no data centers: %w", ErrBadScenario)
+	}
+	for i, c := range s.Capacity {
+		if c <= 0 || math.IsNaN(c) {
+			return fmt.Errorf("capacity[%d] = %g: %w", i, c, ErrBadScenario)
+		}
+	}
+	for i, p := range s.Providers {
+		if p == nil {
+			return fmt.Errorf("provider %d is nil: %w", i, ErrBadScenario)
+		}
+	}
+	w := s.Window()
+	if w == 0 {
+		return fmt.Errorf("empty horizon: %w", ErrBadScenario)
+	}
+	for i, p := range s.Providers {
+		if len(p.SLA) != l {
+			return fmt.Errorf("provider %d SLA has %d DCs, want %d: %w", i, len(p.SLA), l, ErrBadScenario)
+		}
+		if p.ServerSize <= 0 || math.IsNaN(p.ServerSize) || math.IsInf(p.ServerSize, 0) {
+			return fmt.Errorf("provider %d server size %g: %w", i, p.ServerSize, ErrBadScenario)
+		}
+		if len(p.Demand) != w {
+			return fmt.Errorf("provider %d horizon %d, want %d: %w", i, len(p.Demand), w, ErrBadScenario)
+		}
+		if len(p.Prices) != w {
+			return fmt.Errorf("provider %d price horizon %d, want %d: %w", i, len(p.Prices), w, ErrBadScenario)
+		}
+		v := p.numLocations()
+		if v == 0 {
+			return fmt.Errorf("provider %d has no locations: %w", i, ErrBadScenario)
+		}
+		for t := 0; t < w; t++ {
+			if len(p.Demand[t]) != v {
+				return fmt.Errorf("provider %d demand[%d] width %d, want %d: %w", i, t, len(p.Demand[t]), v, ErrBadScenario)
+			}
+			if len(p.Prices[t]) != l {
+				return fmt.Errorf("provider %d prices[%d] width %d, want %d: %w", i, t, len(p.Prices[t]), l, ErrBadScenario)
+			}
+		}
+		// Instance construction validates SLA/weights; use uncapacitated
+		// quotas for the structural check.
+		quota := make([]float64, l)
+		for j := range quota {
+			quota[j] = math.Inf(1)
+		}
+		inst, err := p.instance(quota)
+		if err != nil {
+			return fmt.Errorf("provider %d: %w", i, err)
+		}
+		if p.X0 != nil {
+			if err := inst.CheckState(p.X0); err != nil {
+				return fmt.Errorf("provider %d x0: %w", i, err)
+			}
+		}
+	}
+	return nil
+}
+
+// x0 returns the provider's initial state (zeros if unset).
+func (p *Provider) x0() core.State {
+	if p.X0 != nil {
+		return p.X0.Clone()
+	}
+	out := make(core.State, len(p.SLA))
+	for l := range out {
+		out[l] = make([]float64, p.numLocations())
+	}
+	return out
+}
+
+// Outcome is one provider's solved trajectory and cost.
+type Outcome struct {
+	// U and X are the control and state trajectories over the window.
+	U, X []core.State
+	// Cost is the provider's objective Σ p·x + c·u² over the window.
+	Cost float64
+}
+
+// TotalCost sums provider costs.
+func TotalCost(outcomes []Outcome) float64 {
+	var t float64
+	for _, o := range outcomes {
+		t += o.Cost
+	}
+	return t
+}

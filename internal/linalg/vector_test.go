@@ -1,0 +1,214 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestVectorBasics(t *testing.T) {
+	v := VectorOf(1, 2, 3)
+	if v.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", v.Len())
+	}
+	if got := v.Sum(); got != 6 {
+		t.Errorf("Sum = %g, want 6", got)
+	}
+	if got := v.Min(); got != 1 {
+		t.Errorf("Min = %g, want 1", got)
+	}
+	if got := v.Max(); got != 3 {
+		t.Errorf("Max = %g, want 3", got)
+	}
+	c := v.Clone()
+	c[0] = 99
+	if v[0] != 1 {
+		t.Error("Clone aliases original storage")
+	}
+}
+
+func TestVectorEmptyExtremes(t *testing.T) {
+	var v Vector
+	if !math.IsInf(v.Min(), 1) {
+		t.Errorf("empty Min = %g, want +Inf", v.Min())
+	}
+	if !math.IsInf(v.Max(), -1) {
+		t.Errorf("empty Max = %g, want -Inf", v.Max())
+	}
+	if v.Norm2() != 0 {
+		t.Errorf("empty Norm2 = %g, want 0", v.Norm2())
+	}
+	if v.NormInf() != 0 {
+		t.Errorf("empty NormInf = %g, want 0", v.NormInf())
+	}
+}
+
+func TestVectorAddSub(t *testing.T) {
+	a := VectorOf(1, 2)
+	b := VectorOf(10, 20)
+	out := NewVector(2)
+	if err := out.Add(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 11 || out[1] != 22 {
+		t.Errorf("Add = %v", out)
+	}
+	if err := out.Sub(b, a); err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 9 || out[1] != 18 {
+		t.Errorf("Sub = %v", out)
+	}
+}
+
+func TestVectorDimensionErrors(t *testing.T) {
+	a := VectorOf(1, 2)
+	b := VectorOf(1, 2, 3)
+	out := NewVector(2)
+	if err := out.Add(a, b); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("Add mismatch err = %v", err)
+	}
+	if err := out.Sub(a, b); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("Sub mismatch err = %v", err)
+	}
+	if err := out.AXPY(1, b); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("AXPY mismatch err = %v", err)
+	}
+	if err := out.CopyFrom(b); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("CopyFrom mismatch err = %v", err)
+	}
+	if _, err := Dot(a, b); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("Dot mismatch err = %v", err)
+	}
+}
+
+func TestVectorAXPYAndScale(t *testing.T) {
+	v := VectorOf(1, 1, 1)
+	if err := v.AXPY(2, VectorOf(1, 2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	want := VectorOf(3, 5, 7)
+	for i := range v {
+		if v[i] != want[i] {
+			t.Fatalf("AXPY = %v, want %v", v, want)
+		}
+	}
+	v.Scale(0.5)
+	if v[2] != 3.5 {
+		t.Errorf("Scale: v[2] = %g, want 3.5", v[2])
+	}
+}
+
+func TestVectorNorms(t *testing.T) {
+	v := VectorOf(3, 4)
+	if !almostEqual(v.Norm2(), 5, 1e-12) {
+		t.Errorf("Norm2 = %g, want 5", v.Norm2())
+	}
+	if v.NormInf() != 4 {
+		t.Errorf("NormInf = %g, want 4", v.NormInf())
+	}
+	// Norm2 must not overflow for huge entries.
+	h := VectorOf(1e300, 1e300)
+	if math.IsInf(h.Norm2(), 0) {
+		t.Error("Norm2 overflowed on large entries")
+	}
+}
+
+func TestVectorHasNaN(t *testing.T) {
+	if VectorOf(1, 2).HasNaN() {
+		t.Error("false positive")
+	}
+	if !VectorOf(1, math.NaN()).HasNaN() {
+		t.Error("missed NaN")
+	}
+	if !VectorOf(math.Inf(1)).HasNaN() {
+		t.Error("missed Inf")
+	}
+}
+
+// Property: dot product is symmetric and bilinear.
+func TestQuickDotSymmetric(t *testing.T) {
+	f := func(raw []float64) bool {
+		a := clipVec(raw)
+		b := make(Vector, len(a))
+		for i := range b {
+			b[i] = float64(i%7) - 3
+		}
+		ab, err1 := Dot(a, b)
+		ba, err2 := Dot(b, a)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return almostEqual(ab, ba, 1e-12)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ||a+b|| <= ||a|| + ||b|| (triangle inequality).
+func TestQuickTriangleInequality(t *testing.T) {
+	f := func(raw []float64) bool {
+		a := clipVec(raw)
+		b := make(Vector, len(a))
+		for i := range b {
+			b[i] = math.Sin(float64(i)) * 10
+		}
+		s := make(Vector, len(a))
+		if err := s.Add(a, b); err != nil {
+			return false
+		}
+		return s.Norm2() <= a.Norm2()+b.Norm2()+1e-9
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Cauchy-Schwarz |a·b| <= ||a||·||b||.
+func TestQuickCauchySchwarz(t *testing.T) {
+	f := func(raw []float64) bool {
+		a := clipVec(raw)
+		b := make(Vector, len(a))
+		for i := range b {
+			b[i] = float64((i*13)%11) - 5
+		}
+		ab, err := Dot(a, b)
+		if err != nil {
+			return false
+		}
+		return math.Abs(ab) <= a.Norm2()*b.Norm2()*(1+1e-12)+1e-9
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// clipVec replaces NaN/Inf/huge values so quick-generated inputs stay in a
+// numerically meaningful range.
+func clipVec(raw []float64) Vector {
+	out := make(Vector, len(raw))
+	for i, x := range raw {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			x = 0
+		}
+		if x > 1e6 {
+			x = 1e6
+		}
+		if x < -1e6 {
+			x = -1e6
+		}
+		out[i] = x
+	}
+	return out
+}
+
+func quickCfg() *quick.Config {
+	return &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(42))}
+}

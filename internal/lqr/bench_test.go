@@ -1,0 +1,48 @@
+package lqr
+
+import (
+	"fmt"
+	"testing"
+
+	"dspp/internal/linalg"
+)
+
+// BenchmarkRiccatiSolve measures the exact LQ solver across sizes — the
+// per-step cost of the soft-tracking controller, to compare with the
+// interior-point benchmarks in package qp.
+func BenchmarkRiccatiSolve(b *testing.B) {
+	for _, sz := range []struct{ n, w int }{
+		{4, 5}, {16, 5}, {32, 10}, {96, 5},
+	} {
+		b.Run(fmt.Sprintf("n%d_W%d", sz.n, sz.w), func(b *testing.B) {
+			q := linalg.NewVector(sz.n)
+			r := linalg.NewVector(sz.n)
+			x0 := linalg.NewVector(sz.n)
+			for i := 0; i < sz.n; i++ {
+				q[i] = 1
+				r[i] = 0.01
+				x0[i] = float64(i)
+			}
+			targets := make([]linalg.Vector, sz.w)
+			for t := range targets {
+				targets[t] = linalg.NewVector(sz.n)
+				for i := range targets[t] {
+					targets[t][i] = float64(10 + t + i)
+				}
+			}
+			prob := &Problem{
+				Q:       linalg.Diag(q),
+				R:       linalg.Diag(r),
+				Targets: targets,
+				X0:      x0,
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Solve(prob); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,279 @@
+// Package lqr solves finite-horizon discrete-time linear-quadratic
+// tracking problems by backward Riccati recursion:
+//
+//	minimize  Σ_{t=1..W} (x_t − r_t)ᵀQ(x_t − r_t) + Σ_{t=0..W−1} u_tᵀR u_t
+//	subject to x_{t+1} = A x_t + B u_t,  x_0 given.
+//
+// This is the classical control-theoretic core underlying the paper's
+// formulation: DSPP is exactly this problem with A = B = I plus the
+// demand/capacity/nonnegativity inequalities. The package provides
+//
+//   - an exact, allocation-light solver for the unconstrained relaxation
+//     (used to cross-validate the interior-point QP solver, and as a fast
+//     soft-constraint controller where targets r_t encode a·D̂), and
+//   - the time-varying feedback gains, exposing the structure (u = −Kx−k)
+//     that the QP solution hides.
+package lqr
+
+import (
+	"errors"
+	"fmt"
+
+	"dspp/internal/linalg"
+)
+
+// ErrBadProblem flags inconsistent dimensions or non-PD weights.
+var ErrBadProblem = errors.New("lqr: invalid problem")
+
+// Problem is a finite-horizon LQ tracking instance. A and B default to
+// identity when nil (the DSPP dynamics x⁺ = x + u).
+type Problem struct {
+	// A and B are the n×n dynamics matrices (nil = identity).
+	A, B *linalg.Matrix
+	// Q is the n×n state-tracking weight (symmetric PSD).
+	Q *linalg.Matrix
+	// R is the n×n control weight (symmetric PD).
+	R *linalg.Matrix
+	// Targets[t] is the reference r_{t+1} for the state after control t;
+	// len(Targets) is the horizon W.
+	Targets []linalg.Vector
+	// X0 is the initial state.
+	X0 linalg.Vector
+}
+
+// Solution is the optimal trajectory and its feedback representation.
+type Solution struct {
+	// U[t] is the optimal control at stage t.
+	U []linalg.Vector
+	// X[t] is the state after control t (aligned with Problem.Targets).
+	X []linalg.Vector
+	// Gains[t] and Offsets[t] give the policy u_t = −Gains[t]·x_t − Offsets[t].
+	Gains   []*linalg.Matrix
+	Offsets []linalg.Vector
+	// Cost is the achieved objective value.
+	Cost float64
+}
+
+func (p *Problem) dims() (n, w int, err error) {
+	if p.Q == nil || p.R == nil {
+		return 0, 0, fmt.Errorf("nil Q or R: %w", ErrBadProblem)
+	}
+	n = p.Q.Rows()
+	if p.Q.Cols() != n || p.R.Rows() != n || p.R.Cols() != n {
+		return 0, 0, fmt.Errorf("Q %dx%d, R %dx%d: %w",
+			p.Q.Rows(), p.Q.Cols(), p.R.Rows(), p.R.Cols(), ErrBadProblem)
+	}
+	if p.A != nil && (p.A.Rows() != n || p.A.Cols() != n) {
+		return 0, 0, fmt.Errorf("A %dx%d, n=%d: %w", p.A.Rows(), p.A.Cols(), n, ErrBadProblem)
+	}
+	if p.B != nil && (p.B.Rows() != n || p.B.Cols() != n) {
+		return 0, 0, fmt.Errorf("B %dx%d, n=%d: %w", p.B.Rows(), p.B.Cols(), n, ErrBadProblem)
+	}
+	w = len(p.Targets)
+	if w == 0 {
+		return 0, 0, fmt.Errorf("empty horizon: %w", ErrBadProblem)
+	}
+	for t, r := range p.Targets {
+		if len(r) != n {
+			return 0, 0, fmt.Errorf("target %d has %d entries, n=%d: %w", t, len(r), n, ErrBadProblem)
+		}
+	}
+	if len(p.X0) != n {
+		return 0, 0, fmt.Errorf("x0 has %d entries, n=%d: %w", len(p.X0), n, ErrBadProblem)
+	}
+	return n, w, nil
+}
+
+// Solve runs the backward Riccati recursion and the forward rollout.
+func Solve(p *Problem) (*Solution, error) {
+	n, w, err := p.dims()
+	if err != nil {
+		return nil, err
+	}
+	a := p.A
+	if a == nil {
+		a = linalg.Identity(n)
+	}
+	b := p.B
+	if b == nil {
+		b = linalg.Identity(n)
+	}
+
+	// Backward pass. Value-to-go after stage t is
+	// V_t(x) = xᵀP_t x + 2 q_tᵀ x + const, with V_W ≡ 0.
+	gains := make([]*linalg.Matrix, w)
+	offsets := make([]linalg.Vector, w)
+	pMat := linalg.NewMatrix(n, n) // P_W = 0
+	qVec := linalg.NewVector(n)    // q_W = 0
+	for t := w - 1; t >= 0; t-- {
+		// M = Q + P_{t+1}; bb = −Q·r_{t+1} + q_{t+1}.
+		m := p.Q.Clone()
+		if err := m.AddScaled(1, pMat); err != nil {
+			return nil, err
+		}
+		bb := linalg.NewVector(n)
+		if err := p.Q.MulVec(p.Targets[t], bb); err != nil {
+			return nil, err
+		}
+		bb.Scale(-1)
+		if err := bb.AXPY(1, qVec); err != nil {
+			return nil, err
+		}
+
+		// S = (R + BᵀMB)⁻¹; K = S BᵀMA; k = S Bᵀbb.
+		mb, err := linalg.Mul(m, b)
+		if err != nil {
+			return nil, err
+		}
+		btmb, err := linalg.Mul(b.T(), mb)
+		if err != nil {
+			return nil, err
+		}
+		if err := btmb.AddScaled(1, p.R); err != nil {
+			return nil, err
+		}
+		chol, err := linalg.NewCholesky(btmb)
+		if err != nil {
+			return nil, fmt.Errorf("stage %d: R+BᵀMB not PD: %w", t, ErrBadProblem)
+		}
+		ma, err := linalg.Mul(m, a)
+		if err != nil {
+			return nil, err
+		}
+		btma, err := linalg.Mul(b.T(), ma)
+		if err != nil {
+			return nil, err
+		}
+		kMat, err := chol.SolveMatrix(btma)
+		if err != nil {
+			return nil, err
+		}
+		btb := linalg.NewVector(n)
+		if err := b.MulVecT(bb, btb); err != nil {
+			return nil, err
+		}
+		kVec := linalg.NewVector(n)
+		if err := chol.Solve(btb, kVec); err != nil {
+			return nil, err
+		}
+		gains[t] = kMat
+		offsets[t] = kVec
+
+		// Closed loop: Ā = A − B K; d = −B k.
+		bk, err := linalg.Mul(b, kMat)
+		if err != nil {
+			return nil, err
+		}
+		abar := a.Clone()
+		if err := abar.AddScaled(-1, bk); err != nil {
+			return nil, err
+		}
+		d := linalg.NewVector(n)
+		if err := b.MulVec(kVec, d); err != nil {
+			return nil, err
+		}
+		d.Scale(-1)
+
+		// P_t = KᵀRK + ĀᵀMĀ ; q_t = KᵀRk + Āᵀ(M d + bb).
+		rk, err := linalg.Mul(p.R, kMat)
+		if err != nil {
+			return nil, err
+		}
+		ktrk, err := linalg.Mul(kMat.T(), rk)
+		if err != nil {
+			return nil, err
+		}
+		mabar, err := linalg.Mul(m, abar)
+		if err != nil {
+			return nil, err
+		}
+		atma, err := linalg.Mul(abar.T(), mabar)
+		if err != nil {
+			return nil, err
+		}
+		if err := atma.AddScaled(1, ktrk); err != nil {
+			return nil, err
+		}
+		pMat = atma
+
+		md := linalg.NewVector(n)
+		if err := m.MulVec(d, md); err != nil {
+			return nil, err
+		}
+		if err := md.AXPY(1, bb); err != nil {
+			return nil, err
+		}
+		newQ := linalg.NewVector(n)
+		if err := abar.MulVecT(md, newQ); err != nil {
+			return nil, err
+		}
+		rkv := linalg.NewVector(n)
+		if err := p.R.MulVec(kVec, rkv); err != nil {
+			return nil, err
+		}
+		tmp := linalg.NewVector(n)
+		if err := kMat.MulVecT(rkv, tmp); err != nil {
+			return nil, err
+		}
+		if err := newQ.AXPY(1, tmp); err != nil {
+			return nil, err
+		}
+		qVec = newQ
+	}
+
+	// Forward rollout.
+	sol := &Solution{
+		U:       make([]linalg.Vector, w),
+		X:       make([]linalg.Vector, w),
+		Gains:   gains,
+		Offsets: offsets,
+	}
+	x := p.X0.Clone()
+	for t := 0; t < w; t++ {
+		u := linalg.NewVector(n)
+		if err := gains[t].MulVec(x, u); err != nil {
+			return nil, err
+		}
+		if err := u.AXPY(1, offsets[t]); err != nil {
+			return nil, err
+		}
+		u.Scale(-1) // u = −Kx − k
+		ax := linalg.NewVector(n)
+		if err := a.MulVec(x, ax); err != nil {
+			return nil, err
+		}
+		bu := linalg.NewVector(n)
+		if err := b.MulVec(u, bu); err != nil {
+			return nil, err
+		}
+		if err := x.Add(ax, bu); err != nil {
+			return nil, err
+		}
+		sol.U[t] = u
+		sol.X[t] = x.Clone()
+
+		// Accumulate cost.
+		ru := linalg.NewVector(n)
+		if err := p.R.MulVec(u, ru); err != nil {
+			return nil, err
+		}
+		uru, err := linalg.Dot(u, ru)
+		if err != nil {
+			return nil, err
+		}
+		diff := x.Clone()
+		if err := diff.AXPY(-1, p.Targets[t]); err != nil {
+			return nil, err
+		}
+		qd := linalg.NewVector(n)
+		if err := p.Q.MulVec(diff, qd); err != nil {
+			return nil, err
+		}
+		dqd, err := linalg.Dot(diff, qd)
+		if err != nil {
+			return nil, err
+		}
+		sol.Cost += uru + dqd
+	}
+	return sol, nil
+}

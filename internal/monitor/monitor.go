@@ -1,0 +1,258 @@
+// Package monitor implements the streaming statistics used by the
+// paper's monitoring module (Fig. 2): it watches realized demand, prices
+// and forecast errors online, without retaining samples. It provides
+// Welford mean/variance, exponentially weighted moving averages, and the
+// P² streaming quantile estimator — enough for the analysis-and-
+// prediction module to judge forecast quality and for operators to track
+// SLA headroom in production.
+package monitor
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrBadParameter flags invalid estimator parameters.
+var ErrBadParameter = errors.New("monitor: invalid parameter")
+
+// Welford tracks count, mean and variance in one pass (numerically stable
+// Welford recurrence). The zero value is ready to use.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add consumes one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// Count returns the number of observations.
+func (w *Welford) Count() int { return w.n }
+
+// Mean returns the running mean (0 before any observation).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the unbiased sample variance (0 with < 2 samples).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Variance()) }
+
+// EWMA is an exponentially weighted moving average with decay factor
+// alpha in (0, 1]: larger alpha reacts faster.
+type EWMA struct {
+	alpha   float64
+	value   float64
+	started bool
+}
+
+// NewEWMA validates alpha and returns an estimator.
+func NewEWMA(alpha float64) (*EWMA, error) {
+	if alpha <= 0 || alpha > 1 || math.IsNaN(alpha) {
+		return nil, fmt.Errorf("alpha %g: %w", alpha, ErrBadParameter)
+	}
+	return &EWMA{alpha: alpha}, nil
+}
+
+// Add consumes one observation.
+func (e *EWMA) Add(x float64) {
+	if !e.started {
+		e.value = x
+		e.started = true
+		return
+	}
+	e.value = e.alpha*x + (1-e.alpha)*e.value
+}
+
+// Value returns the current average (0 before any observation).
+func (e *EWMA) Value() float64 { return e.value }
+
+// P2Quantile estimates a single quantile online with the Jain/Chlamtac P²
+// algorithm: five markers, O(1) memory, no sample retention.
+type P2Quantile struct {
+	q       float64
+	n       int
+	heights [5]float64
+	pos     [5]float64
+	want    [5]float64
+	inc     [5]float64
+	initial []float64
+}
+
+// NewP2Quantile builds an estimator for quantile q in (0, 1).
+func NewP2Quantile(q float64) (*P2Quantile, error) {
+	if q <= 0 || q >= 1 || math.IsNaN(q) {
+		return nil, fmt.Errorf("quantile %g: %w", q, ErrBadParameter)
+	}
+	p := &P2Quantile{q: q, initial: make([]float64, 0, 5)}
+	p.want = [5]float64{1, 1 + 2*q, 1 + 4*q, 3 + 2*q, 5}
+	p.inc = [5]float64{0, q / 2, q, (1 + q) / 2, 1}
+	return p, nil
+}
+
+// Add consumes one observation.
+func (p *P2Quantile) Add(x float64) {
+	p.n++
+	if len(p.initial) < 5 {
+		p.initial = append(p.initial, x)
+		if len(p.initial) == 5 {
+			sort.Float64s(p.initial)
+			for i := range p.heights {
+				p.heights[i] = p.initial[i]
+				p.pos[i] = float64(i + 1)
+			}
+		}
+		return
+	}
+	// Locate the cell containing x and update extreme markers.
+	var k int
+	switch {
+	case x < p.heights[0]:
+		p.heights[0] = x
+		k = 0
+	case x >= p.heights[4]:
+		p.heights[4] = x
+		k = 3
+	default:
+		for i := 1; i < 5; i++ {
+			if x < p.heights[i] {
+				k = i - 1
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		p.pos[i]++
+	}
+	for i := range p.want {
+		p.want[i] += p.inc[i]
+	}
+	// Adjust interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := p.want[i] - p.pos[i]
+		if (d >= 1 && p.pos[i+1]-p.pos[i] > 1) || (d <= -1 && p.pos[i-1]-p.pos[i] < -1) {
+			s := sign(d)
+			h := p.parabolic(i, s)
+			if p.heights[i-1] < h && h < p.heights[i+1] {
+				p.heights[i] = h
+			} else {
+				p.heights[i] = p.linear(i, s)
+			}
+			p.pos[i] += s
+		}
+	}
+}
+
+// Value returns the current quantile estimate. With fewer than 5 samples
+// it falls back to the exact small-sample quantile.
+func (p *P2Quantile) Value() float64 {
+	if len(p.initial) < 5 {
+		if len(p.initial) == 0 {
+			return 0
+		}
+		tmp := append([]float64(nil), p.initial...)
+		sort.Float64s(tmp)
+		idx := int(p.q * float64(len(tmp)))
+		if idx >= len(tmp) {
+			idx = len(tmp) - 1
+		}
+		return tmp[idx]
+	}
+	return p.heights[2]
+}
+
+// Count returns the number of observations.
+func (p *P2Quantile) Count() int { return p.n }
+
+func (p *P2Quantile) parabolic(i int, s float64) float64 {
+	return p.heights[i] + s/(p.pos[i+1]-p.pos[i-1])*
+		((p.pos[i]-p.pos[i-1]+s)*(p.heights[i+1]-p.heights[i])/(p.pos[i+1]-p.pos[i])+
+			(p.pos[i+1]-p.pos[i]-s)*(p.heights[i]-p.heights[i-1])/(p.pos[i]-p.pos[i-1]))
+}
+
+func (p *P2Quantile) linear(i int, s float64) float64 {
+	j := i + int(s)
+	return p.heights[i] + s*(p.heights[j]-p.heights[i])/(p.pos[j]-p.pos[i])
+}
+
+func sign(x float64) float64 {
+	if x >= 0 {
+		return 1
+	}
+	return -1
+}
+
+// ForecastTracker scores a predictor online: feed (forecast, realized)
+// pairs and read bias, RMSE and the error's p95 — what the analysis
+// module needs to pick horizons (the paper's Figs. 9/10 observation that
+// horizon value depends on forecast accuracy).
+type ForecastTracker struct {
+	err   Welford
+	abs   Welford
+	p95   *P2Quantile
+	under int
+}
+
+// NewForecastTracker builds a tracker.
+func NewForecastTracker() (*ForecastTracker, error) {
+	p95, err := NewP2Quantile(0.95)
+	if err != nil {
+		return nil, err
+	}
+	return &ForecastTracker{p95: p95}, nil
+}
+
+// Observe records one (forecast, realized) pair.
+func (f *ForecastTracker) Observe(forecast, realized float64) {
+	e := forecast - realized
+	f.err.Add(e)
+	f.abs.Add(math.Abs(e))
+	f.p95.Add(math.Abs(e))
+	if e < 0 {
+		f.under++
+	}
+}
+
+// Bias returns the mean signed error (negative = systematic
+// underprediction, the dangerous direction for SLA work).
+func (f *ForecastTracker) Bias() float64 { return f.err.Mean() }
+
+// MAE returns the mean absolute error.
+func (f *ForecastTracker) MAE() float64 { return f.abs.Mean() }
+
+// RMSE returns the root mean squared error.
+func (f *ForecastTracker) RMSE() float64 {
+	n := f.err.Count()
+	if n == 0 {
+		return 0
+	}
+	// E[e²] = Var·(n−1)/n + mean².
+	return math.Sqrt(f.err.m2/float64(n) + f.err.mean*f.err.mean)
+}
+
+// P95AbsError returns the streaming 95th percentile of |error|.
+func (f *ForecastTracker) P95AbsError() float64 { return f.p95.Value() }
+
+// UnderpredictionRate returns the fraction of observations where the
+// forecast fell short of reality.
+func (f *ForecastTracker) UnderpredictionRate() float64 {
+	if f.err.Count() == 0 {
+		return 0
+	}
+	return float64(f.under) / float64(f.err.Count())
+}
+
+// Count returns the number of observed pairs.
+func (f *ForecastTracker) Count() int { return f.err.Count() }

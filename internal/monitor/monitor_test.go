@@ -1,0 +1,204 @@
+package monitor
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestWelfordKnown(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.Count() != 8 {
+		t.Errorf("Count = %d", w.Count())
+	}
+	if math.Abs(w.Mean()-5) > 1e-12 {
+		t.Errorf("Mean = %g, want 5", w.Mean())
+	}
+	// Population variance of this classic set is 4; sample variance is
+	// 32/7.
+	if math.Abs(w.Variance()-32.0/7.0) > 1e-12 {
+		t.Errorf("Variance = %g, want %g", w.Variance(), 32.0/7.0)
+	}
+	if math.Abs(w.Std()-math.Sqrt(32.0/7.0)) > 1e-12 {
+		t.Errorf("Std = %g", w.Std())
+	}
+}
+
+func TestWelfordEdge(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 {
+		t.Error("zero value not neutral")
+	}
+	w.Add(42)
+	if w.Variance() != 0 {
+		t.Error("single sample variance nonzero")
+	}
+}
+
+// Property: Welford matches the two-pass mean/variance.
+func TestQuickWelfordMatchesTwoPass(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(200)
+		xs := make([]float64, n)
+		var w Welford
+		var sum float64
+		for i := range xs {
+			xs[i] = rng.NormFloat64()*100 + 50
+			w.Add(xs[i])
+			sum += xs[i]
+		}
+		mean := sum / float64(n)
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		variance := ss / float64(n-1)
+		return math.Abs(w.Mean()-mean) < 1e-9*(1+math.Abs(mean)) &&
+			math.Abs(w.Variance()-variance) < 1e-6*(1+variance)
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	if _, err := NewEWMA(0); !errors.Is(err, ErrBadParameter) {
+		t.Errorf("alpha 0 err = %v", err)
+	}
+	if _, err := NewEWMA(1.5); !errors.Is(err, ErrBadParameter) {
+		t.Errorf("alpha 1.5 err = %v", err)
+	}
+	e, err := NewEWMA(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Value() != 0 {
+		t.Error("initial value nonzero")
+	}
+	e.Add(10) // seeds at 10
+	e.Add(20) // 0.5·20 + 0.5·10 = 15
+	if e.Value() != 15 {
+		t.Errorf("Value = %g, want 15", e.Value())
+	}
+	// EWMA converges toward a constant stream.
+	for i := 0; i < 50; i++ {
+		e.Add(100)
+	}
+	if math.Abs(e.Value()-100) > 1e-9 {
+		t.Errorf("did not converge: %g", e.Value())
+	}
+}
+
+func TestP2QuantileValidation(t *testing.T) {
+	for _, q := range []float64{0, 1, -0.5, math.NaN()} {
+		if _, err := NewP2Quantile(q); !errors.Is(err, ErrBadParameter) {
+			t.Errorf("q=%g err = %v", q, err)
+		}
+	}
+}
+
+func TestP2QuantileSmallSamples(t *testing.T) {
+	p, err := NewP2Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Value() != 0 {
+		t.Error("empty estimator should read 0")
+	}
+	p.Add(3)
+	p.Add(1)
+	p.Add(2)
+	if v := p.Value(); v != 2 {
+		t.Errorf("3-sample median = %g, want 2", v)
+	}
+	if p.Count() != 3 {
+		t.Errorf("Count = %d", p.Count())
+	}
+}
+
+func TestP2QuantileAgainstExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, q := range []float64{0.5, 0.9, 0.95} {
+		p, err := NewP2Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 20000
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.ExpFloat64() * 10 // skewed distribution
+			p.Add(xs[i])
+		}
+		sort.Float64s(xs)
+		exact := xs[int(q*float64(n))]
+		if rel := math.Abs(p.Value()-exact) / exact; rel > 0.05 {
+			t.Errorf("q=%g: P2 %g vs exact %g (rel %g)", q, p.Value(), exact, rel)
+		}
+	}
+}
+
+func TestForecastTracker(t *testing.T) {
+	f, err := NewForecastTracker()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Bias() != 0 || f.RMSE() != 0 || f.UnderpredictionRate() != 0 {
+		t.Error("empty tracker not neutral")
+	}
+	// Systematic underprediction by 5.
+	for i := 0; i < 100; i++ {
+		f.Observe(95, 100)
+	}
+	if math.Abs(f.Bias()+5) > 1e-12 {
+		t.Errorf("Bias = %g, want -5", f.Bias())
+	}
+	if math.Abs(f.MAE()-5) > 1e-12 {
+		t.Errorf("MAE = %g, want 5", f.MAE())
+	}
+	if math.Abs(f.RMSE()-5) > 1e-9 {
+		t.Errorf("RMSE = %g, want 5", f.RMSE())
+	}
+	if f.UnderpredictionRate() != 1 {
+		t.Errorf("UnderpredictionRate = %g, want 1", f.UnderpredictionRate())
+	}
+	if f.Count() != 100 {
+		t.Errorf("Count = %d", f.Count())
+	}
+	if math.Abs(f.P95AbsError()-5) > 0.5 {
+		t.Errorf("P95AbsError = %g, want ~5", f.P95AbsError())
+	}
+}
+
+func TestForecastTrackerMixedErrors(t *testing.T) {
+	f, err := NewForecastTracker()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 5000; i++ {
+		real := 100.0
+		fc := real + rng.NormFloat64()*10 // unbiased noise, sd 10
+		f.Observe(fc, real)
+	}
+	if math.Abs(f.Bias()) > 1 {
+		t.Errorf("Bias = %g, want ~0", f.Bias())
+	}
+	if math.Abs(f.RMSE()-10) > 1 {
+		t.Errorf("RMSE = %g, want ~10", f.RMSE())
+	}
+	if r := f.UnderpredictionRate(); r < 0.45 || r > 0.55 {
+		t.Errorf("UnderpredictionRate = %g, want ~0.5", r)
+	}
+	// |N(0,10)| p95 ≈ 19.6.
+	if p := f.P95AbsError(); p < 17 || p > 23 {
+		t.Errorf("P95AbsError = %g, want ~19.6", p)
+	}
+}

@@ -1,0 +1,114 @@
+package predict
+
+import (
+	"fmt"
+)
+
+// HoltWinters is additive triple exponential smoothing: level + trend +
+// additive seasonality of period Season. It is the natural upgrade over
+// SeasonalNaive for the paper's diurnal traces — it adapts the level and
+// trend online while keeping the daily shape, and degrades gracefully to
+// Holt's linear method when Season ≤ 1.
+type HoltWinters struct {
+	// Alpha, Beta, Gamma are the level/trend/season smoothing factors in
+	// [0, 1]. Zero values use the conservative defaults 0.3/0.05/0.3.
+	Alpha, Beta, Gamma float64
+	// Season is the seasonal period (e.g. 24 for hourly daily data);
+	// values ≤ 1 disable the seasonal component.
+	Season int
+}
+
+func (h HoltWinters) params() (alpha, beta, gamma float64) {
+	alpha, beta, gamma = h.Alpha, h.Beta, h.Gamma
+	if alpha == 0 {
+		alpha = 0.3
+	}
+	if beta == 0 {
+		beta = 0.05
+	}
+	if gamma == 0 {
+		gamma = 0.3
+	}
+	return alpha, beta, gamma
+}
+
+// Forecast implements Predictor. It needs at least two full seasons of
+// history (or 4 observations in the non-seasonal case). Negative
+// forecasts are clamped to zero.
+func (h HoltWinters) Forecast(history []float64, horizon int) ([]float64, error) {
+	if horizon < 0 {
+		return nil, fmt.Errorf("horizon %d: %w", horizon, ErrBadParameter)
+	}
+	alpha, beta, gamma := h.params()
+	if alpha < 0 || alpha > 1 || beta < 0 || beta > 1 || gamma < 0 || gamma > 1 {
+		return nil, fmt.Errorf("smoothing factors (%g,%g,%g) outside [0,1]: %w",
+			alpha, beta, gamma, ErrBadParameter)
+	}
+	m := h.Season
+	if m <= 1 {
+		return h.forecastHolt(history, horizon, alpha, beta)
+	}
+	if len(history) < 2*m {
+		return nil, fmt.Errorf("history %d < 2 seasons (%d): %w", len(history), 2*m, ErrInsufficientHistory)
+	}
+
+	// Initialization: level = mean of season 1; trend = average
+	// season-over-season change; seasonal indices = first-season
+	// deviations from its mean.
+	var mean1, mean2 float64
+	for i := 0; i < m; i++ {
+		mean1 += history[i]
+		mean2 += history[m+i]
+	}
+	mean1 /= float64(m)
+	mean2 /= float64(m)
+	level := mean1
+	trend := (mean2 - mean1) / float64(m)
+	season := make([]float64, m)
+	for i := 0; i < m; i++ {
+		season[i] = history[i] - mean1
+	}
+
+	// Run the smoothing recursions over the remaining history.
+	for t := m; t < len(history); t++ {
+		si := t % m
+		prevLevel := level
+		level = alpha*(history[t]-season[si]) + (1-alpha)*(level+trend)
+		trend = beta*(level-prevLevel) + (1-beta)*trend
+		season[si] = gamma*(history[t]-level) + (1-gamma)*season[si]
+	}
+
+	out := make([]float64, horizon)
+	for k := 1; k <= horizon; k++ {
+		si := (len(history) + k - 1) % m
+		v := level + float64(k)*trend + season[si]
+		if v < 0 {
+			v = 0
+		}
+		out[k-1] = v
+	}
+	return out, nil
+}
+
+// forecastHolt is the non-seasonal double-exponential path.
+func (h HoltWinters) forecastHolt(history []float64, horizon int, alpha, beta float64) ([]float64, error) {
+	if len(history) < 4 {
+		return nil, fmt.Errorf("history %d < 4: %w", len(history), ErrInsufficientHistory)
+	}
+	level := history[0]
+	trend := history[1] - history[0]
+	for t := 1; t < len(history); t++ {
+		prevLevel := level
+		level = alpha*history[t] + (1-alpha)*(level+trend)
+		trend = beta*(level-prevLevel) + (1-beta)*trend
+	}
+	out := make([]float64, horizon)
+	for k := 1; k <= horizon; k++ {
+		v := level + float64(k)*trend
+		if v < 0 {
+			v = 0
+		}
+		out[k-1] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,132 @@
+package predict
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// seasonalSeries builds base + slope·t + seasonal pattern.
+func seasonalSeries(n, season int, base, slope float64, pattern []float64) []float64 {
+	out := make([]float64, n)
+	for t := range out {
+		out[t] = base + slope*float64(t) + pattern[t%season]
+	}
+	return out
+}
+
+func TestHoltWintersRecoversExactSeasonal(t *testing.T) {
+	pattern := []float64{10, -5, 0, -5}
+	series := seasonalSeries(48, 4, 100, 0, pattern)
+	fc, err := (HoltWinters{Season: 4, Alpha: 0.3, Beta: 0.05, Gamma: 0.3}).Forecast(series, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range fc {
+		want := 100 + pattern[(48+k)%4]
+		if math.Abs(v-want) > 1.5 {
+			t.Errorf("step %d: forecast %g, want %g", k, v, want)
+		}
+	}
+}
+
+func TestHoltWintersTracksTrend(t *testing.T) {
+	pattern := []float64{5, 0, -5, 0}
+	series := seasonalSeries(80, 4, 50, 2, pattern) // strong upward trend
+	fc, err := (HoltWinters{Season: 4}).Forecast(series, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range fc {
+		want := 50 + 2*float64(80+k) + pattern[(80+k)%4]
+		if math.Abs(v-want)/want > 0.05 {
+			t.Errorf("step %d: forecast %g, want %g", k, v, want)
+		}
+	}
+}
+
+func TestHoltWintersBeatsSeasonalNaiveWithTrend(t *testing.T) {
+	pattern := []float64{20, 0, -20, 0, 10, -10}
+	series := seasonalSeries(120, 6, 100, 1.5, pattern)
+	mseHW, err := MSE(HoltWinters{Season: 6}, series, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mseSN, err := MSE(SeasonalNaive{Season: 6}, series, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mseHW >= mseSN {
+		t.Errorf("HW MSE %g should beat seasonal naive %g on trending data", mseHW, mseSN)
+	}
+}
+
+func TestHoltWintersNonSeasonal(t *testing.T) {
+	// Pure linear series: Holt's method extrapolates the line.
+	series := make([]float64, 30)
+	for i := range series {
+		series[i] = 10 + 3*float64(i)
+	}
+	fc, err := (HoltWinters{Season: 0}).Forecast(series, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range fc {
+		want := 10 + 3*float64(30+k)
+		if math.Abs(v-want) > 1 {
+			t.Errorf("step %d: %g, want %g", k, v, want)
+		}
+	}
+}
+
+func TestHoltWintersClampsNegative(t *testing.T) {
+	series := []float64{100, 80, 60, 40, 20, 10, 5, 2}
+	fc, err := (HoltWinters{}).Forecast(series, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range fc {
+		if v < 0 {
+			t.Errorf("step %d negative forecast %g", k, v)
+		}
+	}
+}
+
+func TestHoltWintersErrors(t *testing.T) {
+	if _, err := (HoltWinters{Season: 4}).Forecast(make([]float64, 7), 1); !errors.Is(err, ErrInsufficientHistory) {
+		t.Errorf("short seasonal history err = %v", err)
+	}
+	if _, err := (HoltWinters{}).Forecast([]float64{1, 2}, 1); !errors.Is(err, ErrInsufficientHistory) {
+		t.Errorf("short holt history err = %v", err)
+	}
+	if _, err := (HoltWinters{}).Forecast(make([]float64, 10), -1); !errors.Is(err, ErrBadParameter) {
+		t.Errorf("negative horizon err = %v", err)
+	}
+	if _, err := (HoltWinters{Alpha: 2}).Forecast(make([]float64, 10), 1); !errors.Is(err, ErrBadParameter) {
+		t.Errorf("alpha>1 err = %v", err)
+	}
+}
+
+func TestHoltWintersOnDiurnalBeatsPersistence(t *testing.T) {
+	// The paper's on-off profile with mild noise-free repetition.
+	series := make([]float64, 24*6)
+	for i := range series {
+		h := i % 24
+		if h >= 8 && h < 17 {
+			series[i] = 1000
+		} else {
+			series[i] = 100
+		}
+	}
+	mseHW, err := MSE(HoltWinters{Season: 24}, series, 72)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msePersist, err := MSE(Persistence{}, series, 72)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mseHW >= msePersist {
+		t.Errorf("HW MSE %g should beat persistence %g on diurnal data", mseHW, msePersist)
+	}
+}

@@ -1,0 +1,258 @@
+// Package pricing models the per-data-center server prices that drive the
+// cost term of DSPP. The paper (§VII, Fig. 3) uses regional wholesale
+// electricity prices (RTO markets) for 4 US regions over a day, with VM
+// power draw of 30/70/140 W for small/medium/large instances, and sets the
+// server price at each DC to the electricity cost of one VM.
+//
+// We reproduce Fig. 3 with parametric diurnal curves matching the figure's
+// qualitative shape: California highest with a late-afternoon peak, Texas
+// cheapest, Georgia and Illinois intermediate. A mean-reverting stochastic
+// variant provides the volatile prices needed by Fig. 9.
+package pricing
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ErrBadParameter flags invalid model parameters.
+var ErrBadParameter = errors.New("pricing: invalid parameter")
+
+// VMClass enumerates the paper's three VM sizes.
+type VMClass int
+
+// VM classes with the paper's power draws.
+const (
+	SmallVM VMClass = iota + 1
+	MediumVM
+	LargeVM
+)
+
+// Watts returns the electrical power draw of the VM class (paper §VII).
+func (c VMClass) Watts() float64 {
+	switch c {
+	case SmallVM:
+		return 30
+	case MediumVM:
+		return 70
+	case LargeVM:
+		return 140
+	default:
+		return 0
+	}
+}
+
+// String implements fmt.Stringer.
+func (c VMClass) String() string {
+	switch c {
+	case SmallVM:
+		return "small"
+	case MediumVM:
+		return "medium"
+	case LargeVM:
+		return "large"
+	default:
+		return fmt.Sprintf("VMClass(%d)", int(c))
+	}
+}
+
+// Model produces a per-server price for a control period.
+type Model interface {
+	// Price returns the $/server/period price at period k.
+	Price(k int) float64
+}
+
+// Constant is a fixed price model.
+type Constant struct{ Level float64 }
+
+// Price implements Model.
+func (c Constant) Price(int) float64 { return c.Level }
+
+// RegionProfile is a parametric diurnal electricity price curve in $/MWh:
+//
+//	price(h) = Base + Swing·max(0, sin(π·(h−Rise)/(Set−Rise)))^Sharpness
+//
+// yielding a flat overnight price Base and a peak of Base+Swing between
+// Rise and Set hours.
+type RegionProfile struct {
+	Name      string
+	Base      float64 // overnight floor, $/MWh
+	Swing     float64 // peak minus floor, $/MWh
+	Rise, Set float64 // hours (0–24) delimiting the daytime bump
+	Sharpness float64 // ≥1 narrows the peak
+}
+
+// PriceMWh evaluates the curve at hour h (fractional hours accepted; h is
+// wrapped into [0, 24)).
+func (r RegionProfile) PriceMWh(h float64) float64 {
+	h = math.Mod(math.Mod(h, 24)+24, 24)
+	if r.Set <= r.Rise || h < r.Rise || h > r.Set {
+		return r.Base
+	}
+	s := math.Sin(math.Pi * (h - r.Rise) / (r.Set - r.Rise))
+	if s < 0 {
+		s = 0
+	}
+	sharp := r.Sharpness
+	if sharp < 1 {
+		sharp = 1
+	}
+	return r.Base + r.Swing*math.Pow(s, sharp)
+}
+
+// PaperRegions returns the four regional profiles of Fig. 3, keyed to the
+// paper's DC sites. The shapes follow the figure: California around
+// $60–110/MWh with a 5pm peak, Texas cheapest ($35–55), Georgia moderate,
+// Illinois moderate with a flatter curve.
+func PaperRegions() []RegionProfile {
+	return []RegionProfile{
+		{Name: "CA", Base: 62, Swing: 48, Rise: 7, Set: 22, Sharpness: 2.0},
+		{Name: "TX", Base: 36, Swing: 20, Rise: 9, Set: 21, Sharpness: 2.5},
+		{Name: "GA", Base: 44, Swing: 26, Rise: 8, Set: 21, Sharpness: 2.0},
+		{Name: "IL", Base: 48, Swing: 22, Rise: 7, Set: 20, Sharpness: 1.5},
+	}
+}
+
+// RegionByName returns the paper region profile with the given name.
+func RegionByName(name string) (RegionProfile, bool) {
+	for _, r := range PaperRegions() {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return RegionProfile{}, false
+}
+
+// ServerPrice converts a $/MWh electricity price into a $/server/period
+// price for a VM class, with a PUE (power usage effectiveness) overhead
+// factor and the period length in hours.
+func ServerPrice(priceMWh float64, class VMClass, pue, periodHours float64) (float64, error) {
+	if priceMWh < 0 || pue < 1 || periodHours <= 0 {
+		return 0, fmt.Errorf("price=%g pue=%g hours=%g: %w", priceMWh, pue, periodHours, ErrBadParameter)
+	}
+	w := class.Watts()
+	if w == 0 {
+		return 0, fmt.Errorf("unknown VM class %d: %w", int(class), ErrBadParameter)
+	}
+	kwh := w / 1000 * pue * periodHours
+	return priceMWh / 1000 * kwh, nil
+}
+
+// DiurnalServer is a Model that prices one server per hourly period from a
+// regional curve.
+type DiurnalServer struct {
+	Region      RegionProfile
+	Class       VMClass
+	PUE         float64 // default 1.3 when zero
+	PeriodHours float64 // default 1 when zero
+}
+
+// Price implements Model. Invalid configurations yield price 0 — callers
+// validate with Validate() at construction time.
+func (d DiurnalServer) Price(k int) float64 {
+	pue := d.PUE
+	if pue == 0 {
+		pue = 1.3
+	}
+	hours := d.PeriodHours
+	if hours == 0 {
+		hours = 1
+	}
+	h := math.Mod(float64(k)*hours, 24)
+	p, err := ServerPrice(d.Region.PriceMWh(h), d.Class, pue, hours)
+	if err != nil {
+		return 0
+	}
+	return p
+}
+
+// Validate checks the configuration of a DiurnalServer model.
+func (d DiurnalServer) Validate() error {
+	pue := d.PUE
+	if pue == 0 {
+		pue = 1.3
+	}
+	hours := d.PeriodHours
+	if hours == 0 {
+		hours = 1
+	}
+	_, err := ServerPrice(d.Region.PriceMWh(0), d.Class, pue, hours)
+	return err
+}
+
+// Volatile wraps a base model with mean-reverting multiplicative noise,
+// used for the hard-to-predict prices of Fig. 9.
+type Volatile struct {
+	base       Model
+	volatility float64
+	reversion  float64
+	factor     float64
+	rng        *rand.Rand
+	lastK      int
+	started    bool
+}
+
+// NewVolatile creates the stochastic wrapper. volatility is the
+// per-period relative standard deviation of the noise factor; reversion in
+// (0,1] pulls the factor back toward 1.
+func NewVolatile(base Model, volatility, reversion float64, rng *rand.Rand) (*Volatile, error) {
+	if base == nil {
+		return nil, fmt.Errorf("nil base: %w", ErrBadParameter)
+	}
+	if volatility < 0 || reversion <= 0 || reversion > 1 {
+		return nil, fmt.Errorf("vol=%g rev=%g: %w", volatility, reversion, ErrBadParameter)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("nil rng: %w", ErrBadParameter)
+	}
+	return &Volatile{base: base, volatility: volatility, reversion: reversion, factor: 1, rng: rng}, nil
+}
+
+// Price implements Model; repeated calls with the same k are stable.
+func (v *Volatile) Price(k int) float64 {
+	if !v.started {
+		v.started = true
+		v.lastK = k
+	}
+	for v.lastK < k {
+		v.factor *= 1 + v.volatility*v.rng.NormFloat64()
+		v.factor += v.reversion * (1 - v.factor)
+		if v.factor < 0.05 {
+			v.factor = 0.05
+		}
+		v.lastK++
+	}
+	return v.base.Price(k) * v.factor
+}
+
+// Trace is a precomputed price series usable as a Model; out-of-range
+// periods clamp to the nearest endpoint.
+type Trace []float64
+
+// Price implements Model.
+func (t Trace) Price(k int) float64 {
+	if len(t) == 0 {
+		return 0
+	}
+	if k < 0 {
+		k = 0
+	}
+	if k >= len(t) {
+		k = len(t) - 1
+	}
+	return t[k]
+}
+
+// Materialize evaluates a model over [0, periods) into a Trace.
+func Materialize(m Model, periods int) (Trace, error) {
+	if m == nil || periods < 0 {
+		return nil, fmt.Errorf("model=%v periods=%d: %w", m, periods, ErrBadParameter)
+	}
+	out := make(Trace, periods)
+	for k := 0; k < periods; k++ {
+		out[k] = m.Price(k)
+	}
+	return out, nil
+}

@@ -1,0 +1,264 @@
+package pricing
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestVMClassWatts(t *testing.T) {
+	cases := []struct {
+		class VMClass
+		watts float64
+		name  string
+	}{
+		{SmallVM, 30, "small"},
+		{MediumVM, 70, "medium"},
+		{LargeVM, 140, "large"},
+	}
+	for _, c := range cases {
+		if c.class.Watts() != c.watts {
+			t.Errorf("%v watts = %g, want %g", c.class, c.class.Watts(), c.watts)
+		}
+		if c.class.String() != c.name {
+			t.Errorf("String = %q, want %q", c.class.String(), c.name)
+		}
+	}
+	if VMClass(0).Watts() != 0 {
+		t.Error("unknown class should have zero watts")
+	}
+	if VMClass(99).String() != "VMClass(99)" {
+		t.Errorf("unknown String = %q", VMClass(99).String())
+	}
+}
+
+func TestPaperRegionsShape(t *testing.T) {
+	regions := PaperRegions()
+	if len(regions) != 4 {
+		t.Fatalf("regions = %d, want 4", len(regions))
+	}
+	ca, ok := RegionByName("CA")
+	if !ok {
+		t.Fatal("CA missing")
+	}
+	tx, ok := RegionByName("TX")
+	if !ok {
+		t.Fatal("TX missing")
+	}
+	if _, ok := RegionByName("ZZ"); ok {
+		t.Error("found nonexistent region")
+	}
+	// Fig. 3 shape checks:
+	// (a) California is more expensive than Texas at every hour.
+	for h := 0.0; h < 24; h++ {
+		if ca.PriceMWh(h) <= tx.PriceMWh(h) {
+			t.Errorf("hour %g: CA %g <= TX %g", h, ca.PriceMWh(h), tx.PriceMWh(h))
+		}
+	}
+	// (b) The CA–TX spread peaks in the afternoon (around 5pm in Fig. 3).
+	spread := func(h float64) float64 { return ca.PriceMWh(h) - tx.PriceMWh(h) }
+	peakHour, peakSpread := 0.0, 0.0
+	for h := 0.0; h < 24; h += 0.5 {
+		if s := spread(h); s > peakSpread {
+			peakHour, peakSpread = h, s
+		}
+	}
+	if peakHour < 12 || peakHour > 20 {
+		t.Errorf("CA-TX spread peaks at hour %g, want afternoon", peakHour)
+	}
+	// (c) All prices within the figure's rough $30-120/MWh band.
+	for _, r := range regions {
+		for h := 0.0; h < 24; h += 0.25 {
+			p := r.PriceMWh(h)
+			if p < 30 || p > 120 {
+				t.Errorf("%s at %g: %g outside Fig.3 band", r.Name, h, p)
+			}
+		}
+	}
+}
+
+func TestRegionProfileWrapsHours(t *testing.T) {
+	ca, _ := RegionByName("CA")
+	if ca.PriceMWh(25) != ca.PriceMWh(1) {
+		t.Error("hour 25 != hour 1")
+	}
+	if ca.PriceMWh(-1) != ca.PriceMWh(23) {
+		t.Error("hour -1 != hour 23")
+	}
+}
+
+func TestRegionProfileDegenerateWindow(t *testing.T) {
+	flat := RegionProfile{Name: "flat", Base: 40, Swing: 100, Rise: 10, Set: 10}
+	for h := 0.0; h < 24; h++ {
+		if flat.PriceMWh(h) != 40 {
+			t.Errorf("degenerate window not flat at %g: %g", h, flat.PriceMWh(h))
+		}
+	}
+}
+
+func TestServerPrice(t *testing.T) {
+	// 70 W medium VM at $100/MWh, PUE 1.0, 1 hour:
+	// 0.07 kW · 1 h = 0.07 kWh → 0.07 · $0.1/kWh = $0.007.
+	p, err := ServerPrice(100, MediumVM, 1.0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.007) > 1e-12 {
+		t.Errorf("price = %g, want 0.007", p)
+	}
+	// PUE scales linearly.
+	p2, err := ServerPrice(100, MediumVM, 2.0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p2-2*p) > 1e-12 {
+		t.Errorf("PUE=2 price %g, want %g", p2, 2*p)
+	}
+}
+
+func TestServerPriceErrors(t *testing.T) {
+	if _, err := ServerPrice(-1, SmallVM, 1, 1); !errors.Is(err, ErrBadParameter) {
+		t.Errorf("negative price err = %v", err)
+	}
+	if _, err := ServerPrice(10, SmallVM, 0.5, 1); !errors.Is(err, ErrBadParameter) {
+		t.Errorf("pue<1 err = %v", err)
+	}
+	if _, err := ServerPrice(10, SmallVM, 1, 0); !errors.Is(err, ErrBadParameter) {
+		t.Errorf("zero hours err = %v", err)
+	}
+	if _, err := ServerPrice(10, VMClass(0), 1, 1); !errors.Is(err, ErrBadParameter) {
+		t.Errorf("bad class err = %v", err)
+	}
+}
+
+func TestDiurnalServerModel(t *testing.T) {
+	ca, _ := RegionByName("CA")
+	m := DiurnalServer{Region: ca, Class: MediumVM}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Price follows the regional curve: 5pm above 3am.
+	if m.Price(17) <= m.Price(3) {
+		t.Errorf("Price(17)=%g should exceed Price(3)=%g", m.Price(17), m.Price(3))
+	}
+	// Day periodicity.
+	if m.Price(3) != m.Price(27) {
+		t.Error("not periodic")
+	}
+	bad := DiurnalServer{Region: ca, Class: VMClass(0)}
+	if err := bad.Validate(); err == nil {
+		t.Error("Validate accepted bad class")
+	}
+	if bad.Price(0) != 0 {
+		t.Error("invalid model should price at 0")
+	}
+}
+
+func TestConstantModel(t *testing.T) {
+	c := Constant{Level: 0.5}
+	if c.Price(0) != 0.5 || c.Price(99) != 0.5 {
+		t.Error("constant model broken")
+	}
+}
+
+func TestVolatileValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewVolatile(nil, 0.1, 0.5, rng); !errors.Is(err, ErrBadParameter) {
+		t.Errorf("nil base err = %v", err)
+	}
+	if _, err := NewVolatile(Constant{1}, -0.1, 0.5, rng); !errors.Is(err, ErrBadParameter) {
+		t.Errorf("negative vol err = %v", err)
+	}
+	if _, err := NewVolatile(Constant{1}, 0.1, 0, rng); !errors.Is(err, ErrBadParameter) {
+		t.Errorf("zero reversion err = %v", err)
+	}
+	if _, err := NewVolatile(Constant{1}, 0.1, 0.5, nil); !errors.Is(err, ErrBadParameter) {
+		t.Errorf("nil rng err = %v", err)
+	}
+}
+
+func TestVolatileStableAndPositive(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	v, err := NewVolatile(Constant{Level: 1}, 0.3, 0.1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0 := v.Price(0)
+	if v.Price(0) != p0 {
+		t.Error("Price(0) unstable")
+	}
+	moved := false
+	prev := p0
+	for k := 1; k < 200; k++ {
+		p := v.Price(k)
+		if p <= 0 {
+			t.Fatalf("non-positive price at %d: %g", k, p)
+		}
+		if p != prev {
+			moved = true
+		}
+		prev = p
+	}
+	if !moved {
+		t.Error("volatile prices never moved")
+	}
+}
+
+func TestPriceTraceAndMaterialize(t *testing.T) {
+	tr := Trace{1, 2, 3}
+	if tr.Price(-1) != 1 || tr.Price(2) != 3 || tr.Price(10) != 3 {
+		t.Error("trace clamping broken")
+	}
+	var empty Trace
+	if empty.Price(0) != 0 {
+		t.Error("empty trace should price 0")
+	}
+	got, err := Materialize(Constant{Level: 4}, 3)
+	if err != nil || len(got) != 3 || got[2] != 4 {
+		t.Errorf("Materialize = %v, %v", got, err)
+	}
+	if _, err := Materialize(nil, 3); !errors.Is(err, ErrBadParameter) {
+		t.Errorf("nil model err = %v", err)
+	}
+}
+
+// Property: regional prices are always at least the base and at most
+// base+swing.
+func TestQuickRegionBounds(t *testing.T) {
+	regions := PaperRegions()
+	f := func(rawH float64, idx uint8) bool {
+		r := regions[int(idx)%len(regions)]
+		h := math.Mod(math.Abs(rawH), 48)
+		if math.IsNaN(h) {
+			h = 0
+		}
+		p := r.PriceMWh(h)
+		return p >= r.Base-1e-9 && p <= r.Base+r.Swing+1e-9
+	}
+	cfg := &quick.Config{MaxCount: 400, Rand: rand.New(rand.NewSource(3))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ServerPrice is linear in the electricity price.
+func TestQuickServerPriceLinear(t *testing.T) {
+	f := func(raw float64) bool {
+		p := math.Abs(raw)
+		if math.IsNaN(p) || math.IsInf(p, 0) || p > 1e6 {
+			p = 50
+		}
+		a, err1 := ServerPrice(p, LargeVM, 1.2, 1)
+		b, err2 := ServerPrice(2*p, LargeVM, 1.2, 1)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(b-2*a) < 1e-9*(1+b)
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(6))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,163 @@
+package pricing
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// SpotMarket models an EC2-spot-style auction price (the paper cites
+// Amazon's spot instances [5] as the mechanism that brings dynamic
+// pricing to public clouds): a mean-reverting base level around a
+// fraction of the on-demand price, with occasional demand-spike jumps
+// that can shoot past on-demand. Prices are capped at the on-demand
+// level times CapFactor (spot markets clear below a published ceiling).
+type SpotMarket struct {
+	onDemand  Model
+	discount  float64 // long-run spot level as a fraction of on-demand
+	vol       float64
+	reversion float64
+	jumpProb  float64
+	jumpScale float64
+	capFactor float64
+	factor    float64
+	rng       *rand.Rand
+	lastK     int
+	started   bool
+}
+
+// SpotConfig parameterizes NewSpotMarket. Zero values take defaults:
+// Discount 0.35, Volatility 0.08, Reversion 0.2, JumpProb 0.04,
+// JumpScale 2.5, CapFactor 1.2.
+type SpotConfig struct {
+	Discount   float64
+	Volatility float64
+	Reversion  float64
+	JumpProb   float64
+	JumpScale  float64
+	CapFactor  float64
+}
+
+func (c SpotConfig) withDefaults() SpotConfig {
+	if c.Discount == 0 {
+		c.Discount = 0.35
+	}
+	if c.Volatility == 0 {
+		c.Volatility = 0.08
+	}
+	if c.Reversion == 0 {
+		c.Reversion = 0.2
+	}
+	if c.JumpProb == 0 {
+		c.JumpProb = 0.04
+	}
+	if c.JumpScale == 0 {
+		c.JumpScale = 2.5
+	}
+	if c.CapFactor == 0 {
+		c.CapFactor = 1.2
+	}
+	return c
+}
+
+func (c SpotConfig) validate() error {
+	if c.Discount <= 0 || c.Discount > 1 {
+		return fmt.Errorf("discount %g: %w", c.Discount, ErrBadParameter)
+	}
+	if c.Volatility < 0 || c.Reversion <= 0 || c.Reversion > 1 {
+		return fmt.Errorf("vol %g, reversion %g: %w", c.Volatility, c.Reversion, ErrBadParameter)
+	}
+	if c.JumpProb < 0 || c.JumpProb > 1 || c.JumpScale < 1 {
+		return fmt.Errorf("jump prob %g, scale %g: %w", c.JumpProb, c.JumpScale, ErrBadParameter)
+	}
+	if c.CapFactor < 1 {
+		return fmt.Errorf("cap factor %g: %w", c.CapFactor, ErrBadParameter)
+	}
+	return nil
+}
+
+// NewSpotMarket wraps an on-demand price model with a spot process.
+func NewSpotMarket(onDemand Model, cfg SpotConfig, rng *rand.Rand) (*SpotMarket, error) {
+	if onDemand == nil {
+		return nil, fmt.Errorf("nil on-demand model: %w", ErrBadParameter)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("nil rng: %w", ErrBadParameter)
+	}
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &SpotMarket{
+		onDemand:  onDemand,
+		discount:  cfg.Discount,
+		vol:       cfg.Volatility,
+		reversion: cfg.Reversion,
+		jumpProb:  cfg.JumpProb,
+		jumpScale: cfg.JumpScale,
+		capFactor: cfg.CapFactor,
+		factor:    cfg.Discount,
+		rng:       rng,
+	}, nil
+}
+
+// Price implements Model: the current spot price. Repeated calls with the
+// same period are stable; the process advances one step per new period.
+func (s *SpotMarket) Price(k int) float64 {
+	if !s.started {
+		s.started = true
+		s.lastK = k
+	}
+	for s.lastK < k {
+		// Mean-reverting multiplicative walk around the discount level.
+		s.factor *= 1 + s.vol*s.rng.NormFloat64()
+		s.factor += s.reversion * (s.discount - s.factor)
+		// Occasional capacity-crunch jump.
+		if s.rng.Float64() < s.jumpProb {
+			s.factor *= 1 + (s.jumpScale-1)*s.rng.Float64()
+		}
+		if s.factor < 0.01 {
+			s.factor = 0.01
+		}
+		if s.factor > s.capFactor {
+			s.factor = s.capFactor
+		}
+		s.lastK++
+	}
+	return s.onDemand.Price(k) * s.factor
+}
+
+// OnDemand returns the wrapped on-demand price at period k.
+func (s *SpotMarket) OnDemand(k int) float64 { return s.onDemand.Price(k) }
+
+// BidPolicy prices a server under a spot bid strategy: pay the spot price
+// while it clears below the bid, fall back to on-demand when it doesn't
+// (modelling the eviction-and-replace cost as simply paying on-demand for
+// that period). Bid is expressed as a fraction of the on-demand price.
+type BidPolicy struct {
+	// Market is the spot process.
+	Market *SpotMarket
+	// BidFraction is the bid as a fraction of on-demand (e.g. 0.5).
+	BidFraction float64
+}
+
+// Price implements Model.
+func (b BidPolicy) Price(k int) float64 {
+	spot := b.Market.Price(k)
+	od := b.Market.OnDemand(k)
+	if spot <= b.BidFraction*od {
+		return spot
+	}
+	return od
+}
+
+// Validate checks the policy configuration.
+func (b BidPolicy) Validate() error {
+	if b.Market == nil {
+		return fmt.Errorf("nil market: %w", ErrBadParameter)
+	}
+	if b.BidFraction <= 0 || math.IsNaN(b.BidFraction) || math.IsInf(b.BidFraction, 0) {
+		return fmt.Errorf("bid fraction %g: %w", b.BidFraction, ErrBadParameter)
+	}
+	return nil
+}

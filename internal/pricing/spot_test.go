@@ -1,0 +1,166 @@
+package pricing
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestNewSpotMarketValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewSpotMarket(nil, SpotConfig{}, rng); !errors.Is(err, ErrBadParameter) {
+		t.Errorf("nil model err = %v", err)
+	}
+	if _, err := NewSpotMarket(Constant{1}, SpotConfig{}, nil); !errors.Is(err, ErrBadParameter) {
+		t.Errorf("nil rng err = %v", err)
+	}
+	bad := []SpotConfig{
+		{Discount: 2},
+		{Volatility: -1},
+		{Reversion: 2},
+		{JumpProb: 2},
+		{JumpScale: 0.5},
+		{CapFactor: 0.5},
+	}
+	for i, cfg := range bad {
+		if _, err := NewSpotMarket(Constant{1}, cfg, rng); !errors.Is(err, ErrBadParameter) {
+			t.Errorf("case %d err = %v", i, err)
+		}
+	}
+}
+
+func TestSpotMarketBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m, err := NewSpotMarket(Constant{Level: 0.10}, SpotConfig{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := m.Price(0)
+	if m.Price(0) != first {
+		t.Error("same-period price unstable")
+	}
+	belowOD := 0
+	for k := 0; k < 2000; k++ {
+		p := m.Price(k)
+		if p <= 0 {
+			t.Fatalf("non-positive spot price %g at %d", p, k)
+		}
+		if p > 0.10*1.2+1e-12 {
+			t.Fatalf("price %g above the cap at %d", p, k)
+		}
+		if p < 0.10 {
+			belowOD++
+		}
+	}
+	// Spot should clear below on-demand the vast majority of the time.
+	if frac := float64(belowOD) / 2000; frac < 0.85 {
+		t.Errorf("only %g of periods below on-demand", frac)
+	}
+	if m.OnDemand(17) != 0.10 {
+		t.Errorf("OnDemand = %g", m.OnDemand(17))
+	}
+}
+
+func TestSpotMarketLongRunDiscount(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m, err := NewSpotMarket(Constant{Level: 1}, SpotConfig{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	n := 5000
+	for k := 0; k < n; k++ {
+		sum += m.Price(k)
+	}
+	avg := sum / float64(n)
+	// Long-run average sits near the discount level (0.35), inflated a
+	// little by jumps.
+	if avg < 0.25 || avg > 0.60 {
+		t.Errorf("long-run spot average %g, want near 0.35", avg)
+	}
+}
+
+func TestSpotMarketJumps(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m, err := NewSpotMarket(Constant{Level: 1}, SpotConfig{JumpProb: 0.2, JumpScale: 3}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spikes := 0
+	for k := 0; k < 1000; k++ {
+		if m.Price(k) > 0.8 {
+			spikes++
+		}
+	}
+	if spikes == 0 {
+		t.Error("no price spikes with aggressive jump settings")
+	}
+}
+
+func TestBidPolicy(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m, err := NewSpotMarket(Constant{Level: 1}, SpotConfig{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := BidPolicy{Market: m, BidFraction: 0.5}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var spotWins, fallbacks int
+	var total float64
+	for k := 0; k < 3000; k++ {
+		p := b.Price(k)
+		total += p
+		if p == 1 {
+			fallbacks++
+		} else {
+			if p > 0.5+1e-12 {
+				t.Fatalf("paid %g above the bid without falling back", p)
+			}
+			spotWins++
+		}
+	}
+	if spotWins == 0 || fallbacks == 0 {
+		t.Errorf("degenerate policy: %d spot, %d fallback", spotWins, fallbacks)
+	}
+	// The blended price must undercut always-on-demand.
+	if avg := total / 3000; avg >= 1 {
+		t.Errorf("bid policy average %g not below on-demand", avg)
+	}
+	bad := BidPolicy{Market: nil, BidFraction: 0.5}
+	if err := bad.Validate(); !errors.Is(err, ErrBadParameter) {
+		t.Errorf("nil market err = %v", err)
+	}
+	bad = BidPolicy{Market: m, BidFraction: 0}
+	if err := bad.Validate(); !errors.Is(err, ErrBadParameter) {
+		t.Errorf("zero bid err = %v", err)
+	}
+}
+
+// The spot model composes with the controller stack: feeding BidPolicy
+// prices into Materialize produces a usable trace.
+func TestSpotMaterializeIntegration(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	ca, ok := RegionByName("CA")
+	if !ok {
+		t.Fatal("CA missing")
+	}
+	od := DiurnalServer{Region: ca, Class: MediumVM}
+	m, err := NewSpotMarket(od, SpotConfig{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := Materialize(BidPolicy{Market: m, BidFraction: 0.6}, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != 48 {
+		t.Fatalf("trace length %d", len(trace))
+	}
+	for k, p := range trace {
+		if p <= 0 || p > od.Price(k)*1.2+1e-12 {
+			t.Errorf("period %d: price %g out of bounds", k, p)
+		}
+	}
+}

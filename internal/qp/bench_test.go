@@ -1,0 +1,45 @@
+package qp
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkSolve measures interior-point solve time as the problem grows:
+// the per-MPC-step cost that dominates the controller's runtime.
+func BenchmarkSolve(b *testing.B) {
+	for _, size := range []struct{ n, m int }{
+		{10, 20}, {50, 100}, {150, 300}, {300, 600},
+	} {
+		rng := rand.New(rand.NewSource(42))
+		p := randomFeasibleQP(rng, size.n, size.m)
+		b.Run(fmt.Sprintf("n%d_m%d", size.n, size.m), func(b *testing.B) {
+			b.ReportAllocs()
+			var iters int
+			for i := 0; i < b.N; i++ {
+				res, err := Solve(p, DefaultOptions())
+				if err != nil {
+					b.Fatal(err)
+				}
+				iters = res.Iterations
+			}
+			b.ReportMetric(float64(iters), "ipm_iters")
+		})
+	}
+}
+
+// BenchmarkSolveEqualityOnly measures the direct KKT path (no
+// inequalities), the fast path used by the LQ cross-checks.
+func BenchmarkSolveEqualityOnly(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	n := 100
+	p := randomFeasibleQP(rng, n, 1)
+	p.G, p.H = nil, nil
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p, DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

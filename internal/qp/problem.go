@@ -1,0 +1,169 @@
+// Package qp solves convex quadratic programs of the form
+//
+//	minimize   ½ xᵀQx + qᵀx
+//	subject to G x ≤ h        (m inequality constraints)
+//	           A x = b        (p equality constraints)
+//
+// with a primal–dual interior-point method (Mehrotra predictor–corrector).
+// Q must be symmetric positive semidefinite; the solver adds a tiny static
+// regularization so strictly convex behaviour is recovered numerically.
+//
+// The solver reports both the primal solution and the dual multipliers of
+// the inequality constraints. The duals are consumed directly by the
+// resource-competition game (paper Algorithm 2), which reallocates data
+// center quotas proportionally to the capacity-constraint duals.
+package qp
+
+import (
+	"errors"
+	"fmt"
+
+	"dspp/internal/linalg"
+)
+
+// Sentinel errors reported by Solve.
+var (
+	// ErrMaxIterations means the iteration limit was reached before the
+	// tolerances were met. The best iterate found is still returned.
+	ErrMaxIterations = errors.New("qp: maximum iterations reached")
+	// ErrNumerical means a linear solve inside the IPM failed
+	// (typically a singular or indefinite KKT system).
+	ErrNumerical = errors.New("qp: numerical failure")
+	// ErrBadProblem means the problem dimensions are inconsistent.
+	ErrBadProblem = errors.New("qp: inconsistent problem dimensions")
+)
+
+// Problem is a convex QP instance. G/h and A/b may be nil for problems
+// without inequality or equality constraints respectively.
+type Problem struct {
+	Q *linalg.Matrix // n×n, symmetric PSD
+	C linalg.Vector  // n, linear cost term q
+	G *linalg.Matrix // m×n or nil
+	H linalg.Vector  // m or nil
+	A *linalg.Matrix // p×n or nil
+	B linalg.Vector  // p or nil
+}
+
+// Validate checks dimensional consistency.
+func (p *Problem) Validate() error {
+	if p.Q == nil {
+		return fmt.Errorf("nil Q: %w", ErrBadProblem)
+	}
+	n := p.Q.Rows()
+	if p.Q.Cols() != n {
+		return fmt.Errorf("Q is %dx%d: %w", p.Q.Rows(), p.Q.Cols(), ErrBadProblem)
+	}
+	if len(p.C) != n {
+		return fmt.Errorf("c has %d entries, n=%d: %w", len(p.C), n, ErrBadProblem)
+	}
+	if (p.G == nil) != (p.H == nil) {
+		return fmt.Errorf("G and h must both be set or both nil: %w", ErrBadProblem)
+	}
+	if p.G != nil {
+		if p.G.Cols() != n {
+			return fmt.Errorf("G has %d cols, n=%d: %w", p.G.Cols(), n, ErrBadProblem)
+		}
+		if p.G.Rows() != len(p.H) {
+			return fmt.Errorf("G has %d rows, h has %d: %w", p.G.Rows(), len(p.H), ErrBadProblem)
+		}
+	}
+	if (p.A == nil) != (p.B == nil) {
+		return fmt.Errorf("A and b must both be set or both nil: %w", ErrBadProblem)
+	}
+	if p.A != nil {
+		if p.A.Cols() != n {
+			return fmt.Errorf("A has %d cols, n=%d: %w", p.A.Cols(), n, ErrBadProblem)
+		}
+		if p.A.Rows() != len(p.B) {
+			return fmt.Errorf("A has %d rows, b has %d: %w", p.A.Rows(), len(p.B), ErrBadProblem)
+		}
+	}
+	return nil
+}
+
+// NumVars returns the number of decision variables.
+func (p *Problem) NumVars() int { return p.Q.Rows() }
+
+// NumIneq returns the number of inequality constraints.
+func (p *Problem) NumIneq() int {
+	if p.G == nil {
+		return 0
+	}
+	return p.G.Rows()
+}
+
+// NumEq returns the number of equality constraints.
+func (p *Problem) NumEq() int {
+	if p.A == nil {
+		return 0
+	}
+	return p.A.Rows()
+}
+
+// Objective evaluates ½xᵀQx + qᵀx.
+func (p *Problem) Objective(x linalg.Vector) (float64, error) {
+	if len(x) != p.NumVars() {
+		return 0, fmt.Errorf("objective at x of len %d, n=%d: %w", len(x), p.NumVars(), ErrBadProblem)
+	}
+	qx := linalg.NewVector(len(x))
+	if err := p.Q.MulVec(x, qx); err != nil {
+		return 0, err
+	}
+	xqx, err := linalg.Dot(x, qx)
+	if err != nil {
+		return 0, err
+	}
+	cx, err := linalg.Dot(p.C, x)
+	if err != nil {
+		return 0, err
+	}
+	return 0.5*xqx + cx, nil
+}
+
+// Result holds the outcome of a Solve call.
+type Result struct {
+	X          linalg.Vector // primal solution
+	IneqDuals  linalg.Vector // z ≥ 0, multipliers of Gx ≤ h (nil if m = 0)
+	EqDuals    linalg.Vector // y, multipliers of Ax = b (nil if p = 0)
+	Objective  float64       // objective value at X
+	Iterations int           // IPM iterations performed
+	Gap        float64       // final average complementarity gap sᵀz/m
+	PrimalRes  float64       // final primal residual (∞-norm)
+	DualRes    float64       // final dual residual (∞-norm)
+}
+
+// Options tunes the interior-point solver. The zero value is usable via
+// DefaultOptions.
+type Options struct {
+	MaxIterations int     // default 100
+	Tolerance     float64 // residual/gap tolerance, default 1e-8
+	StepScale     float64 // fraction-to-boundary, default 0.99
+	Regularize    float64 // static diagonal regularization, default 1e-12
+}
+
+// DefaultOptions returns the recommended solver settings.
+func DefaultOptions() Options {
+	return Options{
+		MaxIterations: 100,
+		Tolerance:     1e-8,
+		StepScale:     0.99,
+		Regularize:    1e-12,
+	}
+}
+
+func (o Options) withDefaults() Options {
+	d := DefaultOptions()
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = d.MaxIterations
+	}
+	if o.Tolerance <= 0 {
+		o.Tolerance = d.Tolerance
+	}
+	if o.StepScale <= 0 || o.StepScale >= 1 {
+		o.StepScale = d.StepScale
+	}
+	if o.Regularize <= 0 {
+		o.Regularize = d.Regularize
+	}
+	return o
+}

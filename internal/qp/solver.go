@@ -1,0 +1,457 @@
+package qp
+
+import (
+	"fmt"
+	"math"
+
+	"dspp/internal/linalg"
+)
+
+// Solve minimizes the given convex QP with a primal–dual interior-point
+// method. On ErrMaxIterations the best iterate found so far is returned
+// alongside the error so callers may decide whether it is usable.
+func Solve(p *Problem, opts Options) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+
+	n := p.NumVars()
+	m := p.NumIneq()
+	pe := p.NumEq()
+
+	if m == 0 {
+		return solveEqualityOnly(p, opts)
+	}
+
+	st := newIPMState(p, n, m, pe)
+	st.initPoint()
+
+	for iter := 0; iter < opts.MaxIterations; iter++ {
+		st.computeResiduals()
+		mu := st.gap()
+		if st.converged(opts.Tolerance, mu) {
+			return st.result(p, iter, mu)
+		}
+
+		if err := st.factorKKT(opts.Regularize); err != nil {
+			return nil, fmt.Errorf("iteration %d: %w", iter, err)
+		}
+
+		// Affine (predictor) direction: pure Newton on the residuals with
+		// rc = s∘z (no centering).
+		for i := 0; i < m; i++ {
+			st.rc[i] = st.s[i] * st.z[i]
+		}
+		if err := st.solveDirection(); err != nil {
+			return nil, fmt.Errorf("iteration %d (affine): %w", iter, err)
+		}
+		alphaAff := st.maxStep()
+		muAff := st.gapAfter(alphaAff)
+
+		// Centering parameter (Mehrotra heuristic).
+		sigma := 0.0
+		if mu > 0 {
+			r := muAff / mu
+			sigma = r * r * r
+		}
+
+		// Corrector direction: rc = s∘z + Δs_aff∘Δz_aff − σμ·1.
+		for i := 0; i < m; i++ {
+			st.rc[i] = st.s[i]*st.z[i] + st.ds[i]*st.dz[i] - sigma*mu
+		}
+		if err := st.solveDirection(); err != nil {
+			return nil, fmt.Errorf("iteration %d (corrector): %w", iter, err)
+		}
+
+		alpha := opts.StepScale * st.maxStep()
+		if alpha > 1 {
+			alpha = 1
+		}
+		st.step(alpha)
+	}
+
+	st.computeResiduals()
+	mu := st.gap()
+	res, err := st.result(p, opts.MaxIterations, mu)
+	if err != nil {
+		return nil, err
+	}
+	// Accept a slightly looser solution before reporting failure: MPC loops
+	// prefer a usable near-optimal control to an error.
+	if st.converged(opts.Tolerance*1e4, mu) {
+		return res, nil
+	}
+	return res, fmt.Errorf("gap=%.3g primal=%.3g dual=%.3g: %w",
+		mu, res.PrimalRes, res.DualRes, ErrMaxIterations)
+}
+
+// ipmState carries the working vectors of the interior-point iteration.
+type ipmState struct {
+	p       *Problem
+	n, m, q int // vars, inequalities, equalities
+
+	x, s, z, y linalg.Vector // primal, slack, ineq dual, eq dual
+
+	rd, rp, re, rc linalg.Vector // residuals
+	dx, ds, dz, dy linalg.Vector // search direction
+
+	w    linalg.Vector // z/s weights
+	hMat *linalg.Matrix
+	chol *linalg.Cholesky
+	// Schur complement pieces for equality constraints.
+	hInvAt *linalg.Matrix
+	schur  *linalg.Cholesky
+
+	scratchN linalg.Vector
+	scratchM linalg.Vector
+	scratchQ linalg.Vector
+}
+
+func newIPMState(p *Problem, n, m, q int) *ipmState {
+	return &ipmState{
+		p: p, n: n, m: m, q: q,
+		x: linalg.NewVector(n), s: linalg.NewVector(m),
+		z: linalg.NewVector(m), y: linalg.NewVector(q),
+		rd: linalg.NewVector(n), rp: linalg.NewVector(m),
+		re: linalg.NewVector(q), rc: linalg.NewVector(m),
+		dx: linalg.NewVector(n), ds: linalg.NewVector(m),
+		dz: linalg.NewVector(m), dy: linalg.NewVector(q),
+		w:        linalg.NewVector(m),
+		hMat:     linalg.NewMatrix(n, n),
+		scratchN: linalg.NewVector(n), scratchM: linalg.NewVector(m),
+		scratchQ: linalg.NewVector(q),
+	}
+}
+
+// initPoint picks a strictly feasible-in-(s,z) starting point.
+func (st *ipmState) initPoint() {
+	st.x.Zero()
+	gx := st.scratchM
+	_ = st.p.G.MulVec(st.x, gx)
+	for i := 0; i < st.m; i++ {
+		slack := st.p.H[i] - gx[i]
+		if slack < 1 {
+			slack = 1
+		}
+		st.s[i] = slack
+		st.z[i] = 1
+	}
+	st.y.Zero()
+}
+
+func (st *ipmState) computeResiduals() {
+	p := st.p
+	// rd = Qx + c + Gᵀz + Aᵀy
+	_ = p.Q.MulVec(st.x, st.rd)
+	for i := range st.rd {
+		st.rd[i] += p.C[i]
+	}
+	_ = p.G.MulVecT(st.z, st.scratchN)
+	for i := range st.rd {
+		st.rd[i] += st.scratchN[i]
+	}
+	if st.q > 0 {
+		_ = p.A.MulVecT(st.y, st.scratchN)
+		for i := range st.rd {
+			st.rd[i] += st.scratchN[i]
+		}
+	}
+	// rp = Gx + s − h
+	_ = p.G.MulVec(st.x, st.rp)
+	for i := range st.rp {
+		st.rp[i] += st.s[i] - p.H[i]
+	}
+	// re = Ax − b
+	if st.q > 0 {
+		_ = p.A.MulVec(st.x, st.re)
+		for i := range st.re {
+			st.re[i] -= p.B[i]
+		}
+	}
+}
+
+func (st *ipmState) gap() float64 {
+	var g float64
+	for i := 0; i < st.m; i++ {
+		g += st.s[i] * st.z[i]
+	}
+	return g / float64(st.m)
+}
+
+func (st *ipmState) gapAfter(alpha float64) float64 {
+	var g float64
+	for i := 0; i < st.m; i++ {
+		g += (st.s[i] + alpha*st.ds[i]) * (st.z[i] + alpha*st.dz[i])
+	}
+	return g / float64(st.m)
+}
+
+func (st *ipmState) converged(tol, mu float64) bool {
+	// Relative tests, each against its own natural scale: the duality gap
+	// against the objective magnitude, the dual residual against the cost
+	// vector, the primal residuals against the constraint data. Scaling
+	// everything by ‖h‖ would let one huge (slack) bound mask a bad gap.
+	obj, err := st.p.Objective(st.x)
+	if err != nil {
+		return false
+	}
+	objScale := 1 + math.Abs(obj)
+	dualScale := 1 + st.p.C.NormInf()
+	priScale := 1.0
+	if st.m > 0 {
+		priScale += st.p.H.NormInf()
+	}
+	eqScale := 1.0
+	if st.q > 0 {
+		eqScale += st.p.B.NormInf()
+	}
+	return mu < tol*objScale &&
+		st.rd.NormInf() < tol*dualScale*objScale &&
+		st.rp.NormInf() < tol*priScale &&
+		st.re.NormInf() < tol*eqScale
+}
+
+// factorKKT forms H = Q + Gᵀdiag(z/s)G (+ regularization) and factorizes
+// it, plus the Schur complement A H⁻¹ Aᵀ when equalities are present.
+func (st *ipmState) factorKKT(reg float64) error {
+	for i := 0; i < st.m; i++ {
+		st.w[i] = st.z[i] / st.s[i]
+	}
+	st.hMat.Zero()
+	if err := st.p.G.AtATWeighted(st.w, st.hMat); err != nil {
+		return err
+	}
+	if err := st.hMat.AddScaled(1, st.p.Q); err != nil {
+		return err
+	}
+	for i := 0; i < st.n; i++ {
+		st.hMat.Inc(i, i, reg)
+	}
+	chol, err := linalg.NewCholesky(st.hMat)
+	if err != nil {
+		// Retry once with heavier regularization, scaled to the matrix
+		// magnitude: near-complementary iterates blow the z/s weights up
+		// to ~1e14, where an absolute 1e-8 shift is lost in rounding.
+		var maxDiag float64
+		for i := 0; i < st.n; i++ {
+			if d := st.hMat.At(i, i); d > maxDiag {
+				maxDiag = d
+			}
+		}
+		bump := 1e-8 * (1 + maxDiag)
+		for i := 0; i < st.n; i++ {
+			st.hMat.Inc(i, i, bump)
+		}
+		chol, err = linalg.NewCholesky(st.hMat)
+		if err != nil {
+			return fmt.Errorf("%v: %w", err, ErrNumerical)
+		}
+	}
+	st.chol = chol
+
+	if st.q > 0 {
+		at := st.p.A.T()
+		st.hInvAt, err = chol.SolveMatrix(at)
+		if err != nil {
+			return fmt.Errorf("%v: %w", err, ErrNumerical)
+		}
+		sc, err := linalg.Mul(st.p.A, st.hInvAt)
+		if err != nil {
+			return fmt.Errorf("%v: %w", err, ErrNumerical)
+		}
+		for i := 0; i < st.q; i++ {
+			sc.Inc(i, i, reg)
+		}
+		st.schur, err = linalg.NewCholesky(sc)
+		if err != nil {
+			return fmt.Errorf("schur: %v: %w", err, ErrNumerical)
+		}
+	}
+	return nil
+}
+
+// solveDirection solves the reduced Newton system for the current
+// residuals (rd, rp, re, rc), storing the direction in dx/ds/dz/dy.
+// factorKKT must have been called for the current (s, z).
+func (st *ipmState) solveDirection() error {
+	// r1 = −rd − Gᵀ S⁻¹ (Z·rp − rc)
+	for i := 0; i < st.m; i++ {
+		st.scratchM[i] = (st.z[i]*st.rp[i] - st.rc[i]) / st.s[i]
+	}
+	if err := st.p.G.MulVecT(st.scratchM, st.scratchN); err != nil {
+		return err
+	}
+	r1 := st.dx // reuse storage
+	for i := 0; i < st.n; i++ {
+		r1[i] = -st.rd[i] - st.scratchN[i]
+	}
+
+	if st.q == 0 {
+		if err := st.chol.Solve(r1, st.dx); err != nil {
+			return fmt.Errorf("%v: %w", err, ErrNumerical)
+		}
+	} else {
+		// Schur: (A H⁻¹ Aᵀ) dy = A H⁻¹ r1 + re, dx = H⁻¹ (r1 − Aᵀ dy).
+		hr := linalg.NewVector(st.n)
+		if err := st.chol.Solve(r1, hr); err != nil {
+			return fmt.Errorf("%v: %w", err, ErrNumerical)
+		}
+		rhs := st.scratchQ
+		if err := st.p.A.MulVec(hr, rhs); err != nil {
+			return err
+		}
+		for i := 0; i < st.q; i++ {
+			rhs[i] += st.re[i]
+		}
+		if err := st.schur.Solve(rhs, st.dy); err != nil {
+			return fmt.Errorf("%v: %w", err, ErrNumerical)
+		}
+		if err := st.p.A.MulVecT(st.dy, st.scratchN); err != nil {
+			return err
+		}
+		for i := 0; i < st.n; i++ {
+			r1[i] -= st.scratchN[i]
+		}
+		if err := st.chol.Solve(r1, st.dx); err != nil {
+			return fmt.Errorf("%v: %w", err, ErrNumerical)
+		}
+	}
+
+	// ds = −rp − G dx ; dz = S⁻¹(−rc − Z ds).
+	if err := st.p.G.MulVec(st.dx, st.scratchM); err != nil {
+		return err
+	}
+	for i := 0; i < st.m; i++ {
+		st.ds[i] = -st.rp[i] - st.scratchM[i]
+		st.dz[i] = (-st.rc[i] - st.z[i]*st.ds[i]) / st.s[i]
+	}
+	return nil
+}
+
+// maxStep returns the largest alpha in (0, 1] keeping s and z positive.
+func (st *ipmState) maxStep() float64 {
+	alpha := 1.0
+	for i := 0; i < st.m; i++ {
+		if st.ds[i] < 0 {
+			if a := -st.s[i] / st.ds[i]; a < alpha {
+				alpha = a
+			}
+		}
+		if st.dz[i] < 0 {
+			if a := -st.z[i] / st.dz[i]; a < alpha {
+				alpha = a
+			}
+		}
+	}
+	return alpha
+}
+
+func (st *ipmState) step(alpha float64) {
+	_ = st.x.AXPY(alpha, st.dx)
+	_ = st.s.AXPY(alpha, st.ds)
+	_ = st.z.AXPY(alpha, st.dz)
+	_ = st.y.AXPY(alpha, st.dy)
+	const floor = 1e-14
+	for i := 0; i < st.m; i++ {
+		if st.s[i] < floor {
+			st.s[i] = floor
+		}
+		if st.z[i] < floor {
+			st.z[i] = floor
+		}
+	}
+}
+
+func (st *ipmState) result(p *Problem, iters int, mu float64) (*Result, error) {
+	obj, err := p.Objective(st.x)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		X:          st.x.Clone(),
+		IneqDuals:  st.z.Clone(),
+		Objective:  obj,
+		Iterations: iters,
+		Gap:        mu,
+		PrimalRes:  math.Max(st.rp.NormInf(), st.re.NormInf()),
+		DualRes:    st.rd.NormInf(),
+	}
+	if st.q > 0 {
+		res.EqDuals = st.y.Clone()
+	}
+	return res, nil
+}
+
+// solveEqualityOnly handles problems with no inequality constraints by
+// solving the KKT system directly:
+//
+//	[Q Aᵀ; A 0] [x; y] = [−c; b]
+func solveEqualityOnly(p *Problem, opts Options) (*Result, error) {
+	n := p.NumVars()
+	q := p.NumEq()
+	hm := p.Q.Clone()
+	for i := 0; i < n; i++ {
+		hm.Inc(i, i, opts.Regularize)
+	}
+	chol, err := linalg.NewCholesky(hm)
+	if err != nil {
+		return nil, fmt.Errorf("unconstrained Q: %v: %w", err, ErrNumerical)
+	}
+	negC := p.C.Clone()
+	negC.Scale(-1)
+	if q == 0 {
+		x := linalg.NewVector(n)
+		if err := chol.Solve(negC, x); err != nil {
+			return nil, fmt.Errorf("%v: %w", err, ErrNumerical)
+		}
+		obj, err := p.Objective(x)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{X: x, Objective: obj, Iterations: 1}, nil
+	}
+	hInvAt, err := chol.SolveMatrix(p.A.T())
+	if err != nil {
+		return nil, fmt.Errorf("%v: %w", err, ErrNumerical)
+	}
+	sc, err := linalg.Mul(p.A, hInvAt)
+	if err != nil {
+		return nil, err
+	}
+	schur, err := linalg.NewCholesky(sc)
+	if err != nil {
+		return nil, fmt.Errorf("schur: %v: %w", err, ErrNumerical)
+	}
+	hInvC := linalg.NewVector(n)
+	if err := chol.Solve(negC, hInvC); err != nil {
+		return nil, fmt.Errorf("%v: %w", err, ErrNumerical)
+	}
+	rhs := linalg.NewVector(q)
+	if err := p.A.MulVec(hInvC, rhs); err != nil {
+		return nil, err
+	}
+	for i := 0; i < q; i++ {
+		rhs[i] -= p.B[i]
+	}
+	y := linalg.NewVector(q)
+	if err := schur.Solve(rhs, y); err != nil {
+		return nil, fmt.Errorf("%v: %w", err, ErrNumerical)
+	}
+	aty := linalg.NewVector(n)
+	if err := p.A.MulVecT(y, aty); err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		negC[i] -= aty[i]
+	}
+	x := linalg.NewVector(n)
+	if err := chol.Solve(negC, x); err != nil {
+		return nil, fmt.Errorf("%v: %w", err, ErrNumerical)
+	}
+	obj, err := p.Objective(x)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{X: x, EqDuals: y, Objective: obj, Iterations: 1}, nil
+}

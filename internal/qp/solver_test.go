@@ -1,0 +1,392 @@
+package qp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dspp/internal/linalg"
+)
+
+func mustMatrix(t *testing.T, rows [][]float64) *linalg.Matrix {
+	t.Helper()
+	m, err := linalg.MatrixFromRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func solveOK(t *testing.T, p *Problem) *Result {
+	t.Helper()
+	res, err := Solve(p, DefaultOptions())
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return res
+}
+
+func TestUnconstrainedQP(t *testing.T) {
+	// min ½(x₁²+x₂²) − x₁ − 2x₂  →  x = (1, 2).
+	p := &Problem{
+		Q: linalg.Identity(2),
+		C: linalg.VectorOf(-1, -2),
+	}
+	res := solveOK(t, p)
+	if math.Abs(res.X[0]-1) > 1e-8 || math.Abs(res.X[1]-2) > 1e-8 {
+		t.Errorf("x = %v, want (1,2)", res.X)
+	}
+}
+
+func TestEqualityOnlyQP(t *testing.T) {
+	// min ½||x||² s.t. x₁+x₂ = 2  →  x = (1,1), dual y = −1.
+	p := &Problem{
+		Q: linalg.Identity(2),
+		C: linalg.NewVector(2),
+		A: mustMatrix(t, [][]float64{{1, 1}}),
+		B: linalg.VectorOf(2),
+	}
+	res := solveOK(t, p)
+	if math.Abs(res.X[0]-1) > 1e-8 || math.Abs(res.X[1]-1) > 1e-8 {
+		t.Errorf("x = %v, want (1,1)", res.X)
+	}
+	if res.EqDuals == nil || math.Abs(res.EqDuals[0]+1) > 1e-6 {
+		t.Errorf("y = %v, want [-1]", res.EqDuals)
+	}
+}
+
+func TestBoxConstrainedQP(t *testing.T) {
+	// min ½(x−3)² s.t. 0 ≤ x ≤ 1  →  x = 1, active upper bound,
+	// dual of x ≤ 1 equals 2 (gradient x−3 at 1 is −2 → z = 2).
+	p := &Problem{
+		Q: linalg.Identity(1),
+		C: linalg.VectorOf(-3),
+		G: mustMatrix(t, [][]float64{{1}, {-1}}),
+		H: linalg.VectorOf(1, 0),
+	}
+	res := solveOK(t, p)
+	if math.Abs(res.X[0]-1) > 1e-6 {
+		t.Errorf("x = %v, want 1", res.X)
+	}
+	if math.Abs(res.IneqDuals[0]-2) > 1e-5 {
+		t.Errorf("upper-bound dual = %g, want 2", res.IneqDuals[0])
+	}
+	if res.IneqDuals[1] > 1e-6 {
+		t.Errorf("inactive dual = %g, want ~0", res.IneqDuals[1])
+	}
+}
+
+func TestProjectionOntoSimplex(t *testing.T) {
+	// min ½||x − y||² s.t. 1ᵀx = 1, x ≥ 0, y = (0.9, 0.6, −0.5).
+	// Known projection: (0.65, 0.35, 0).
+	y := linalg.VectorOf(0.9, 0.6, -0.5)
+	c := y.Clone()
+	c.Scale(-1)
+	p := &Problem{
+		Q: linalg.Identity(3),
+		C: c,
+		G: mustMatrix(t, [][]float64{{-1, 0, 0}, {0, -1, 0}, {0, 0, -1}}),
+		H: linalg.NewVector(3),
+		A: mustMatrix(t, [][]float64{{1, 1, 1}}),
+		B: linalg.VectorOf(1),
+	}
+	res := solveOK(t, p)
+	want := []float64{0.65, 0.35, 0}
+	for i := range want {
+		if math.Abs(res.X[i]-want[i]) > 1e-6 {
+			t.Errorf("x[%d] = %g, want %g", i, res.X[i], want[i])
+		}
+	}
+}
+
+func TestLPviaQP(t *testing.T) {
+	// Pure LP (Q = 0): min −x₁−x₂ s.t. x₁+2x₂ ≤ 4, x ≥ 0, x₁ ≤ 3.
+	// Optimum at vertex (3, 0.5) with objective −3.5.
+	p := &Problem{
+		Q: linalg.NewMatrix(2, 2),
+		C: linalg.VectorOf(-1, -1),
+		G: mustMatrix(t, [][]float64{
+			{1, 2},
+			{-1, 0},
+			{0, -1},
+			{1, 0},
+		}),
+		H: linalg.VectorOf(4, 0, 0, 3),
+	}
+	res := solveOK(t, p)
+	if math.Abs(res.X[0]-3) > 1e-5 || math.Abs(res.X[1]-0.5) > 1e-5 {
+		t.Errorf("x = %v, want (3, 0.5)", res.X)
+	}
+	if math.Abs(res.Objective+3.5) > 1e-5 {
+		t.Errorf("obj = %g, want -3.5", res.Objective)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		p    *Problem
+	}{
+		{"nil Q", &Problem{C: linalg.VectorOf(1)}},
+		{"non-square Q", &Problem{Q: linalg.NewMatrix(2, 3), C: linalg.VectorOf(1, 2)}},
+		{"c wrong len", &Problem{Q: linalg.Identity(2), C: linalg.VectorOf(1)}},
+		{"G without h", &Problem{Q: linalg.Identity(1), C: linalg.VectorOf(0), G: linalg.Identity(1)}},
+		{"G col mismatch", &Problem{Q: linalg.Identity(1), C: linalg.VectorOf(0),
+			G: linalg.NewMatrix(1, 2), H: linalg.VectorOf(1)}},
+		{"G row mismatch", &Problem{Q: linalg.Identity(1), C: linalg.VectorOf(0),
+			G: linalg.NewMatrix(2, 1), H: linalg.VectorOf(1)}},
+		{"A without b", &Problem{Q: linalg.Identity(1), C: linalg.VectorOf(0), A: linalg.Identity(1)}},
+		{"A col mismatch", &Problem{Q: linalg.Identity(1), C: linalg.VectorOf(0),
+			A: linalg.NewMatrix(1, 2), B: linalg.VectorOf(1)}},
+		{"A row mismatch", &Problem{Q: linalg.Identity(1), C: linalg.VectorOf(0),
+			A: linalg.NewMatrix(2, 1), B: linalg.VectorOf(1)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Solve(tc.p, DefaultOptions()); !errors.Is(err, ErrBadProblem) {
+				t.Errorf("err = %v, want ErrBadProblem", err)
+			}
+		})
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	d := DefaultOptions()
+	if o != d {
+		t.Errorf("withDefaults() = %+v, want %+v", o, d)
+	}
+	custom := Options{MaxIterations: 7, Tolerance: 1e-4, StepScale: 0.5, Regularize: 1e-9}
+	if got := custom.withDefaults(); got != custom {
+		t.Errorf("custom options altered: %+v", got)
+	}
+}
+
+// checkKKT verifies the KKT conditions of a solution within tolerance.
+func checkKKT(t *testing.T, p *Problem, res *Result, tol float64) {
+	t.Helper()
+	n := p.NumVars()
+	// Stationarity: Qx + c + Gᵀz + Aᵀy ≈ 0.
+	grad := linalg.NewVector(n)
+	if err := p.Q.MulVec(res.X, grad); err != nil {
+		t.Fatal(err)
+	}
+	for i := range grad {
+		grad[i] += p.C[i]
+	}
+	if p.G != nil {
+		gtz := linalg.NewVector(n)
+		if err := p.G.MulVecT(res.IneqDuals, gtz); err != nil {
+			t.Fatal(err)
+		}
+		for i := range grad {
+			grad[i] += gtz[i]
+		}
+	}
+	if p.A != nil {
+		aty := linalg.NewVector(n)
+		if err := p.A.MulVecT(res.EqDuals, aty); err != nil {
+			t.Fatal(err)
+		}
+		for i := range grad {
+			grad[i] += aty[i]
+		}
+	}
+	if g := grad.NormInf(); g > tol {
+		t.Errorf("stationarity violated: %g", g)
+	}
+	// Primal feasibility + complementary slackness.
+	if p.G != nil {
+		gx := linalg.NewVector(p.NumIneq())
+		if err := p.G.MulVec(res.X, gx); err != nil {
+			t.Fatal(err)
+		}
+		for i := range gx {
+			slack := p.H[i] - gx[i]
+			if slack < -tol {
+				t.Errorf("ineq %d violated by %g", i, -slack)
+			}
+			if res.IneqDuals[i] < -tol {
+				t.Errorf("dual %d negative: %g", i, res.IneqDuals[i])
+			}
+			if cs := math.Abs(slack * res.IneqDuals[i]); cs > tol*10 {
+				t.Errorf("complementarity %d: %g", i, cs)
+			}
+		}
+	}
+	if p.A != nil {
+		ax := linalg.NewVector(p.NumEq())
+		if err := p.A.MulVec(res.X, ax); err != nil {
+			t.Fatal(err)
+		}
+		for i := range ax {
+			if math.Abs(ax[i]-p.B[i]) > tol {
+				t.Errorf("eq %d violated: %g", i, ax[i]-p.B[i])
+			}
+		}
+	}
+}
+
+func TestKKTOnRandomProblems(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(8)
+		m := 1 + rng.Intn(2*n)
+		p := randomFeasibleQP(rng, n, m)
+		res, err := Solve(p, DefaultOptions())
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		checkKKT(t, p, res, 1e-5)
+	}
+}
+
+// randomFeasibleQP builds a strictly convex QP whose feasible set contains
+// the origin's neighbourhood (h ≥ 1), so it is always solvable.
+func randomFeasibleQP(rng *rand.Rand, n, m int) *Problem {
+	q := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		q.Set(i, i, 0.5+rng.Float64()*2)
+	}
+	c := linalg.NewVector(n)
+	for i := range c {
+		c[i] = rng.NormFloat64() * 2
+	}
+	g := linalg.NewMatrix(m, n)
+	h := linalg.NewVector(m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			g.Set(i, j, rng.NormFloat64())
+		}
+		h[i] = 1 + rng.Float64()*3
+	}
+	return &Problem{Q: q, C: c, G: g, H: h}
+}
+
+// bruteForceQP solves a small QP by enumerating active sets. For each
+// subset S of inequality constraints, solve the equality-constrained QP
+// treating S as tight; keep the best feasible KKT point.
+func bruteForceQP(p *Problem) (linalg.Vector, float64, bool) {
+	n := p.NumVars()
+	m := p.NumIneq()
+	best := math.Inf(1)
+	var bestX linalg.Vector
+	for mask := 0; mask < (1 << m); mask++ {
+		var rows [][]float64
+		var rhs []float64
+		for i := 0; i < m; i++ {
+			if mask&(1<<i) != 0 {
+				row := make([]float64, n)
+				for j := 0; j < n; j++ {
+					row[j] = p.G.At(i, j)
+				}
+				rows = append(rows, row)
+				rhs = append(rhs, p.H[i])
+			}
+		}
+		sub := &Problem{Q: p.Q, C: p.C}
+		if len(rows) > 0 {
+			a, err := linalg.MatrixFromRows(rows)
+			if err != nil {
+				continue
+			}
+			sub.A = a
+			sub.B = linalg.VectorOf(rhs...)
+			if len(rows) > n {
+				continue // overdetermined active set
+			}
+		}
+		res, err := Solve(sub, DefaultOptions())
+		if err != nil {
+			continue
+		}
+		// Check feasibility of inactive constraints.
+		gx := linalg.NewVector(m)
+		if err := p.G.MulVec(res.X, gx); err != nil {
+			continue
+		}
+		feasible := true
+		for i := 0; i < m; i++ {
+			if gx[i] > p.H[i]+1e-7 {
+				feasible = false
+				break
+			}
+		}
+		if feasible && res.Objective < best {
+			best = res.Objective
+			bestX = res.X
+		}
+	}
+	return bestX, best, bestX != nil
+}
+
+func TestAgainstActiveSetBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(3)
+		m := 1 + rng.Intn(5)
+		p := randomFeasibleQP(rng, n, m)
+		res, err := Solve(p, DefaultOptions())
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		_, bestObj, ok := bruteForceQP(p)
+		if !ok {
+			continue
+		}
+		if res.Objective > bestObj+1e-5*(1+math.Abs(bestObj)) {
+			t.Errorf("trial %d: IPM obj %g worse than brute force %g",
+				trial, res.Objective, bestObj)
+		}
+		if res.Objective < bestObj-1e-4*(1+math.Abs(bestObj)) {
+			t.Errorf("trial %d: IPM obj %g better than brute force %g (brute-force bug?)",
+				trial, res.Objective, bestObj)
+		}
+	}
+}
+
+// Property: for random feasible strictly convex QPs, the solver returns a
+// feasible point whose KKT residuals are tiny.
+func TestQuickSolverFeasibleAndStationary(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		m := 1 + rng.Intn(8)
+		p := randomFeasibleQP(rng, n, m)
+		res, err := Solve(p, DefaultOptions())
+		if err != nil {
+			return false
+		}
+		gx := linalg.NewVector(m)
+		if err := p.G.MulVec(res.X, gx); err != nil {
+			return false
+		}
+		for i := 0; i < m; i++ {
+			if gx[i] > p.H[i]+1e-6 {
+				return false
+			}
+			if res.IneqDuals[i] < -1e-9 {
+				return false
+			}
+		}
+		return res.Gap < 1e-6
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(9))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxIterationsSurfacesError(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := randomFeasibleQP(rng, 5, 10)
+	opts := DefaultOptions()
+	opts.MaxIterations = 1
+	opts.Tolerance = 1e-14
+	_, err := Solve(p, opts)
+	if err != nil && !errors.Is(err, ErrMaxIterations) {
+		t.Errorf("err = %v, want nil or ErrMaxIterations", err)
+	}
+}

@@ -1,0 +1,97 @@
+package queue
+
+import (
+	"fmt"
+	"math"
+)
+
+// ErlangC returns the steady-state probability that an arriving request
+// must wait in an M/M/c queue with c servers of rate mu each and total
+// arrival rate lambda (the Erlang-C formula). It extends the paper's
+// per-server M/M/1 model to pooled-queue deployments, letting users
+// quantify how much the paper's split-demand assumption over-provisions
+// relative to a shared queue.
+func ErlangC(lambda, mu float64, c int) (float64, error) {
+	if lambda <= 0 || mu <= 0 || c < 1 {
+		return 0, fmt.Errorf("lambda=%g mu=%g c=%d: %w", lambda, mu, c, ErrBadParameter)
+	}
+	a := lambda / mu // offered load in Erlangs
+	if a >= float64(c) {
+		return 0, fmt.Errorf("offered load %g >= c=%d: %w", a, c, ErrUnstable)
+	}
+	// Compute the Erlang-B recursion (numerically stable), then convert
+	// to Erlang-C: C = B / (1 − ρ(1 − B)).
+	b := 1.0
+	for k := 1; k <= c; k++ {
+		b = a * b / (float64(k) + a*b)
+	}
+	rho := a / float64(c)
+	return b / (1 - rho*(1-b)), nil
+}
+
+// MMcWait returns the mean queueing (waiting) time of an M/M/c queue.
+func MMcWait(lambda, mu float64, c int) (float64, error) {
+	pc, err := ErlangC(lambda, mu, c)
+	if err != nil {
+		return 0, err
+	}
+	return pc / (float64(c)*mu - lambda), nil
+}
+
+// MMcSojourn returns the mean sojourn (wait + service) time of an M/M/c
+// queue.
+func MMcSojourn(lambda, mu float64, c int) (float64, error) {
+	w, err := MMcWait(lambda, mu, c)
+	if err != nil {
+		return 0, err
+	}
+	return w + 1/mu, nil
+}
+
+// RequiredServersPooled returns the minimum integer number of servers c
+// such that a pooled M/M/c queue absorbing the whole demand sigma meets
+// the SLA's queueing-delay budget. Compare with SLAParams.RequiredServers
+// (the paper's split-demand M/M/1 rule): pooling always needs at most as
+// many servers (statistical multiplexing), which bounds the conservatism
+// of the paper's model.
+func (s SLAParams) RequiredServersPooled(sigma float64) (int, error) {
+	if sigma < 0 {
+		return 0, fmt.Errorf("sigma=%g: %w", sigma, ErrBadParameter)
+	}
+	if s.Mu <= 0 {
+		return 0, fmt.Errorf("mu=%g: %w", s.Mu, ErrBadParameter)
+	}
+	if sigma == 0 {
+		return 0, nil
+	}
+	budget := s.MaxDelay - s.NetworkDelay
+	phiFac := 1.0
+	if s.Percentile != 0 {
+		f, err := PercentileFactor(s.Percentile)
+		if err != nil {
+			return 0, err
+		}
+		phiFac = f
+	}
+	if budget <= 0 {
+		return 0, fmt.Errorf("no delay budget (d=%g, dbar=%g): %w",
+			s.NetworkDelay, s.MaxDelay, ErrUnstable)
+	}
+	// Start from the stability floor and search upward. The sojourn time
+	// is decreasing in c, so the first c that fits is minimal.
+	cMin := int(math.Floor(sigma/s.Mu)) + 1
+	const maxServers = 1 << 22
+	for c := cMin; c < maxServers; c++ {
+		t, err := MMcSojourn(sigma, s.Mu, c)
+		if err != nil {
+			continue // still unstable at this c (float edge), try next
+		}
+		if phiFac*t <= budget {
+			if r := s.ReservationRatio; r > 1 {
+				return int(math.Ceil(float64(c) * r)), nil
+			}
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("sigma=%g mu=%g: %w", sigma, s.Mu, ErrUnstable)
+}

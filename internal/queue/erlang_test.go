@@ -1,0 +1,193 @@
+package queue
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestErlangCSingleServerIsMM1(t *testing.T) {
+	// For c = 1, Erlang-C reduces to rho, and the sojourn time to the
+	// M/M/1 formula.
+	lambda, mu := 6.0, 10.0
+	pc, err := ErlangC(lambda, mu, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pc-0.6) > 1e-12 {
+		t.Errorf("ErlangC = %g, want rho=0.6", pc)
+	}
+	tSojourn, err := MMcSojourn(lambda, mu, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := MM1Delay(lambda, mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tSojourn-want) > 1e-12 {
+		t.Errorf("sojourn = %g, want %g", tSojourn, want)
+	}
+}
+
+func TestErlangCKnownValue(t *testing.T) {
+	// Classic teletraffic example: a = 2 Erlangs, c = 3.
+	// B(3,2) = (8/6)/(1+2+2+8/6) = (4/3)/(19/3) = 4/19.
+	// C = B/(1-rho(1-B)) with rho = 2/3: C = (4/19)/(1-(2/3)(15/19)) = 4/9.
+	pc, err := ErlangC(2, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pc-4.0/9.0) > 1e-12 {
+		t.Errorf("ErlangC(2 Erlangs, c=3) = %g, want 4/9", pc)
+	}
+}
+
+func TestErlangCErrors(t *testing.T) {
+	if _, err := ErlangC(0, 1, 1); !errors.Is(err, ErrBadParameter) {
+		t.Errorf("lambda=0 err = %v", err)
+	}
+	if _, err := ErlangC(1, 0, 1); !errors.Is(err, ErrBadParameter) {
+		t.Errorf("mu=0 err = %v", err)
+	}
+	if _, err := ErlangC(1, 1, 0); !errors.Is(err, ErrBadParameter) {
+		t.Errorf("c=0 err = %v", err)
+	}
+	if _, err := ErlangC(10, 1, 5); !errors.Is(err, ErrUnstable) {
+		t.Errorf("overload err = %v", err)
+	}
+}
+
+func TestMMcSojournMatchesSimulation(t *testing.T) {
+	lambda, mu, c := 25.0, 10.0, 4
+	want, err := MMcSojourn(lambda, mu, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2024))
+	sim, err := SimulateMMc(lambda, mu, c, 200000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(sim.MeanDelay-want) / want; rel > 0.05 {
+		t.Errorf("sim %g vs Erlang-C %g (rel err %g)", sim.MeanDelay, want, rel)
+	}
+}
+
+func TestRequiredServersPooled(t *testing.T) {
+	s := SLAParams{Mu: 10, NetworkDelay: 0.05, MaxDelay: 0.25}
+	sigma := 470.0
+	c, err := s.RequiredServersPooled(sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The returned c must satisfy the SLA; c−1 must not.
+	tc, err := MMcSojourn(sigma, s.Mu, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NetworkDelay+tc > s.MaxDelay+1e-12 {
+		t.Errorf("c=%d delay %g exceeds budget", c, s.NetworkDelay+tc)
+	}
+	if c > 1 {
+		if tPrev, err := MMcSojourn(sigma, s.Mu, c-1); err == nil {
+			if s.NetworkDelay+tPrev <= s.MaxDelay {
+				t.Errorf("c=%d not minimal: c-1 also satisfies SLA", c)
+			}
+		}
+	}
+	// Pooling must be at least as efficient as the paper's split rule.
+	split, err := s.RequiredServers(sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(c) > math.Ceil(split)+1e-9 {
+		t.Errorf("pooled %d > split %g: multiplexing gain lost", c, math.Ceil(split))
+	}
+}
+
+func TestRequiredServersPooledEdges(t *testing.T) {
+	s := SLAParams{Mu: 10, NetworkDelay: 0.05, MaxDelay: 0.25}
+	c, err := s.RequiredServersPooled(0)
+	if err != nil || c != 0 {
+		t.Errorf("zero demand: %d, %v", c, err)
+	}
+	if _, err := s.RequiredServersPooled(-1); !errors.Is(err, ErrBadParameter) {
+		t.Errorf("negative sigma err = %v", err)
+	}
+	bad := SLAParams{Mu: 10, NetworkDelay: 0.3, MaxDelay: 0.25}
+	if _, err := bad.RequiredServersPooled(5); !errors.Is(err, ErrUnstable) {
+		t.Errorf("no budget err = %v", err)
+	}
+	// Reservation ratio scales the result.
+	res := SLAParams{Mu: 10, NetworkDelay: 0.05, MaxDelay: 0.25, ReservationRatio: 1.5}
+	base, err := s.RequiredServersPooled(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cushioned, err := res.RequiredServersPooled(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cushioned != int(math.Ceil(float64(base)*1.5)) {
+		t.Errorf("cushioned = %d, want ceil(1.5*%d)", cushioned, base)
+	}
+}
+
+// Property: Erlang-C lies in (0, 1] and decreases as servers are added.
+func TestQuickErlangCMonotoneInServers(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mu := 1 + rng.Float64()*10
+		c := 1 + rng.Intn(20)
+		lambda := rng.Float64() * mu * float64(c) * 0.95
+		if lambda <= 0 {
+			lambda = 0.1
+		}
+		p1, err := ErlangC(lambda, mu, c)
+		if err != nil {
+			return true // unstable draw, skip
+		}
+		if p1 <= 0 || p1 > 1 {
+			return false
+		}
+		p2, err := ErlangC(lambda, mu, c+1)
+		if err != nil {
+			return false
+		}
+		return p2 <= p1+1e-12
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(40))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: pooled provisioning never needs more servers than the
+// split-demand rule (statistical multiplexing).
+func TestQuickPoolingNeverWorse(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := SLAParams{
+			Mu:           5 + rng.Float64()*50,
+			NetworkDelay: rng.Float64() * 0.05,
+			MaxDelay:     0.1 + rng.Float64()*0.4,
+		}
+		sigma := 1 + rng.Float64()*2000
+		split, err := s.RequiredServers(sigma)
+		if err != nil || math.IsInf(split, 1) {
+			return true // infeasible pair, skip
+		}
+		pooled, err := s.RequiredServersPooled(sigma)
+		if err != nil {
+			return false
+		}
+		return float64(pooled) <= math.Ceil(split)+1e-9
+	}
+	cfg := &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(41))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

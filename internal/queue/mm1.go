@@ -1,0 +1,218 @@
+// Package queue implements the latency model used by the DSPP formulation:
+// closed-form M/M/1 queueing delay (paper eq. 7), the SLA coefficient a^lv
+// that reduces the latency constraint to a linear one (eqs. 8–11), the
+// φ-percentile extension and the reservation (over-provisioning) ratio r
+// that the paper sketches in §IV-B, plus a discrete-event M/M/c simulator
+// used by tests to validate that controller allocations actually meet the
+// SLA.
+package queue
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Sentinel errors.
+var (
+	// ErrUnstable means the per-server arrival rate meets or exceeds the
+	// service rate, so the queue has no steady state.
+	ErrUnstable = errors.New("queue: arrival rate >= service rate")
+	// ErrBadParameter flags non-positive rates or ratios.
+	ErrBadParameter = errors.New("queue: invalid parameter")
+)
+
+// MM1Delay returns the steady-state mean sojourn time 1/(μ−λ) of an M/M/1
+// queue with service rate mu and arrival rate lambda (paper eq. 7).
+func MM1Delay(lambda, mu float64) (float64, error) {
+	if mu <= 0 || lambda < 0 {
+		return 0, fmt.Errorf("lambda=%g mu=%g: %w", lambda, mu, ErrBadParameter)
+	}
+	if lambda >= mu {
+		return 0, fmt.Errorf("lambda=%g mu=%g: %w", lambda, mu, ErrUnstable)
+	}
+	return 1 / (mu - lambda), nil
+}
+
+// PercentileFactor returns the multiplier ln(1/(1−φ)) that converts a mean
+// M/M/1 sojourn-time bound into a φ-percentile bound (§IV-B). φ must be in
+// (0, 1). φ = 0.95 gives ≈ 3.0.
+func PercentileFactor(phi float64) (float64, error) {
+	if phi <= 0 || phi >= 1 {
+		return 0, fmt.Errorf("phi=%g: %w", phi, ErrBadParameter)
+	}
+	return math.Log(1 / (1 - phi)), nil
+}
+
+// SLAParams configures the latency constraint of a (data center, location)
+// pair.
+type SLAParams struct {
+	// Mu is the request service rate of one server (req/s).
+	Mu float64
+	// NetworkDelay is the fixed network latency d_lv (seconds).
+	NetworkDelay float64
+	// MaxDelay is the SLA bound d̄_lv on total average delay (seconds).
+	MaxDelay float64
+	// ReservationRatio r ≥ 1 over-provisions capacity (§IV-B); 0 means 1.
+	ReservationRatio float64
+	// Percentile φ in (0,1) switches the bound from mean delay to the
+	// φ-percentile of delay; 0 means bound the mean.
+	Percentile float64
+}
+
+// Coefficient computes the SLA coefficient a^lv of paper eq. 10:
+//
+//	a = r·φfac / (μ − φfac/(d̄ − d))
+//
+// so that the latency constraint becomes the linear x ≥ a·σ (eq. 11).
+// It returns +Inf (with nil error) when the pair cannot satisfy the SLA at
+// any allocation (d̄ ≤ d, or μ too small): the caller excludes such pairs
+// from the placement graph, exactly as the paper assigns a^lv = ∞.
+func (s SLAParams) Coefficient() (float64, error) {
+	if s.Mu <= 0 {
+		return 0, fmt.Errorf("mu=%g: %w", s.Mu, ErrBadParameter)
+	}
+	if s.NetworkDelay < 0 || s.MaxDelay < 0 {
+		return 0, fmt.Errorf("delays (%g, %g): %w", s.NetworkDelay, s.MaxDelay, ErrBadParameter)
+	}
+	r := s.ReservationRatio
+	if r == 0 {
+		r = 1
+	}
+	if r < 1 {
+		return 0, fmt.Errorf("reservation ratio %g < 1: %w", r, ErrBadParameter)
+	}
+	phiFac := 1.0
+	if s.Percentile != 0 {
+		f, err := PercentileFactor(s.Percentile)
+		if err != nil {
+			return 0, err
+		}
+		phiFac = f
+	}
+	budget := s.MaxDelay - s.NetworkDelay
+	if budget <= 0 {
+		return math.Inf(1), nil
+	}
+	denom := s.Mu - phiFac/budget
+	if denom <= 0 {
+		return math.Inf(1), nil
+	}
+	return r / denom, nil
+}
+
+// RequiredServers returns the minimum (continuous) number of servers that
+// satisfies the SLA for demand sigma, i.e. a·σ.
+func (s SLAParams) RequiredServers(sigma float64) (float64, error) {
+	if sigma < 0 {
+		return 0, fmt.Errorf("sigma=%g: %w", sigma, ErrBadParameter)
+	}
+	a, err := s.Coefficient()
+	if err != nil {
+		return 0, err
+	}
+	if math.IsInf(a, 1) {
+		if sigma == 0 {
+			return 0, nil
+		}
+		return math.Inf(1), nil
+	}
+	return a * sigma, nil
+}
+
+// MeetsSLA reports whether x servers absorbing demand sigma (split evenly)
+// keep the average total delay within the SLA bound.
+func (s SLAParams) MeetsSLA(x, sigma float64) bool {
+	if sigma == 0 {
+		return true
+	}
+	if x <= 0 {
+		return false
+	}
+	d, err := MM1Delay(sigma/x, s.Mu)
+	if err != nil {
+		return false
+	}
+	phiFac := 1.0
+	if s.Percentile != 0 {
+		f, err := PercentileFactor(s.Percentile)
+		if err != nil {
+			return false
+		}
+		phiFac = f
+	}
+	return s.NetworkDelay+phiFac*d <= s.MaxDelay*(1+1e-9)
+}
+
+// SimResult summarizes a discrete-event simulation run.
+type SimResult struct {
+	Completed int     // requests that finished service
+	MeanDelay float64 // mean sojourn time (wait + service)
+	P95Delay  float64 // 95th-percentile sojourn time
+	MaxQueue  int     // peak number of requests in system
+}
+
+// SimulateMMc runs a discrete-event simulation of an M/M/c queue with
+// Poisson arrivals at rate lambda, c identical exponential servers of rate
+// mu each, for n arrivals. It is used in tests to validate the closed-form
+// model (c = 1 reproduces M/M/1).
+func SimulateMMc(lambda, mu float64, c, n int, rng *rand.Rand) (*SimResult, error) {
+	if lambda <= 0 || mu <= 0 || c < 1 || n < 1 {
+		return nil, fmt.Errorf("lambda=%g mu=%g c=%d n=%d: %w", lambda, mu, c, n, ErrBadParameter)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("nil rng: %w", ErrBadParameter)
+	}
+	// Event-driven simulation with per-server next-free times.
+	serverFree := make([]float64, c)
+	delays := make([]float64, 0, n)
+	now := 0.0
+	inSystemPeak := 0
+	// Track pending departure times to compute the in-system peak.
+	pending := make([]float64, 0, c+16)
+	for i := 0; i < n; i++ {
+		now += rng.ExpFloat64() / lambda
+		// Earliest-free server (FCFS with homogeneous servers).
+		best := 0
+		for j := 1; j < c; j++ {
+			if serverFree[j] < serverFree[best] {
+				best = j
+			}
+		}
+		start := now
+		if serverFree[best] > start {
+			start = serverFree[best]
+		}
+		service := rng.ExpFloat64() / mu
+		depart := start + service
+		serverFree[best] = depart
+		delays = append(delays, depart-now)
+
+		// Count concurrent requests at this arrival.
+		alive := pending[:0]
+		for _, d := range pending {
+			if d > now {
+				alive = append(alive, d)
+			}
+		}
+		pending = append(alive, depart)
+		if len(pending) > inSystemPeak {
+			inSystemPeak = len(pending)
+		}
+	}
+	var sum float64
+	for _, d := range delays {
+		sum += d
+	}
+	sorted := append([]float64(nil), delays...)
+	sort.Float64s(sorted)
+	p95 := sorted[int(float64(len(sorted))*0.95)]
+	return &SimResult{
+		Completed: len(delays),
+		MeanDelay: sum / float64(len(delays)),
+		P95Delay:  p95,
+		MaxQueue:  inSystemPeak,
+	}, nil
+}

@@ -1,0 +1,307 @@
+package queue
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMM1Delay(t *testing.T) {
+	d, err := MM1Delay(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-1.0/3) > 1e-12 {
+		t.Errorf("delay = %g, want 1/3", d)
+	}
+}
+
+func TestMM1DelayErrors(t *testing.T) {
+	if _, err := MM1Delay(5, 5); !errors.Is(err, ErrUnstable) {
+		t.Errorf("rho=1 err = %v", err)
+	}
+	if _, err := MM1Delay(6, 5); !errors.Is(err, ErrUnstable) {
+		t.Errorf("rho>1 err = %v", err)
+	}
+	if _, err := MM1Delay(-1, 5); !errors.Is(err, ErrBadParameter) {
+		t.Errorf("negative lambda err = %v", err)
+	}
+	if _, err := MM1Delay(1, 0); !errors.Is(err, ErrBadParameter) {
+		t.Errorf("zero mu err = %v", err)
+	}
+}
+
+func TestPercentileFactor(t *testing.T) {
+	f, err := PercentileFactor(0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f-math.Log(20)) > 1e-12 {
+		t.Errorf("factor = %g, want ln 20", f)
+	}
+	for _, bad := range []float64{0, 1, -0.5, 1.5} {
+		if _, err := PercentileFactor(bad); !errors.Is(err, ErrBadParameter) {
+			t.Errorf("phi=%g err = %v", bad, err)
+		}
+	}
+}
+
+func TestCoefficientMatchesPaperFormula(t *testing.T) {
+	// a = 1 / (mu - 1/(dbar - d)) for the base case.
+	s := SLAParams{Mu: 10, NetworkDelay: 0.05, MaxDelay: 0.25}
+	a, err := s.Coefficient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 / (10 - 1/(0.25-0.05))
+	if math.Abs(a-want) > 1e-12 {
+		t.Errorf("a = %g, want %g", a, want)
+	}
+}
+
+func TestCoefficientInfeasiblePairs(t *testing.T) {
+	// Network delay alone exceeds the SLA: a = +Inf.
+	s := SLAParams{Mu: 10, NetworkDelay: 0.3, MaxDelay: 0.25}
+	a, err := s.Coefficient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(a, 1) {
+		t.Errorf("a = %g, want +Inf", a)
+	}
+	// mu too small for the remaining budget: also +Inf.
+	s = SLAParams{Mu: 1, NetworkDelay: 0.0, MaxDelay: 0.5}
+	a, err = s.Coefficient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(a, 1) {
+		t.Errorf("small-mu a = %g, want +Inf", a)
+	}
+}
+
+func TestCoefficientReservationRatio(t *testing.T) {
+	base := SLAParams{Mu: 10, NetworkDelay: 0.05, MaxDelay: 0.25}
+	over := base
+	over.ReservationRatio = 1.5
+	a0, err := base.Coefficient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := over.Coefficient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a1-1.5*a0) > 1e-12 {
+		t.Errorf("r=1.5 coefficient %g, want %g", a1, 1.5*a0)
+	}
+	bad := base
+	bad.ReservationRatio = 0.5
+	if _, err := bad.Coefficient(); !errors.Is(err, ErrBadParameter) {
+		t.Errorf("r<1 err = %v", err)
+	}
+}
+
+func TestCoefficientPercentileTightens(t *testing.T) {
+	base := SLAParams{Mu: 20, NetworkDelay: 0.02, MaxDelay: 0.3}
+	pct := base
+	pct.Percentile = 0.95
+	a0, err := base.Coefficient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := pct.Coefficient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 <= a0 {
+		t.Errorf("percentile bound should need more servers: a95=%g amean=%g", a1, a0)
+	}
+}
+
+func TestCoefficientParamErrors(t *testing.T) {
+	if _, err := (SLAParams{Mu: 0, MaxDelay: 1}).Coefficient(); !errors.Is(err, ErrBadParameter) {
+		t.Errorf("mu=0 err = %v", err)
+	}
+	if _, err := (SLAParams{Mu: 1, NetworkDelay: -1, MaxDelay: 1}).Coefficient(); !errors.Is(err, ErrBadParameter) {
+		t.Errorf("negative delay err = %v", err)
+	}
+	bad := SLAParams{Mu: 10, MaxDelay: 1, Percentile: 2}
+	if _, err := bad.Coefficient(); !errors.Is(err, ErrBadParameter) {
+		t.Errorf("phi=2 err = %v", err)
+	}
+}
+
+func TestRequiredServersSatisfiesSLAExactly(t *testing.T) {
+	s := SLAParams{Mu: 10, NetworkDelay: 0.05, MaxDelay: 0.25}
+	for _, sigma := range []float64{0.1, 1, 10, 250} {
+		x, err := s.RequiredServers(sigma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !s.MeetsSLA(x, sigma) {
+			t.Errorf("sigma=%g: x=%g does not meet SLA", sigma, x)
+		}
+		// Slightly fewer servers must violate the SLA (tightness).
+		if s.MeetsSLA(x*0.99, sigma) {
+			t.Errorf("sigma=%g: SLA not tight at required x=%g", sigma, x)
+		}
+	}
+}
+
+func TestRequiredServersEdgeCases(t *testing.T) {
+	s := SLAParams{Mu: 10, NetworkDelay: 0.3, MaxDelay: 0.25} // infeasible pair
+	x, err := s.RequiredServers(0)
+	if err != nil || x != 0 {
+		t.Errorf("zero demand on infeasible pair: x=%g err=%v", x, err)
+	}
+	x, err = s.RequiredServers(1)
+	if err != nil || !math.IsInf(x, 1) {
+		t.Errorf("positive demand on infeasible pair: x=%g err=%v", x, err)
+	}
+	if _, err := s.RequiredServers(-1); !errors.Is(err, ErrBadParameter) {
+		t.Errorf("negative sigma err = %v", err)
+	}
+}
+
+func TestMeetsSLAEdgeCases(t *testing.T) {
+	s := SLAParams{Mu: 10, NetworkDelay: 0.05, MaxDelay: 0.25}
+	if !s.MeetsSLA(0, 0) {
+		t.Error("zero demand should always meet SLA")
+	}
+	if s.MeetsSLA(0, 1) {
+		t.Error("zero servers cannot serve demand")
+	}
+	if s.MeetsSLA(0.1, 10) { // overloaded: lambda = 100 > mu
+		t.Error("overloaded queue reported as meeting SLA")
+	}
+}
+
+// The discrete-event simulator must agree with the closed-form M/M/1 mean
+// sojourn time within Monte-Carlo noise.
+func TestSimulatorMatchesMM1(t *testing.T) {
+	rng := rand.New(rand.NewSource(12345))
+	lambda, mu := 6.0, 10.0
+	res, err := SimulateMMc(lambda, mu, 1, 200000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := MM1Delay(lambda, mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(res.MeanDelay-want) / want; rel > 0.05 {
+		t.Errorf("sim mean %g vs analytic %g (rel err %g)", res.MeanDelay, want, rel)
+	}
+	// M/M/1 sojourn time is exponential: P95 ≈ ln(20)·mean.
+	wantP95 := math.Log(20) * want
+	if rel := math.Abs(res.P95Delay-wantP95) / wantP95; rel > 0.08 {
+		t.Errorf("sim p95 %g vs analytic %g (rel err %g)", res.P95Delay, wantP95, rel)
+	}
+}
+
+// A controller-style allocation x = a·σ split across ceil(x) servers must
+// empirically meet the per-server SLA in simulation.
+func TestAllocationMeetsSLAEmpirically(t *testing.T) {
+	s := SLAParams{Mu: 10, NetworkDelay: 0.05, MaxDelay: 0.25}
+	sigma := 47.0
+	x, err := s.RequiredServers(sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	servers := int(math.Ceil(x))
+	perServer := sigma / float64(servers)
+	rng := rand.New(rand.NewSource(777))
+	res, err := SimulateMMc(perServer, s.Mu, 1, 100000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := s.NetworkDelay + res.MeanDelay
+	if total > s.MaxDelay*1.05 {
+		t.Errorf("empirical delay %g exceeds SLA %g", total, s.MaxDelay)
+	}
+}
+
+func TestSimulateMMcErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := SimulateMMc(0, 1, 1, 10, rng); !errors.Is(err, ErrBadParameter) {
+		t.Errorf("lambda=0 err = %v", err)
+	}
+	if _, err := SimulateMMc(1, 1, 0, 10, rng); !errors.Is(err, ErrBadParameter) {
+		t.Errorf("c=0 err = %v", err)
+	}
+	if _, err := SimulateMMc(1, 1, 1, 10, nil); !errors.Is(err, ErrBadParameter) {
+		t.Errorf("nil rng err = %v", err)
+	}
+}
+
+func TestSimulateMMcMoreServersReduceDelay(t *testing.T) {
+	lambda, mu := 15.0, 10.0 // needs c >= 2 for stability
+	r2, err := SimulateMMc(lambda, mu, 2, 50000, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := SimulateMMc(lambda, mu, 4, 50000, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4.MeanDelay >= r2.MeanDelay {
+		t.Errorf("c=4 delay %g not below c=2 delay %g", r4.MeanDelay, r2.MeanDelay)
+	}
+}
+
+// Property: the SLA coefficient is monotone — a tighter latency budget or a
+// slower server never decreases a.
+func TestQuickCoefficientMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mu := 1 + rng.Float64()*30
+		d := rng.Float64() * 0.1
+		dbar := d + 0.05 + rng.Float64()
+		base := SLAParams{Mu: mu, NetworkDelay: d, MaxDelay: dbar}
+		tighter := base
+		tighter.MaxDelay = d + (dbar-d)*0.6
+		slower := base
+		slower.Mu = mu * 0.7
+		a0, err := base.Coefficient()
+		if err != nil {
+			return false
+		}
+		at, err := tighter.Coefficient()
+		if err != nil {
+			return false
+		}
+		as, err := slower.Coefficient()
+		if err != nil {
+			return false
+		}
+		return at >= a0-1e-12 && as >= a0-1e-12
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(8))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: RequiredServers scales linearly with demand.
+func TestQuickRequiredServersLinear(t *testing.T) {
+	s := SLAParams{Mu: 12, NetworkDelay: 0.01, MaxDelay: 0.2}
+	f := func(raw float64) bool {
+		sigma := math.Abs(raw)
+		if math.IsNaN(sigma) || math.IsInf(sigma, 0) || sigma > 1e9 {
+			sigma = 1
+		}
+		x1, err1 := s.RequiredServers(sigma)
+		x2, err2 := s.RequiredServers(2 * sigma)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(x2-2*x1) <= 1e-9*(1+x2)
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(3))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

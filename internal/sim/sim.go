@@ -1,0 +1,342 @@
+// Package sim is the discrete-time simulation engine that wires together
+// the paper's system architecture (Fig. 2): per-location demand arrives at
+// request routers, the monitoring module records realized demand and
+// prices, the analysis-and-prediction module forecasts the next W periods,
+// and the resource controller (an MPC controller or a baseline policy)
+// adjusts the per-DC allocation. The engine records the full time series —
+// allocations, costs, SLA outcomes — that the experiment harness turns
+// into the paper's figures.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"dspp/internal/core"
+	"dspp/internal/monitor"
+	"dspp/internal/predict"
+)
+
+// Sentinel errors.
+var (
+	// ErrBadConfig flags an invalid simulation configuration.
+	ErrBadConfig = errors.New("sim: invalid configuration")
+)
+
+// Policy is the control interface the engine drives each period. The MPC
+// controller (via MPCPolicy) and every baseline implement it.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// State returns the current allocation.
+	State() core.State
+	// Step consumes demand and price forecasts for the next W periods
+	// (index 0 = next period) and returns the applied control and the
+	// new allocation.
+	Step(demandForecast, priceForecast [][]float64) (applied core.State, newState core.State, err error)
+}
+
+// MPCPolicy adapts core.Controller to the Policy interface.
+type MPCPolicy struct {
+	Ctrl *core.Controller
+	// Label overrides the default name (useful when sweeping horizons).
+	Label string
+}
+
+// Name implements Policy.
+func (m *MPCPolicy) Name() string {
+	if m.Label != "" {
+		return m.Label
+	}
+	return fmt.Sprintf("mpc-w%d", m.Ctrl.Horizon())
+}
+
+// State implements Policy.
+func (m *MPCPolicy) State() core.State { return m.Ctrl.State() }
+
+// Step implements Policy.
+func (m *MPCPolicy) Step(demand, prices [][]float64) (core.State, core.State, error) {
+	res, err := m.Ctrl.Step(demand, prices)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Applied, res.NewState, nil
+}
+
+// Config describes one simulation run.
+type Config struct {
+	// Instance is the DSPP instance being controlled.
+	Instance *core.Instance
+	// Policy makes the per-period decision.
+	Policy Policy
+	// DemandTrace[k][v] is the realized demand; it must cover at least
+	// Periods+1 periods (period 0 is history; control starts shaping
+	// period 1).
+	DemandTrace [][]float64
+	// PriceTrace[k][l] is the realized price; same length rule.
+	PriceTrace [][]float64
+	// Periods is the number of control periods to execute.
+	Periods int
+	// Horizon is the forecast window passed to the policy each period.
+	Horizon int
+	// DemandPredictor forecasts demand per location from realized
+	// history; nil means perfect foresight (forecasts read the trace).
+	DemandPredictor predict.Predictor
+	// PricePredictor is the price analogue of DemandPredictor.
+	PricePredictor predict.Predictor
+	// SLAJudge, when set, is the instance whose SLA coefficients define
+	// a violation. It lets a controller plan with a §IV-B capacity
+	// cushion (reservation ratio baked into its own coefficients) while
+	// violations are still counted against the true, uncushioned SLA.
+	// Nil means judge with Instance itself. Dimensions must match.
+	SLAJudge *core.Instance
+}
+
+// StepRecord captures one executed control period.
+type StepRecord struct {
+	// Period is the period index being shaped (1-based: the state after
+	// control k serves period k+1).
+	Period int
+	// Demand and Prices are the realized values of that period.
+	Demand []float64
+	Prices []float64
+	// State is the allocation serving the period; Control is the change
+	// applied to reach it.
+	State   core.State
+	Control core.State
+	// ServersByDC aggregates State per data center.
+	ServersByDC []float64
+	// Cost is the realized cost of the period.
+	Cost core.CostBreakdown
+	// SLAMet reports whether the realized demand fit the SLA envelope.
+	SLAMet bool
+	// DemandForecast[0] is what the policy believed the period's demand
+	// would be (for forecast-error analysis).
+	DemandForecast []float64
+}
+
+// Result is a completed run.
+type Result struct {
+	PolicyName    string
+	Steps         []StepRecord
+	TotalCost     float64
+	TotalResource float64
+	TotalReconfig float64
+	SLAViolations int
+	// ForecastAccuracy scores the demand predictor per location over the
+	// run (one-step-ahead forecast vs realized demand): the monitoring
+	// signal the analysis module would use to pick horizons (Figs. 9/10).
+	ForecastAccuracy []ForecastAccuracy
+}
+
+// ForecastAccuracy is the per-location forecast scorecard.
+type ForecastAccuracy struct {
+	Location            int
+	Bias                float64 // mean (forecast − realized)
+	MAE                 float64
+	RMSE                float64
+	P95AbsError         float64
+	UnderpredictionRate float64
+}
+
+// MaxControl returns the largest per-period total |u| across the run, the
+// smoothness metric of Fig. 6.
+func (r *Result) MaxControl() float64 {
+	var m float64
+	for _, s := range r.Steps {
+		var step float64
+		for _, row := range s.Control {
+			for _, u := range row {
+				if u < 0 {
+					step -= u
+				} else {
+					step += u
+				}
+			}
+		}
+		if step > m {
+			m = step
+		}
+	}
+	return m
+}
+
+// ServersSeries returns the per-period total server count (Fig. 4's
+// y-axis).
+func (r *Result) ServersSeries() []float64 {
+	out := make([]float64, len(r.Steps))
+	for i, s := range r.Steps {
+		var t float64
+		for _, x := range s.ServersByDC {
+			t += x
+		}
+		out[i] = t
+	}
+	return out
+}
+
+// Run executes the simulation.
+func Run(cfg Config) (*Result, error) {
+	if err := validate(&cfg); err != nil {
+		return nil, err
+	}
+	inst := cfg.Instance
+	judge := cfg.SLAJudge
+	if judge == nil {
+		judge = inst
+	}
+	v := inst.NumLocations()
+	l := inst.NumDataCenters()
+	res := &Result{PolicyName: cfg.Policy.Name()}
+	trackers := make([]*monitor.ForecastTracker, v)
+	for i := range trackers {
+		tr, err := monitor.NewForecastTracker()
+		if err != nil {
+			return nil, err
+		}
+		trackers[i] = tr
+	}
+
+	for k := 0; k < cfg.Periods; k++ {
+		demandFC, err := forecastMatrix(cfg.DemandTrace, k, cfg.Horizon, v, cfg.DemandPredictor)
+		if err != nil {
+			return nil, fmt.Errorf("period %d demand forecast: %w", k, err)
+		}
+		priceFC, err := forecastMatrix(cfg.PriceTrace, k, cfg.Horizon, l, cfg.PricePredictor)
+		if err != nil {
+			return nil, fmt.Errorf("period %d price forecast: %w", k, err)
+		}
+		applied, state, err := cfg.Policy.Step(demandFC, priceFC)
+		if err != nil {
+			return nil, fmt.Errorf("period %d policy step: %w", k, err)
+		}
+		realD := cfg.DemandTrace[k+1]
+		realP := cfg.PriceTrace[k+1]
+		cost, err := inst.PeriodCost(state, applied, realP)
+		if err != nil {
+			return nil, fmt.Errorf("period %d cost: %w", k, err)
+		}
+		slaOK := true
+		slack, err := judge.DemandSlack(state, realD)
+		if err != nil {
+			return nil, fmt.Errorf("period %d sla: %w", k, err)
+		}
+		for _, s := range slack {
+			if s < -1e-6 {
+				slaOK = false
+				break
+			}
+		}
+		if !slaOK {
+			res.SLAViolations++
+		}
+		for vi := 0; vi < v; vi++ {
+			trackers[vi].Observe(demandFC[0][vi], realD[vi])
+		}
+		res.TotalResource += cost.Resource
+		res.TotalReconfig += cost.Reconfig
+		res.TotalCost += cost.Total()
+		res.Steps = append(res.Steps, StepRecord{
+			Period:         k + 1,
+			Demand:         append([]float64(nil), realD...),
+			Prices:         append([]float64(nil), realP...),
+			State:          state.Clone(),
+			Control:        applied.Clone(),
+			ServersByDC:    state.TotalByDC(),
+			Cost:           cost,
+			SLAMet:         slaOK,
+			DemandForecast: append([]float64(nil), demandFC[0]...),
+		})
+	}
+	for vi, tr := range trackers {
+		res.ForecastAccuracy = append(res.ForecastAccuracy, ForecastAccuracy{
+			Location:            vi,
+			Bias:                tr.Bias(),
+			MAE:                 tr.MAE(),
+			RMSE:                tr.RMSE(),
+			P95AbsError:         tr.P95AbsError(),
+			UnderpredictionRate: tr.UnderpredictionRate(),
+		})
+	}
+	return res, nil
+}
+
+func validate(cfg *Config) error {
+	if cfg.Instance == nil {
+		return fmt.Errorf("nil instance: %w", ErrBadConfig)
+	}
+	if cfg.Policy == nil {
+		return fmt.Errorf("nil policy: %w", ErrBadConfig)
+	}
+	if cfg.Periods < 1 {
+		return fmt.Errorf("periods %d: %w", cfg.Periods, ErrBadConfig)
+	}
+	if cfg.Horizon < 1 {
+		return fmt.Errorf("horizon %d: %w", cfg.Horizon, ErrBadConfig)
+	}
+	if len(cfg.DemandTrace) < cfg.Periods+1 {
+		return fmt.Errorf("demand trace %d < %d: %w", len(cfg.DemandTrace), cfg.Periods+1, ErrBadConfig)
+	}
+	if len(cfg.PriceTrace) < cfg.Periods+1 {
+		return fmt.Errorf("price trace %d < %d: %w", len(cfg.PriceTrace), cfg.Periods+1, ErrBadConfig)
+	}
+	v := cfg.Instance.NumLocations()
+	for k, row := range cfg.DemandTrace {
+		if len(row) != v {
+			return fmt.Errorf("demand[%d] width %d, want %d: %w", k, len(row), v, ErrBadConfig)
+		}
+	}
+	l := cfg.Instance.NumDataCenters()
+	for k, row := range cfg.PriceTrace {
+		if len(row) != l {
+			return fmt.Errorf("prices[%d] width %d, want %d: %w", k, len(row), l, ErrBadConfig)
+		}
+	}
+	if cfg.SLAJudge != nil &&
+		(cfg.SLAJudge.NumDataCenters() != l || cfg.SLAJudge.NumLocations() != v) {
+		return fmt.Errorf("SLA judge is %dx%d, instance %dx%d: %w",
+			cfg.SLAJudge.NumDataCenters(), cfg.SLAJudge.NumLocations(), l, v, ErrBadConfig)
+	}
+	return nil
+}
+
+// forecastMatrix produces the W×width forecast for periods k+1..k+W.
+// With a nil predictor it reads the true trace (clamping at the end);
+// otherwise it forecasts each column from the realized history [0..k].
+func forecastMatrix(trace [][]float64, k, w, width int, p predict.Predictor) ([][]float64, error) {
+	out := make([][]float64, w)
+	if p == nil {
+		for t := 0; t < w; t++ {
+			idx := k + 1 + t
+			if idx >= len(trace) {
+				idx = len(trace) - 1
+			}
+			out[t] = append([]float64(nil), trace[idx]...)
+		}
+		return out, nil
+	}
+	for t := 0; t < w; t++ {
+		out[t] = make([]float64, width)
+	}
+	history := make([]float64, k+1)
+	for col := 0; col < width; col++ {
+		for i := 0; i <= k; i++ {
+			history[i] = trace[i][col]
+		}
+		fc, err := p.Forecast(history, w)
+		if err != nil {
+			if errors.Is(err, predict.ErrInsufficientHistory) {
+				// Cold start: fall back to persistence of the last value.
+				for t := 0; t < w; t++ {
+					out[t][col] = history[k]
+				}
+				continue
+			}
+			return nil, err
+		}
+		for t := 0; t < w; t++ {
+			out[t][col] = fc[t]
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// SweepItem pairs a label with a simulation configuration.
+type SweepItem struct {
+	Label  string
+	Config Config
+}
+
+// SweepResult is one completed sweep entry.
+type SweepResult struct {
+	Label  string
+	Result *Result
+}
+
+// RunSweep executes independent simulations concurrently with at most
+// `parallel` workers (≤ 0 means one worker per item). All simulations run
+// to completion; the first error encountered (lowest item index) is
+// returned after every worker has exited — no goroutine outlives the
+// call, as the distributed-systems house rules demand. Results are
+// returned in input order.
+//
+// Configurations must not share mutable state: in particular each item
+// needs its own Policy instance (policies carry allocation state).
+func RunSweep(items []SweepItem, parallel int) ([]SweepResult, error) {
+	if len(items) == 0 {
+		return nil, fmt.Errorf("no sweep items: %w", ErrBadConfig)
+	}
+	for i := range items {
+		for j := i + 1; j < len(items); j++ {
+			if items[i].Config.Policy != nil && items[i].Config.Policy == items[j].Config.Policy {
+				return nil, fmt.Errorf("items %d and %d share a policy instance: %w", i, j, ErrBadConfig)
+			}
+		}
+	}
+	if parallel <= 0 || parallel > len(items) {
+		parallel = len(items)
+	}
+
+	results := make([]SweepResult, len(items))
+	errs := make([]error, len(items))
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range work {
+				res, err := Run(items[idx].Config)
+				if err != nil {
+					errs[idx] = fmt.Errorf("sweep %q: %w", items[idx].Label, err)
+					continue
+				}
+				results[idx] = SweepResult{Label: items[idx].Label, Result: res}
+			}
+		}()
+	}
+	for idx := range items {
+		work <- idx
+	}
+	close(work)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

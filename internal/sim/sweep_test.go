@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"dspp/internal/predict"
+)
+
+func TestRunSweepMatchesSequential(t *testing.T) {
+	inst := simpleInstance(t)
+	demand := constTrace(10, []float64{1500})
+	prices := constTrace(10, []float64{0.2})
+	mkItem := func(label string, w int) SweepItem {
+		return SweepItem{
+			Label: label,
+			Config: Config{
+				Instance:    inst,
+				Policy:      mpcPolicy(t, inst, w),
+				DemandTrace: demand,
+				PriceTrace:  prices,
+				Periods:     6,
+				Horizon:     w,
+			},
+		}
+	}
+	items := []SweepItem{mkItem("w1", 1), mkItem("w2", 2), mkItem("w3", 3)}
+	parallelRes, err := RunSweep(items, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fresh policies for the sequential reference.
+	ref := []SweepItem{mkItem("w1", 1), mkItem("w2", 2), mkItem("w3", 3)}
+	for i := range ref {
+		seq, err := Run(ref[i].Config)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if parallelRes[i].Label != ref[i].Label {
+			t.Fatalf("order broken: %q at %d", parallelRes[i].Label, i)
+		}
+		if math.Abs(parallelRes[i].Result.TotalCost-seq.TotalCost) > 1e-9 {
+			t.Errorf("%s: parallel %g vs sequential %g",
+				ref[i].Label, parallelRes[i].Result.TotalCost, seq.TotalCost)
+		}
+	}
+}
+
+func TestRunSweepBoundedWorkers(t *testing.T) {
+	inst := simpleInstance(t)
+	demand := constTrace(6, []float64{500})
+	prices := constTrace(6, []float64{0.2})
+	items := make([]SweepItem, 7)
+	for i := range items {
+		items[i] = SweepItem{
+			Label: "x",
+			Config: Config{
+				Instance:    inst,
+				Policy:      mpcPolicy(t, inst, 1),
+				DemandTrace: demand,
+				PriceTrace:  prices,
+				Periods:     3,
+				Horizon:     1,
+			},
+		}
+	}
+	res, err := RunSweep(items, 2) // fewer workers than items
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 7 {
+		t.Errorf("results = %d", len(res))
+	}
+}
+
+func TestRunSweepErrors(t *testing.T) {
+	if _, err := RunSweep(nil, 2); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("empty err = %v", err)
+	}
+	inst := simpleInstance(t)
+	shared := mpcPolicy(t, inst, 1)
+	demand := constTrace(6, []float64{500})
+	prices := constTrace(6, []float64{0.2})
+	items := []SweepItem{
+		{Label: "a", Config: Config{Instance: inst, Policy: shared, DemandTrace: demand, PriceTrace: prices, Periods: 2, Horizon: 1}},
+		{Label: "b", Config: Config{Instance: inst, Policy: shared, DemandTrace: demand, PriceTrace: prices, Periods: 2, Horizon: 1}},
+	}
+	if _, err := RunSweep(items, 2); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("shared policy err = %v", err)
+	}
+	// A failing config (too-short trace) propagates with its label.
+	bad := []SweepItem{
+		{Label: "good", Config: Config{Instance: inst, Policy: mpcPolicy(t, inst, 1), DemandTrace: demand, PriceTrace: prices, Periods: 2, Horizon: 1}},
+		{Label: "broken", Config: Config{Instance: inst, Policy: mpcPolicy(t, inst, 1), DemandTrace: demand[:1], PriceTrace: prices, Periods: 2, Horizon: 1}},
+	}
+	_, err := RunSweep(bad, 2)
+	if !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("err = %v", err)
+	}
+	if !strings.Contains(err.Error(), "broken") {
+		t.Errorf("error %q should name the failing item", err)
+	}
+}
+
+func TestForecastAccuracyRecorded(t *testing.T) {
+	inst := simpleInstance(t)
+	// Rising demand that persistence always underpredicts.
+	trace := make([][]float64, 12)
+	for k := range trace {
+		trace[k] = []float64{100 + 50*float64(k)}
+	}
+	res, err := Run(Config{
+		Instance:        inst,
+		Policy:          mpcPolicy(t, inst, 1),
+		DemandTrace:     trace,
+		PriceTrace:      constTrace(12, []float64{0.1}),
+		Periods:         8,
+		Horizon:         1,
+		DemandPredictor: predict.Persistence{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ForecastAccuracy) != 1 {
+		t.Fatalf("accuracy entries = %d", len(res.ForecastAccuracy))
+	}
+	fa := res.ForecastAccuracy[0]
+	if fa.Bias >= 0 {
+		t.Errorf("persistence on a rising series should underpredict: bias %g", fa.Bias)
+	}
+	if math.Abs(fa.Bias+50) > 1e-9 {
+		t.Errorf("bias = %g, want -50 (one-step lag on slope 50)", fa.Bias)
+	}
+	if fa.UnderpredictionRate != 1 {
+		t.Errorf("underprediction rate = %g, want 1", fa.UnderpredictionRate)
+	}
+	// Perfect foresight has zero error.
+	res2, err := Run(Config{
+		Instance:    inst,
+		Policy:      mpcPolicy(t, inst, 1),
+		DemandTrace: trace,
+		PriceTrace:  constTrace(12, []float64{0.1}),
+		Periods:     8,
+		Horizon:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.ForecastAccuracy[0].RMSE != 0 {
+		t.Errorf("perfect predictor RMSE = %g", res2.ForecastAccuracy[0].RMSE)
+	}
+}

@@ -1,0 +1,95 @@
+// Package topology models the geographically distributed cloud of the
+// paper: a bipartite placement graph between data centers and client
+// access networks, with network latencies derived from a transit-stub
+// topology in the style of GT-ITM (the paper augments Rocketfuel tier-1
+// maps the same way) using the paper's per-tier link delays: 20 ms
+// intra-transit, 5 ms transit–stub, 2 ms intra-stub.
+package topology
+
+import "math"
+
+// City is a metro area that can host a data center or originate demand.
+type City struct {
+	Name       string
+	State      string
+	Lat, Lon   float64 // degrees
+	Population int     // metro population, used to weight demand
+}
+
+// USCities returns the built-in metro database: the 4 paper data-center
+// sites plus the major demand metros ("24 access networks in major cities
+// across the U.S.", §VII). Returned as a fresh copy; callers may modify.
+func USCities() []City {
+	src := usCities
+	out := make([]City, len(src))
+	copy(out, src)
+	return out
+}
+
+// CityByName returns the built-in city with the given name and true, or a
+// zero City and false.
+func CityByName(name string) (City, bool) {
+	for _, c := range usCities {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return City{}, false
+}
+
+// usCities mixes the paper's DC sites (San Jose, Houston, Atlanta,
+// Chicago, Dallas, Mountain View) with 24 high-population metros.
+var usCities = []City{
+	{"San Jose", "CA", 37.34, -121.89, 1030000},
+	{"Mountain View", "CA", 37.39, -122.08, 82000},
+	{"Houston", "TX", 29.76, -95.37, 2300000},
+	{"Dallas", "TX", 32.78, -96.80, 1340000},
+	{"Atlanta", "GA", 33.75, -84.39, 500000},
+	{"Chicago", "IL", 41.88, -87.63, 2700000},
+	{"New York", "NY", 40.71, -74.01, 8400000},
+	{"Los Angeles", "CA", 34.05, -118.24, 3900000},
+	{"Phoenix", "AZ", 33.45, -112.07, 1680000},
+	{"Philadelphia", "PA", 39.95, -75.17, 1580000},
+	{"San Antonio", "TX", 29.42, -98.49, 1550000},
+	{"San Diego", "CA", 32.72, -117.16, 1420000},
+	{"Austin", "TX", 30.27, -97.74, 1000000},
+	{"Jacksonville", "FL", 30.33, -81.66, 950000},
+	{"Columbus", "OH", 39.96, -83.00, 900000},
+	{"Charlotte", "NC", 35.23, -80.84, 880000},
+	{"Indianapolis", "IN", 39.77, -86.16, 880000},
+	{"San Francisco", "CA", 37.77, -122.42, 870000},
+	{"Seattle", "WA", 47.61, -122.33, 740000},
+	{"Denver", "CO", 39.74, -104.99, 720000},
+	{"Washington", "DC", 38.91, -77.04, 700000},
+	{"Boston", "MA", 42.36, -71.06, 690000},
+	{"Nashville", "TN", 36.16, -86.78, 690000},
+	{"Detroit", "MI", 42.33, -83.05, 630000},
+	{"Portland", "OR", 45.52, -122.68, 650000},
+	{"Memphis", "TN", 35.15, -90.05, 630000},
+	{"Miami", "FL", 25.76, -80.19, 470000},
+	{"Minneapolis", "MN", 44.98, -93.27, 430000},
+	{"New Orleans", "LA", 29.95, -90.07, 390000},
+	{"Salt Lake City", "UT", 40.76, -111.89, 200000},
+}
+
+const earthRadiusKm = 6371.0
+
+// HaversineKm returns the great-circle distance between two cities in km.
+func HaversineKm(a, b City) float64 {
+	lat1 := a.Lat * math.Pi / 180
+	lat2 := b.Lat * math.Pi / 180
+	dLat := (b.Lat - a.Lat) * math.Pi / 180
+	dLon := (b.Lon - a.Lon) * math.Pi / 180
+	s := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(lat1)*math.Cos(lat2)*math.Sin(dLon/2)*math.Sin(dLon/2)
+	return 2 * earthRadiusKm * math.Asin(math.Min(1, math.Sqrt(s)))
+}
+
+// PropagationDelaySec estimates one-way propagation delay between two
+// cities: distance over c·2/3 (speed of light in fiber), times a path
+// stretch factor of 1.6 to account for non-geodesic routing.
+func PropagationDelaySec(a, b City) float64 {
+	const fiberSpeedKmPerSec = 200000.0 // ~2/3 c
+	const pathStretch = 1.6
+	return HaversineKm(a, b) * pathStretch / fiberSpeedKmPerSec
+}

@@ -1,0 +1,161 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Paper §VII link latencies (GT-ITM-style transit-stub augmentation).
+const (
+	// IntraTransitDelay is the latency of links between transit routers.
+	IntraTransitDelay = 0.020 // 20 ms
+	// TransitStubDelay is the latency of links from a transit router down
+	// to a stub-domain gateway.
+	TransitStubDelay = 0.005 // 5 ms
+	// IntraStubDelay is the latency of links inside a stub domain.
+	IntraStubDelay = 0.002 // 2 ms
+)
+
+// GeneratorConfig parameterizes the transit-stub topology generator.
+type GeneratorConfig struct {
+	// TransitNodes is the number of backbone routers (≥ 1).
+	TransitNodes int
+	// StubsPerTransit is how many stub domains attach to each transit
+	// router (≥ 1).
+	StubsPerTransit int
+	// NodesPerStub is the number of routers inside each stub domain (≥ 1).
+	NodesPerStub int
+	// ExtraTransitEdges adds this many random backbone shortcut edges on
+	// top of the backbone ring (default 0).
+	ExtraTransitEdges int
+	// Seed drives all randomness; runs with equal seeds are identical.
+	Seed int64
+}
+
+// Validate checks the configuration.
+func (c GeneratorConfig) Validate() error {
+	if c.TransitNodes < 1 {
+		return fmt.Errorf("transit nodes %d: %w", c.TransitNodes, ErrBadConfig)
+	}
+	if c.StubsPerTransit < 1 {
+		return fmt.Errorf("stubs per transit %d: %w", c.StubsPerTransit, ErrBadConfig)
+	}
+	if c.NodesPerStub < 1 {
+		return fmt.Errorf("nodes per stub %d: %w", c.NodesPerStub, ErrBadConfig)
+	}
+	if c.ExtraTransitEdges < 0 {
+		return fmt.Errorf("extra transit edges %d: %w", c.ExtraTransitEdges, ErrBadConfig)
+	}
+	return nil
+}
+
+// TransitStub holds a generated topology along with the node roles needed
+// to attach data centers and access networks.
+type TransitStub struct {
+	Graph *Graph
+	// TransitIDs lists backbone router node indices.
+	TransitIDs []int
+	// StubGateways lists, per stub domain, the node adjacent to a transit
+	// router (where a data center or access network attaches naturally).
+	StubGateways []int
+	// StubMembers lists all node indices per stub domain.
+	StubMembers [][]int
+}
+
+// Generate builds a transit-stub topology:
+//
+//   - transit routers form a ring (plus optional random shortcuts) with
+//     20 ms links,
+//   - each transit router sponsors StubsPerTransit stub domains connected
+//     by a 5 ms up-link,
+//   - each stub domain is a random connected subgraph (spanning tree plus
+//     a few shortcuts) with 2 ms links.
+func Generate(cfg GeneratorConfig) (*TransitStub, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	numStubs := cfg.TransitNodes * cfg.StubsPerTransit
+	total := cfg.TransitNodes + numStubs*cfg.NodesPerStub
+	kinds := make([]NodeKind, total)
+	for i := 0; i < cfg.TransitNodes; i++ {
+		kinds[i] = TransitNode
+	}
+	for i := cfg.TransitNodes; i < total; i++ {
+		kinds[i] = StubNode
+	}
+	g := NewGraph(kinds)
+
+	// Backbone ring.
+	for i := 0; i < cfg.TransitNodes; i++ {
+		j := (i + 1) % cfg.TransitNodes
+		if i == j {
+			continue // single transit node: no self loop
+		}
+		if i < j || j == 0 && i == cfg.TransitNodes-1 {
+			if err := g.AddEdge(i, j, IntraTransitDelay); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Backbone shortcuts.
+	for e := 0; e < cfg.ExtraTransitEdges && cfg.TransitNodes > 2; e++ {
+		u := rng.Intn(cfg.TransitNodes)
+		v := rng.Intn(cfg.TransitNodes)
+		if u == v {
+			continue
+		}
+		if err := g.AddEdge(u, v, IntraTransitDelay); err != nil {
+			return nil, err
+		}
+	}
+
+	ts := &TransitStub{
+		Graph:        g,
+		TransitIDs:   make([]int, cfg.TransitNodes),
+		StubGateways: make([]int, 0, numStubs),
+		StubMembers:  make([][]int, 0, numStubs),
+	}
+	for i := range ts.TransitIDs {
+		ts.TransitIDs[i] = i
+	}
+
+	next := cfg.TransitNodes
+	for t := 0; t < cfg.TransitNodes; t++ {
+		for s := 0; s < cfg.StubsPerTransit; s++ {
+			members := make([]int, cfg.NodesPerStub)
+			for i := range members {
+				members[i] = next
+				next++
+			}
+			gateway := members[0]
+			if err := g.AddEdge(t, gateway, TransitStubDelay); err != nil {
+				return nil, err
+			}
+			// Random spanning tree inside the stub: attach each node to a
+			// uniformly random earlier node.
+			for i := 1; i < len(members); i++ {
+				parent := members[rng.Intn(i)]
+				if err := g.AddEdge(members[i], parent, IntraStubDelay); err != nil {
+					return nil, err
+				}
+			}
+			// A few shortcut edges for realism (~25% of tree size).
+			extra := len(members) / 4
+			for e := 0; e < extra; e++ {
+				u := members[rng.Intn(len(members))]
+				v := members[rng.Intn(len(members))]
+				if u == v {
+					continue
+				}
+				if err := g.AddEdge(u, v, IntraStubDelay); err != nil {
+					return nil, err
+				}
+			}
+			ts.StubGateways = append(ts.StubGateways, gateway)
+			ts.StubMembers = append(ts.StubMembers, members)
+		}
+	}
+	return ts, nil
+}

@@ -1,0 +1,149 @@
+package topology
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sentinel errors.
+var (
+	// ErrBadConfig flags invalid generator parameters.
+	ErrBadConfig = errors.New("topology: invalid configuration")
+	// ErrNodeRange flags an out-of-range node index.
+	ErrNodeRange = errors.New("topology: node index out of range")
+)
+
+// NodeKind distinguishes the tiers of a transit-stub topology.
+type NodeKind int
+
+// Node tiers. Transit nodes form the backbone; stub nodes hang off it.
+const (
+	TransitNode NodeKind = iota + 1
+	StubNode
+)
+
+// Graph is an undirected weighted multigraph with adjacency lists, holding
+// the generated transit-stub network. Edge weights are latencies (seconds).
+type Graph struct {
+	kinds []NodeKind
+	adj   [][]edge
+}
+
+type edge struct {
+	to int
+	w  float64
+}
+
+// NewGraph returns an empty graph with n nodes of the given kinds.
+func NewGraph(kinds []NodeKind) *Graph {
+	k := make([]NodeKind, len(kinds))
+	copy(k, kinds)
+	return &Graph{kinds: k, adj: make([][]edge, len(kinds))}
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.adj) }
+
+// Kind returns the tier of node i.
+func (g *Graph) Kind(i int) (NodeKind, error) {
+	if i < 0 || i >= len(g.kinds) {
+		return 0, fmt.Errorf("node %d of %d: %w", i, len(g.kinds), ErrNodeRange)
+	}
+	return g.kinds[i], nil
+}
+
+// AddEdge inserts an undirected edge with the given latency.
+func (g *Graph) AddEdge(u, v int, latency float64) error {
+	if u < 0 || u >= len(g.adj) || v < 0 || v >= len(g.adj) {
+		return fmt.Errorf("edge (%d,%d) of %d nodes: %w", u, v, len(g.adj), ErrNodeRange)
+	}
+	if latency < 0 || math.IsNaN(latency) {
+		return fmt.Errorf("edge (%d,%d) latency %g: %w", u, v, latency, ErrBadConfig)
+	}
+	g.adj[u] = append(g.adj[u], edge{to: v, w: latency})
+	g.adj[v] = append(g.adj[v], edge{to: u, w: latency})
+	return nil
+}
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int {
+	total := 0
+	for _, a := range g.adj {
+		total += len(a)
+	}
+	return total / 2
+}
+
+// Degree returns the degree of node i.
+func (g *Graph) Degree(i int) (int, error) {
+	if i < 0 || i >= len(g.adj) {
+		return 0, fmt.Errorf("node %d of %d: %w", i, len(g.adj), ErrNodeRange)
+	}
+	return len(g.adj[i]), nil
+}
+
+// ShortestFrom runs Dijkstra from src, returning the latency to every node
+// (+Inf for unreachable nodes).
+func (g *Graph) ShortestFrom(src int) ([]float64, error) {
+	n := len(g.adj)
+	if src < 0 || src >= n {
+		return nil, fmt.Errorf("source %d of %d: %w", src, n, ErrNodeRange)
+	}
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	pq := &distHeap{{node: src, d: 0}}
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(distItem)
+		if item.d > dist[item.node] {
+			continue // stale entry
+		}
+		for _, e := range g.adj[item.node] {
+			if nd := item.d + e.w; nd < dist[e.to] {
+				dist[e.to] = nd
+				heap.Push(pq, distItem{node: e.to, d: nd})
+			}
+		}
+	}
+	return dist, nil
+}
+
+// Connected reports whether every node is reachable from node 0.
+func (g *Graph) Connected() bool {
+	if len(g.adj) == 0 {
+		return true
+	}
+	dist, err := g.ShortestFrom(0)
+	if err != nil {
+		return false
+	}
+	for _, d := range dist {
+		if math.IsInf(d, 1) {
+			return false
+		}
+	}
+	return true
+}
+
+type distItem struct {
+	node int
+	d    float64
+}
+
+type distHeap []distItem
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distItem)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}

@@ -1,0 +1,134 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+)
+
+// Site is a data center or access network pinned to a city and, when the
+// network came from a generated graph, to a graph node.
+type Site struct {
+	Name string
+	City City
+	Node int // graph node index; -1 when geo-derived
+}
+
+// Network is the bipartite placement graph the controller consumes: L data
+// centers, V access networks, and an L×V one-way latency matrix (seconds).
+// It corresponds to G = (L ∪ V, E) with weights d_lv in the paper (§IV).
+type Network struct {
+	DataCenters []Site
+	Access      []Site
+	latency     [][]float64 // [l][v] seconds
+}
+
+// NumDataCenters returns L.
+func (n *Network) NumDataCenters() int { return len(n.DataCenters) }
+
+// NumAccess returns V.
+func (n *Network) NumAccess() int { return len(n.Access) }
+
+// Latency returns d_lv between data center l and access network v.
+func (n *Network) Latency(l, v int) (float64, error) {
+	if l < 0 || l >= len(n.DataCenters) || v < 0 || v >= len(n.Access) {
+		return 0, fmt.Errorf("latency (%d,%d) of (%d,%d): %w",
+			l, v, len(n.DataCenters), len(n.Access), ErrNodeRange)
+	}
+	return n.latency[l][v], nil
+}
+
+// LatencyMatrix returns a deep copy of the L×V latency matrix.
+func (n *Network) LatencyMatrix() [][]float64 {
+	out := make([][]float64, len(n.latency))
+	for i, row := range n.latency {
+		out[i] = append([]float64(nil), row...)
+	}
+	return out
+}
+
+// BuildFromTransitStub places data centers and access networks on distinct
+// stub gateways of a generated transit-stub topology, in order, and fills
+// the latency matrix with shortest-path delays. It needs at least
+// len(dcCities)+len(accessCities) stub domains.
+func BuildFromTransitStub(ts *TransitStub, dcCities, accessCities []City) (*Network, error) {
+	need := len(dcCities) + len(accessCities)
+	if need == 0 {
+		return nil, fmt.Errorf("no sites requested: %w", ErrBadConfig)
+	}
+	if len(ts.StubGateways) < need {
+		return nil, fmt.Errorf("%d stub domains < %d sites: %w",
+			len(ts.StubGateways), need, ErrBadConfig)
+	}
+	net := &Network{}
+	for i, c := range dcCities {
+		net.DataCenters = append(net.DataCenters, Site{
+			Name: c.Name, City: c, Node: ts.StubGateways[i],
+		})
+	}
+	for i, c := range accessCities {
+		net.Access = append(net.Access, Site{
+			Name: c.Name, City: c, Node: ts.StubGateways[len(dcCities)+i],
+		})
+	}
+	net.latency = make([][]float64, len(net.DataCenters))
+	for l, dc := range net.DataCenters {
+		dist, err := ts.Graph.ShortestFrom(dc.Node)
+		if err != nil {
+			return nil, err
+		}
+		row := make([]float64, len(net.Access))
+		for v, an := range net.Access {
+			d := dist[an.Node]
+			if math.IsInf(d, 1) {
+				return nil, fmt.Errorf("dc %q cannot reach access %q: %w",
+					dc.Name, an.Name, ErrBadConfig)
+			}
+			row[v] = d
+		}
+		net.latency[l] = row
+	}
+	return net, nil
+}
+
+// BuildGeo derives latencies from great-circle propagation delay between
+// cities plus a fixed last-mile overhead per endpoint. It is the quick way
+// to build a realistic network without generating a router graph.
+func BuildGeo(dcCities, accessCities []City, lastMileDelay float64) (*Network, error) {
+	if len(dcCities) == 0 || len(accessCities) == 0 {
+		return nil, fmt.Errorf("need at least one DC and one access network: %w", ErrBadConfig)
+	}
+	if lastMileDelay < 0 {
+		return nil, fmt.Errorf("last-mile delay %g: %w", lastMileDelay, ErrBadConfig)
+	}
+	net := &Network{}
+	for _, c := range dcCities {
+		net.DataCenters = append(net.DataCenters, Site{Name: c.Name, City: c, Node: -1})
+	}
+	for _, c := range accessCities {
+		net.Access = append(net.Access, Site{Name: c.Name, City: c, Node: -1})
+	}
+	net.latency = make([][]float64, len(dcCities))
+	for l, dc := range dcCities {
+		row := make([]float64, len(accessCities))
+		for v, an := range accessCities {
+			row[v] = PropagationDelaySec(dc, an) + 2*lastMileDelay
+		}
+		net.latency[l] = row
+	}
+	return net, nil
+}
+
+// NearestDataCenter returns the index of the lowest-latency DC for access
+// network v.
+func (n *Network) NearestDataCenter(v int) (int, error) {
+	if v < 0 || v >= len(n.Access) {
+		return 0, fmt.Errorf("access %d of %d: %w", v, len(n.Access), ErrNodeRange)
+	}
+	best, bestLat := 0, math.Inf(1)
+	for l := range n.DataCenters {
+		if n.latency[l][v] < bestLat {
+			best, bestLat = l, n.latency[l][v]
+		}
+	}
+	return best, nil
+}

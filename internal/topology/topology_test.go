@@ -1,0 +1,388 @@
+package topology
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestUSCitiesDatabase(t *testing.T) {
+	cities := USCities()
+	if len(cities) < 24 {
+		t.Fatalf("only %d cities; paper needs 24 access networks", len(cities))
+	}
+	seen := make(map[string]bool, len(cities))
+	for _, c := range cities {
+		if seen[c.Name] {
+			t.Errorf("duplicate city %q", c.Name)
+		}
+		seen[c.Name] = true
+		if c.Population <= 0 {
+			t.Errorf("%s has population %d", c.Name, c.Population)
+		}
+		if c.Lat < 24 || c.Lat > 50 || c.Lon > -66 || c.Lon < -125 {
+			t.Errorf("%s coordinates (%g, %g) outside continental US", c.Name, c.Lat, c.Lon)
+		}
+	}
+	// The paper's DC sites must exist.
+	for _, name := range []string{"San Jose", "Houston", "Atlanta", "Chicago", "Dallas", "Mountain View"} {
+		if _, ok := CityByName(name); !ok {
+			t.Errorf("missing paper DC city %q", name)
+		}
+	}
+	if _, ok := CityByName("Nowhere"); ok {
+		t.Error("CityByName found a nonexistent city")
+	}
+}
+
+func TestUSCitiesReturnsCopy(t *testing.T) {
+	a := USCities()
+	a[0].Name = "MUTATED"
+	b := USCities()
+	if b[0].Name == "MUTATED" {
+		t.Error("USCities exposes internal storage")
+	}
+}
+
+func TestHaversine(t *testing.T) {
+	sj, _ := CityByName("San Jose")
+	ny, _ := CityByName("New York")
+	d := HaversineKm(sj, ny)
+	// Great-circle SJC-NYC is roughly 4100 km.
+	if d < 3800 || d > 4400 {
+		t.Errorf("SJ-NY distance = %g km, want ~4100", d)
+	}
+	if HaversineKm(sj, sj) != 0 {
+		t.Errorf("self distance = %g", HaversineKm(sj, sj))
+	}
+	if math.Abs(HaversineKm(sj, ny)-HaversineKm(ny, sj)) > 1e-9 {
+		t.Error("haversine not symmetric")
+	}
+}
+
+func TestPropagationDelay(t *testing.T) {
+	sj, _ := CityByName("San Jose")
+	ny, _ := CityByName("New York")
+	d := PropagationDelaySec(sj, ny)
+	// Coast to coast one-way should be tens of ms.
+	if d < 0.02 || d > 0.06 {
+		t.Errorf("SJ-NY delay = %g s, want 20-60 ms", d)
+	}
+}
+
+func TestGraphBasics(t *testing.T) {
+	g := NewGraph([]NodeKind{TransitNode, StubNode, StubNode})
+	if err := g.AddEdge(0, 1, 0.005); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 2, 0.002); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 2 {
+		t.Errorf("nodes=%d edges=%d", g.NumNodes(), g.NumEdges())
+	}
+	k, err := g.Kind(0)
+	if err != nil || k != TransitNode {
+		t.Errorf("Kind(0) = %v, %v", k, err)
+	}
+	deg, err := g.Degree(1)
+	if err != nil || deg != 2 {
+		t.Errorf("Degree(1) = %d, %v", deg, err)
+	}
+	dist, err := g.ShortestFrom(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dist[2]-0.007) > 1e-12 {
+		t.Errorf("dist[2] = %g, want 0.007", dist[2])
+	}
+	if !g.Connected() {
+		t.Error("connected graph reported disconnected")
+	}
+}
+
+func TestGraphErrors(t *testing.T) {
+	g := NewGraph([]NodeKind{TransitNode})
+	if err := g.AddEdge(0, 5, 1); !errors.Is(err, ErrNodeRange) {
+		t.Errorf("out-of-range edge err = %v", err)
+	}
+	if err := g.AddEdge(0, 0, -1); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("negative latency err = %v", err)
+	}
+	if _, err := g.Kind(9); !errors.Is(err, ErrNodeRange) {
+		t.Errorf("Kind range err = %v", err)
+	}
+	if _, err := g.Degree(-1); !errors.Is(err, ErrNodeRange) {
+		t.Errorf("Degree range err = %v", err)
+	}
+	if _, err := g.ShortestFrom(7); !errors.Is(err, ErrNodeRange) {
+		t.Errorf("ShortestFrom range err = %v", err)
+	}
+}
+
+func TestGraphDisconnected(t *testing.T) {
+	g := NewGraph([]NodeKind{StubNode, StubNode})
+	if g.Connected() {
+		t.Error("two isolated nodes reported connected")
+	}
+	dist, err := g.ShortestFrom(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(dist[1], 1) {
+		t.Errorf("unreachable dist = %g, want +Inf", dist[1])
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := []GeneratorConfig{
+		{TransitNodes: 0, StubsPerTransit: 1, NodesPerStub: 1},
+		{TransitNodes: 1, StubsPerTransit: 0, NodesPerStub: 1},
+		{TransitNodes: 1, StubsPerTransit: 1, NodesPerStub: 0},
+		{TransitNodes: 1, StubsPerTransit: 1, NodesPerStub: 1, ExtraTransitEdges: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("case %d err = %v", i, err)
+		}
+	}
+}
+
+func TestGenerateStructure(t *testing.T) {
+	cfg := GeneratorConfig{
+		TransitNodes:    4,
+		StubsPerTransit: 3,
+		NodesPerStub:    5,
+		Seed:            7,
+	}
+	ts, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNodes := 4 + 4*3*5
+	if ts.Graph.NumNodes() != wantNodes {
+		t.Errorf("nodes = %d, want %d", ts.Graph.NumNodes(), wantNodes)
+	}
+	if len(ts.StubGateways) != 12 {
+		t.Errorf("gateways = %d, want 12", len(ts.StubGateways))
+	}
+	if !ts.Graph.Connected() {
+		t.Error("generated topology disconnected")
+	}
+	for i, id := range ts.TransitIDs {
+		k, err := ts.Graph.Kind(id)
+		if err != nil || k != TransitNode {
+			t.Errorf("transit %d kind = %v, %v", i, k, err)
+		}
+	}
+	for s, members := range ts.StubMembers {
+		if len(members) != 5 {
+			t.Errorf("stub %d has %d members", s, len(members))
+		}
+		for _, m := range members {
+			k, err := ts.Graph.Kind(m)
+			if err != nil || k != StubNode {
+				t.Errorf("stub member %d kind = %v, %v", m, k, err)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := GeneratorConfig{TransitNodes: 3, StubsPerTransit: 2, NodesPerStub: 4, Seed: 42}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Graph.NumEdges() != b.Graph.NumEdges() {
+		t.Error("same seed produced different edge counts")
+	}
+	da, _ := a.Graph.ShortestFrom(0)
+	db, _ := b.Graph.ShortestFrom(0)
+	for i := range da {
+		if da[i] != db[i] {
+			t.Fatalf("same seed, different distances at node %d", i)
+		}
+	}
+}
+
+func TestGenerateSingleTransit(t *testing.T) {
+	ts, err := Generate(GeneratorConfig{TransitNodes: 1, StubsPerTransit: 2, NodesPerStub: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ts.Graph.Connected() {
+		t.Error("single-transit topology disconnected")
+	}
+}
+
+func TestBuildFromTransitStub(t *testing.T) {
+	ts, err := Generate(GeneratorConfig{TransitNodes: 4, StubsPerTransit: 3, NodesPerStub: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cities := USCities()
+	net, err := BuildFromTransitStub(ts, cities[:4], cities[4:10])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.NumDataCenters() != 4 || net.NumAccess() != 6 {
+		t.Fatalf("L=%d V=%d", net.NumDataCenters(), net.NumAccess())
+	}
+	for l := 0; l < 4; l++ {
+		for v := 0; v < 6; v++ {
+			d, err := net.Latency(l, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Gateway-to-gateway must traverse at least up+down links.
+			if d < 2*TransitStubDelay-1e-12 {
+				t.Errorf("latency(%d,%d) = %g below physical floor", l, v, d)
+			}
+			if d > 1.0 {
+				t.Errorf("latency(%d,%d) = %g unreasonably high", l, v, d)
+			}
+		}
+	}
+	// Latency must reflect transit hops: sites on the same transit router
+	// are closer than sites across the ring (statistically; check floor).
+	if _, err := net.Latency(99, 0); !errors.Is(err, ErrNodeRange) {
+		t.Errorf("latency range err = %v", err)
+	}
+}
+
+func TestBuildFromTransitStubErrors(t *testing.T) {
+	ts, err := Generate(GeneratorConfig{TransitNodes: 1, StubsPerTransit: 2, NodesPerStub: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cities := USCities()
+	if _, err := BuildFromTransitStub(ts, cities[:2], cities[2:4]); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("too few stubs err = %v", err)
+	}
+	if _, err := BuildFromTransitStub(ts, nil, nil); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("no sites err = %v", err)
+	}
+}
+
+func TestBuildGeo(t *testing.T) {
+	cities := USCities()
+	net, err := BuildGeo(cities[:3], cities[3:8], 0.002)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sj, _ := CityByName("San Jose")
+	ny, _ := CityByName("New York")
+	_ = sj
+	_ = ny
+	lat := net.LatencyMatrix()
+	if len(lat) != 3 || len(lat[0]) != 5 {
+		t.Fatalf("matrix shape %dx%d", len(lat), len(lat[0]))
+	}
+	// Mutating the returned matrix must not affect the network.
+	lat[0][0] = 999
+	d, err := net.Latency(0, 0)
+	if err != nil || d == 999 {
+		t.Errorf("LatencyMatrix exposes internal storage (d=%g err=%v)", d, err)
+	}
+	if _, err := BuildGeo(nil, cities[:1], 0.001); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("no DC err = %v", err)
+	}
+	if _, err := BuildGeo(cities[:1], cities[:1], -1); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("negative last mile err = %v", err)
+	}
+}
+
+func TestNearestDataCenter(t *testing.T) {
+	sj, _ := CityByName("San Jose")
+	atl, _ := CityByName("Atlanta")
+	la, _ := CityByName("Los Angeles")
+	mia, _ := CityByName("Miami")
+	net, err := BuildGeo([]City{sj, atl}, []City{la, mia}, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.NearestDataCenter(0) // LA should map to San Jose
+	if err != nil || l != 0 {
+		t.Errorf("LA nearest = %d (%v), want 0 (San Jose)", l, err)
+	}
+	l, err = net.NearestDataCenter(1) // Miami should map to Atlanta
+	if err != nil || l != 1 {
+		t.Errorf("Miami nearest = %d (%v), want 1 (Atlanta)", l, err)
+	}
+	if _, err := net.NearestDataCenter(5); !errors.Is(err, ErrNodeRange) {
+		t.Errorf("range err = %v", err)
+	}
+}
+
+// Property: Dijkstra distances satisfy the triangle inequality through any
+// intermediate node, on random generated topologies.
+func TestQuickDijkstraTriangle(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := GeneratorConfig{
+			TransitNodes:    1 + rng.Intn(4),
+			StubsPerTransit: 1 + rng.Intn(3),
+			NodesPerStub:    1 + rng.Intn(4),
+			Seed:            seed,
+		}
+		ts, err := Generate(cfg)
+		if err != nil {
+			return false
+		}
+		g := ts.Graph
+		n := g.NumNodes()
+		a, b, c := rng.Intn(n), rng.Intn(n), rng.Intn(n)
+		da, err := g.ShortestFrom(a)
+		if err != nil {
+			return false
+		}
+		db, err := g.ShortestFrom(b)
+		if err != nil {
+			return false
+		}
+		return da[c] <= da[b]+db[c]+1e-12
+	}
+	cfg := &quick.Config{MaxCount: 80, Rand: rand.New(rand.NewSource(31))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: shortest-path distance is symmetric on undirected graphs.
+func TestQuickDijkstraSymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ts, err := Generate(GeneratorConfig{
+			TransitNodes:    1 + rng.Intn(3),
+			StubsPerTransit: 1 + rng.Intn(3),
+			NodesPerStub:    1 + rng.Intn(3),
+			Seed:            seed + 1,
+		})
+		if err != nil {
+			return false
+		}
+		g := ts.Graph
+		n := g.NumNodes()
+		u, v := rng.Intn(n), rng.Intn(n)
+		du, err := g.ShortestFrom(u)
+		if err != nil {
+			return false
+		}
+		dv, err := g.ShortestFrom(v)
+		if err != nil {
+			return false
+		}
+		return math.Abs(du[v]-dv[u]) < 1e-12
+	}
+	cfg := &quick.Config{MaxCount: 80, Rand: rand.New(rand.NewSource(57))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,39 @@
+package traceio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadTrace feeds arbitrary bytes through the CSV trace parser: it
+// must reject malformed input with an error, never panic, and round-trip
+// anything it accepts.
+func FuzzReadTrace(f *testing.F) {
+	f.Add("period,a\n0,1\n1,2\n")
+	f.Add("period,a,b\n0,1.5,2.5\n")
+	f.Add("")
+	f.Add("period\n0\n")
+	f.Add("time,a\n0,1\n")
+	f.Add("period,a\nx,1\n")
+	f.Add("period,a\n0,NaN\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		names, trace, err := ReadTrace(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted input must round-trip exactly through WriteTrace.
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, names, trace); err != nil {
+			t.Fatalf("accepted trace failed to write: %v", err)
+		}
+		names2, trace2, err := ReadTrace(&buf)
+		if err != nil {
+			t.Fatalf("round-trip read failed: %v", err)
+		}
+		if len(names2) != len(names) || len(trace2) != len(trace) {
+			t.Fatalf("round trip changed shape: %d/%d names, %d/%d rows",
+				len(names2), len(names), len(trace2), len(trace))
+		}
+	})
+}

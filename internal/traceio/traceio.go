@@ -1,0 +1,139 @@
+// Package traceio persists demand/price traces and simulation results as
+// CSV, so experiments can be exported to plotting tools and externally
+// collected traces (e.g. real electricity prices) can be fed into the
+// controller. Only the standard library's encoding/csv is used.
+package traceio
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+
+	"encoding/csv"
+
+	"dspp/internal/sim"
+)
+
+// Sentinel errors.
+var (
+	// ErrBadTrace flags malformed trace data.
+	ErrBadTrace = errors.New("traceio: malformed trace")
+)
+
+// WriteTrace writes a [periods][series] trace as CSV with a header row of
+// column names. len(names) must match the trace width.
+func WriteTrace(w io.Writer, names []string, trace [][]float64) error {
+	if len(trace) == 0 {
+		return fmt.Errorf("empty trace: %w", ErrBadTrace)
+	}
+	width := len(trace[0])
+	if len(names) != width {
+		return fmt.Errorf("%d names for width %d: %w", len(names), width, ErrBadTrace)
+	}
+	cw := csv.NewWriter(w)
+	header := append([]string{"period"}, names...)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("write header: %w", err)
+	}
+	row := make([]string, width+1)
+	for k, vals := range trace {
+		if len(vals) != width {
+			return fmt.Errorf("row %d has %d columns, want %d: %w", k, len(vals), width, ErrBadTrace)
+		}
+		row[0] = strconv.Itoa(k)
+		for i, v := range vals {
+			row[i+1] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("write row %d: %w", k, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadTrace parses a CSV written by WriteTrace (or hand-made in the same
+// shape): a header row, then one row per period with a leading period
+// index. It returns the column names and the trace.
+func ReadTrace(r io.Reader) ([]string, [][]float64, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, nil, fmt.Errorf("read csv: %w", err)
+	}
+	if len(records) < 2 {
+		return nil, nil, fmt.Errorf("need header + data rows, got %d: %w", len(records), ErrBadTrace)
+	}
+	header := records[0]
+	if len(header) < 2 || header[0] != "period" {
+		return nil, nil, fmt.Errorf("header %v: %w", header, ErrBadTrace)
+	}
+	names := append([]string(nil), header[1:]...)
+	width := len(names)
+	trace := make([][]float64, 0, len(records)-1)
+	for i, rec := range records[1:] {
+		if len(rec) != width+1 {
+			return nil, nil, fmt.Errorf("row %d has %d columns, want %d: %w", i, len(rec), width+1, ErrBadTrace)
+		}
+		idx, err := strconv.Atoi(rec[0])
+		if err != nil || idx != i {
+			return nil, nil, fmt.Errorf("row %d period %q: %w", i, rec[0], ErrBadTrace)
+		}
+		vals := make([]float64, width)
+		for j, cell := range rec[1:] {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("row %d col %d %q: %w", i, j, cell, ErrBadTrace)
+			}
+			vals[j] = v
+		}
+		trace = append(trace, vals)
+	}
+	return names, trace, nil
+}
+
+// WriteSimResult writes one row per executed period of a simulation run:
+// period, total demand, per-DC server counts, resource and reconfiguration
+// cost, and the SLA outcome.
+func WriteSimResult(w io.Writer, res *sim.Result, dcNames []string) error {
+	if res == nil || len(res.Steps) == 0 {
+		return fmt.Errorf("empty result: %w", ErrBadTrace)
+	}
+	numDC := len(res.Steps[0].ServersByDC)
+	if len(dcNames) != numDC {
+		return fmt.Errorf("%d names for %d DCs: %w", len(dcNames), numDC, ErrBadTrace)
+	}
+	cw := csv.NewWriter(w)
+	header := []string{"period", "demand_total"}
+	for _, n := range dcNames {
+		header = append(header, "servers_"+n)
+	}
+	header = append(header, "cost_resource", "cost_reconfig", "sla_met")
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("write header: %w", err)
+	}
+	for _, s := range res.Steps {
+		var demand float64
+		for _, d := range s.Demand {
+			demand += d
+		}
+		row := []string{
+			strconv.Itoa(s.Period),
+			strconv.FormatFloat(demand, 'g', -1, 64),
+		}
+		for _, x := range s.ServersByDC {
+			row = append(row, strconv.FormatFloat(x, 'g', -1, 64))
+		}
+		row = append(row,
+			strconv.FormatFloat(s.Cost.Resource, 'g', -1, 64),
+			strconv.FormatFloat(s.Cost.Reconfig, 'g', -1, 64),
+			strconv.FormatBool(s.SLAMet),
+		)
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("write period %d: %w", s.Period, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,138 @@
+package traceio
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"dspp/internal/core"
+	"dspp/internal/sim"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	trace := [][]float64{
+		{1.5, 2.25},
+		{3, 4},
+		{0, -7.125},
+	}
+	names := []string{"alpha", "beta"}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, names, trace); err != nil {
+		t.Fatal(err)
+	}
+	gotNames, gotTrace, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotNames) != 2 || gotNames[0] != "alpha" || gotNames[1] != "beta" {
+		t.Errorf("names = %v", gotNames)
+	}
+	if len(gotTrace) != 3 {
+		t.Fatalf("rows = %d", len(gotTrace))
+	}
+	for i := range trace {
+		for j := range trace[i] {
+			if gotTrace[i][j] != trace[i][j] {
+				t.Errorf("(%d,%d): %g != %g", i, j, gotTrace[i][j], trace[i][j])
+			}
+		}
+	}
+}
+
+func TestWriteTraceErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, nil, nil); !errors.Is(err, ErrBadTrace) {
+		t.Errorf("empty err = %v", err)
+	}
+	if err := WriteTrace(&buf, []string{"a"}, [][]float64{{1, 2}}); !errors.Is(err, ErrBadTrace) {
+		t.Errorf("name mismatch err = %v", err)
+	}
+	if err := WriteTrace(&buf, []string{"a"}, [][]float64{{1}, {1, 2}}); !errors.Is(err, ErrBadTrace) {
+		t.Errorf("ragged err = %v", err)
+	}
+}
+
+func TestReadTraceErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		csv  string
+	}{
+		{"empty", ""},
+		{"header only", "period,a\n"},
+		{"bad header", "time,a\n0,1\n"},
+		{"ragged row", "period,a\n0,1,2\n"},
+		{"bad period", "period,a\nx,1\n"},
+		{"wrong order", "period,a\n5,1\n"},
+		{"bad value", "period,a\n0,zzz\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := ReadTrace(strings.NewReader(tc.csv))
+			if err == nil {
+				t.Error("accepted malformed csv")
+			}
+		})
+	}
+}
+
+func simResultFixture(t *testing.T) *sim.Result {
+	t.Helper()
+	inst, err := core.NewInstance(core.Config{
+		SLA:             [][]float64{{0.01}},
+		ReconfigWeights: []float64{1e-3},
+		Capacities:      []float64{math.Inf(1)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := core.NewController(inst, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := [][]float64{{100}, {100}, {200}, {150}}
+	prices := [][]float64{{0.1}, {0.1}, {0.1}, {0.1}}
+	res, err := sim.Run(sim.Config{
+		Instance:    inst,
+		Policy:      &sim.MPCPolicy{Ctrl: ctrl},
+		DemandTrace: trace,
+		PriceTrace:  prices,
+		Periods:     3,
+		Horizon:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestWriteSimResult(t *testing.T) {
+	res := simResultFixture(t)
+	var buf bytes.Buffer
+	if err := WriteSimResult(&buf, res, []string{"dc0"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header + 3 periods
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "period,demand_total,servers_dc0,cost_resource,cost_reconfig,sla_met") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "true") {
+		t.Errorf("row 1 missing sla flag: %q", lines[1])
+	}
+}
+
+func TestWriteSimResultErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSimResult(&buf, nil, nil); !errors.Is(err, ErrBadTrace) {
+		t.Errorf("nil result err = %v", err)
+	}
+	res := simResultFixture(t)
+	if err := WriteSimResult(&buf, res, []string{"a", "b"}); !errors.Is(err, ErrBadTrace) {
+		t.Errorf("name mismatch err = %v", err)
+	}
+}

@@ -1,0 +1,100 @@
+package dspp
+
+import (
+	"io"
+
+	"dspp/internal/baseline"
+	"dspp/internal/predict"
+	"dspp/internal/sim"
+	"dspp/internal/traceio"
+)
+
+// Simulation and prediction types.
+type (
+	// Policy is the per-period decision interface the simulator drives;
+	// MPC controllers (via NewMPCPolicy) and the baselines implement it.
+	Policy = sim.Policy
+	// MPCPolicy adapts a Controller to the Policy interface.
+	MPCPolicy = sim.MPCPolicy
+	// SimConfig describes one simulation run.
+	SimConfig = sim.Config
+	// SimResult is a completed run with its full time series.
+	SimResult = sim.Result
+	// SimStep is one recorded control period.
+	SimStep = sim.StepRecord
+
+	// Predictor forecasts a series' future from its history.
+	Predictor = predict.Predictor
+	// PerfectPredictor is an oracle over a known series.
+	PerfectPredictor = predict.Perfect
+	// PersistencePredictor repeats the last observation.
+	PersistencePredictor = predict.Persistence
+	// SeasonalNaivePredictor repeats the value one season earlier.
+	SeasonalNaivePredictor = predict.SeasonalNaive
+	// ARPredictor is an OLS-fit autoregressive model.
+	ARPredictor = predict.AR
+	// MovingAveragePredictor predicts the recent mean.
+	MovingAveragePredictor = predict.MovingAverage
+	// HoltWintersPredictor is additive triple exponential smoothing
+	// (level + trend + season), the natural fit for diurnal traces.
+	HoltWintersPredictor = predict.HoltWinters
+)
+
+// Simulate executes a run of the discrete-time engine (Fig. 2's
+// architecture): forecasts feed the policy, realized traces are billed
+// and checked against the SLA, and the full series is recorded.
+func Simulate(cfg SimConfig) (*SimResult, error) { return sim.Run(cfg) }
+
+// NewMPCPolicy wraps an MPC controller for Simulate.
+func NewMPCPolicy(ctrl *Controller) *MPCPolicy { return &sim.MPCPolicy{Ctrl: ctrl} }
+
+// Baseline policies (ablation comparators; see internal/baseline).
+
+// NewGreedyNearestPolicy routes demand to the lowest-latency feasible DC,
+// ignoring prices and reconfiguration cost.
+func NewGreedyNearestPolicy(inst *Instance) (Policy, error) {
+	return baseline.NewGreedyNearest(inst)
+}
+
+// NewStaticAveragePolicy computes one placement for the average demand
+// and holds it forever.
+func NewStaticAveragePolicy(inst *Instance, demand, prices [][]float64) (Policy, error) {
+	return baseline.NewStaticAverage(inst, demand, prices, DefaultQPOptions())
+}
+
+// NewMyopicPolicy solves a single-period DSPP each step (MPC with W=1).
+func NewMyopicPolicy(inst *Instance) (Policy, error) {
+	return baseline.NewMyopic(inst, DefaultQPOptions())
+}
+
+// NewLazyThresholdPolicy holds the allocation inside a hysteresis band
+// and re-plans to target×minimum when the band is left.
+func NewLazyThresholdPolicy(inst *Instance, target, upper float64) (Policy, error) {
+	return baseline.NewLazyThreshold(inst, target, upper, DefaultQPOptions())
+}
+
+// NewSoftTrackingPolicy is a soft-constraint MPC controller solved by an
+// exact Riccati sweep instead of the interior-point QP: demand becomes a
+// quadratic tracking target, so it is much faster per step but can
+// undershoot the SLA during ramps. trackWeight balances tracking accuracy
+// against reconfiguration smoothness.
+func NewSoftTrackingPolicy(inst *Instance, trackWeight float64, horizon int) (Policy, error) {
+	return baseline.NewSoftTracking(inst, trackWeight, horizon)
+}
+
+// WriteTraceCSV writes a [period][series] trace as CSV with named columns.
+func WriteTraceCSV(w io.Writer, names []string, trace [][]float64) error {
+	return traceio.WriteTrace(w, names, trace)
+}
+
+// ReadTraceCSV parses a trace CSV written by WriteTraceCSV (or hand-made
+// in the same shape), returning column names and values.
+func ReadTraceCSV(r io.Reader) ([]string, [][]float64, error) {
+	return traceio.ReadTrace(r)
+}
+
+// WriteSimResultCSV exports a simulation run as CSV: per-period demand,
+// per-DC allocation, cost components and SLA outcome.
+func WriteSimResultCSV(w io.Writer, res *SimResult, dcNames []string) error {
+	return traceio.WriteSimResult(w, res, dcNames)
+}
