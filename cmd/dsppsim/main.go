@@ -12,6 +12,7 @@
 //
 //	dsppsim [-dcs 4] [-metros 8] [-periods 48] [-horizon 5]
 //	        [-predictor perfect|persistence|seasonal|ar] [-seed 7]
+//	        [-cpuprofile cpu.out] [-memprofile mem.out]
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"strings"
 
 	"dspp"
+	"dspp/internal/profiling"
 	"dspp/internal/workload"
 )
 
@@ -41,9 +43,20 @@ func run(args []string, out *os.File) error {
 	predictor := fs.String("predictor", "perfect", "demand predictor: perfect|persistence|seasonal|ar|holtwinters")
 	seed := fs.Int64("seed", 7, "random seed")
 	csvOut := fs.String("csv", "", "also write the per-period series to this CSV file")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintln(os.Stderr, "dsppsim:", perr)
+		}
+	}()
 	if *numDCs < 1 || *numDCs > 4 {
 		return fmt.Errorf("dcs %d out of range 1-4", *numDCs)
 	}

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	experiments [-fig name] [-seed n] [-players n]
+//	            [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // With no -fig, all experiments run in order.
 package main
@@ -17,6 +18,7 @@ import (
 	"strings"
 
 	"dspp/internal/experiments"
+	"dspp/internal/profiling"
 )
 
 type experiment struct {
@@ -206,9 +208,20 @@ func run(args []string) error {
 	fig := fs.String("fig", "", "experiment to run (default: all); one of fig3..fig10, pos, ablation-*, validate-mm1")
 	seed := fs.Int64("seed", 2012, "random seed")
 	players := fs.Int("players", 10, "max players for the game experiments")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", perr)
+		}
+	}()
 	ran := 0
 	for _, e := range registry() {
 		if *fig != "" && !strings.EqualFold(*fig, e.name) {

@@ -14,6 +14,10 @@ type Controller struct {
 	horizon int
 	opts    qp.Options
 	state   State
+	// warm carries the previous step's QP iterates; each MPC step seeds
+	// its solve from the prior plan shifted by one period, which cuts
+	// interior-point iterations across the closed loop.
+	warm *HorizonWarm
 }
 
 // ControllerOption customizes a Controller.
@@ -67,6 +71,9 @@ func (c *Controller) SetState(s State) error {
 		return err
 	}
 	c.state = s.Clone()
+	// The previous plan was computed for a different trajectory; drop it
+	// rather than warm-start from a stale point.
+	c.warm = nil
 	return nil
 }
 
@@ -90,13 +97,16 @@ func (c *Controller) Step(demand, prices [][]float64) (*StepResult, error) {
 			len(demand), len(prices), c.horizon, ErrBadInput)
 	}
 	plan, err := c.inst.SolveHorizon(HorizonInput{
-		X0:     c.state,
-		Demand: demand[:c.horizon],
-		Prices: prices[:c.horizon],
+		X0:        c.state,
+		Demand:    demand[:c.horizon],
+		Prices:    prices[:c.horizon],
+		Warm:      c.warm,
+		WarmShift: 1,
 	}, c.opts)
 	if err != nil {
 		return nil, err
 	}
+	c.warm = plan.Warm
 	c.state = plan.X[0].Clone()
 	return &StepResult{
 		Applied:  plan.U[0],

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"dspp/internal/linalg"
 	"dspp/internal/qp"
@@ -16,6 +17,56 @@ type HorizonInput struct {
 	X0     State
 	Demand [][]float64 // W×V forecast demand
 	Prices [][]float64 // W×L forecast prices
+	// Warm optionally seeds the QP from a previously solved plan's raw
+	// iterates, shifted forward by WarmShift periods: 1 chains receding-
+	// horizon MPC steps, 0 re-solves the same window (best-response
+	// rounds). A warm start whose shape doesn't match is ignored.
+	Warm      *HorizonWarm
+	WarmShift int
+}
+
+// HorizonWarm is the opaque warm-start capsule a solved Plan carries: the
+// raw primal iterates (cumulative controls y_t = Σ_{τ≤t} u_τ) and
+// inequality duals of its QP, plus the layout needed to validate and
+// shift them for the next solve.
+type HorizonWarm struct {
+	y, z                    linalg.Vector
+	pairs, horizon, rowsPer int
+}
+
+// shifted produces the QP warm start for a problem with the given layout,
+// advancing the stored solution by shift periods. The stored primal is
+// cumulative, so shifting rebases it on the state reached after the
+// applied controls: y'_t = y_{t+shift} − y_{shift−1}. Periods beyond the
+// old horizon hold the last cumulative level (controls default to zero);
+// dual blocks repeat the last period's, the best available guess for the
+// newly revealed period.
+func (hw *HorizonWarm) shifted(e, w, rowsPerStep, shift int) *qp.WarmStart {
+	if hw == nil || shift < 0 ||
+		hw.pairs != e || hw.horizon != w || hw.rowsPer != rowsPerStep ||
+		len(hw.y) != e*w || len(hw.z) != rowsPerStep*w {
+		return nil
+	}
+	if shift == 0 {
+		return &qp.WarmStart{X: hw.y, Z: hw.z}
+	}
+	x := linalg.NewVector(e * w)
+	z := linalg.NewVector(rowsPerStep * w)
+	base := shift - 1
+	if base > w-1 {
+		base = w - 1
+	}
+	for t := 0; t < w; t++ {
+		src := t + shift
+		if src > w-1 {
+			src = w - 1
+		}
+		for pi := 0; pi < e; pi++ {
+			x[t*e+pi] = hw.y[src*e+pi] - hw.y[base*e+pi]
+		}
+		copy(z[t*rowsPerStep:(t+1)*rowsPerStep], hw.z[src*rowsPerStep:(src+1)*rowsPerStep])
+	}
+	return &qp.WarmStart{X: x, Z: z}
 }
 
 // Plan is the solved horizon: the control sequence, the resulting state
@@ -37,6 +88,9 @@ type Plan struct {
 	DemandDuals [][]float64
 	// QPIterations reports interior-point iterations used.
 	QPIterations int
+	// Warm carries the raw QP iterates for warm-starting the next solve
+	// over the same instance layout (see HorizonInput.Warm).
+	Warm *HorizonWarm
 }
 
 // Horizon returns len(plan.U).
@@ -115,24 +169,33 @@ func (in *Instance) SolveHorizon(input HorizonInput, opts qp.Options) (*Plan, er
 	}
 
 	e := len(in.pairs)
-	n := e * w // decision variables: u_t^pair
+	n := e * w // decision variables: y_t^pair = Σ_{τ≤t} u_τ^pair
 
-	// Quadratic term: ½ uᵀQu with Q = diag(2 c^l).
-	qMat := linalg.NewMatrix(n, n)
-	for t := 0; t < w; t++ {
-		for pi, pr := range in.pairs {
-			idx := t*e + pi
-			qMat.Set(idx, idx, 2*in.reconfig[pr.l])
-		}
+	// The quadratic term and the constraint matrix depend only on the
+	// instance and the horizon length — not on demand, prices, state, or
+	// capacity values — so they are built once per (instance, W) and
+	// reused across every solve of an MPC or best-response loop.
+	hs, err := in.horizonStructure(w)
+	if err != nil {
+		return nil, err
 	}
-	// Linear term: u_τ^e contributes to the holding cost of every later
-	// planned state, so its coefficient is Σ_{t≥τ} Prices[t][l(e)].
-	cVec := linalg.NewVector(n)
+	rowsPerStep := hs.rowsPerStep
+	m := w * rowsPerStep
+
+	// Cost and right-hand-side vectors come from the structure's pool: they
+	// are dead once the solver returns (results are copied out), and the
+	// fill loops below overwrite every entry.
+	vecs, _ := hs.vecPool.Get().(*horizonVecs)
+	if vecs == nil {
+		vecs = &horizonVecs{c: linalg.NewVector(n), h: linalg.NewVector(m)}
+	}
+
+	// Linear term: the holding cost p_t·x_t is simply Prices[t][l] per
+	// cumulative variable (no suffix sums needed in y-space).
+	cVec := vecs.c
 	for pi, pr := range in.pairs {
-		var tail float64
-		for t := w - 1; t >= 0; t-- {
-			tail += input.Prices[t][pr.l]
-			cVec[t*e+pi] = tail
+		for t := 0; t < w; t++ {
+			cVec[t*e+pi] = input.Prices[t][pr.l]
 		}
 	}
 	// Sunk holding cost of x0 carried through the horizon (constant).
@@ -143,119 +206,238 @@ func (in *Instance) SolveHorizon(input HorizonInput, opts qp.Options) (*Plan, er
 		}
 	}
 
-	// Inequality rows: per horizon step t — demand (V), capacity
-	// (capacitated DCs), nonnegativity (E).
-	capacitated := make([]int, 0, in.l)
-	for l := 0; l < in.l; l++ {
-		if !math.IsInf(in.capacity[l], 1) {
-			capacitated = append(capacitated, l)
-		}
-	}
-	rowsPerStep := in.v + len(capacitated) + e
-	m := w * rowsPerStep
-	gMat := linalg.NewMatrix(m, n)
-	hVec := linalg.NewVector(m)
-
+	// Right-hand sides, in the fixed row order of the cached G (per step:
+	// demand, capacity, nonnegativity — see horizonStructure).
+	hVec := vecs.h
 	row := 0
-	// Row bookkeeping for dual extraction.
-	demandRow := make([][]int, w)
-	capRow := make([][]int, w)
 	for t := 0; t < w; t++ {
-		demandRow[t] = make([]int, in.v)
-		capRow[t] = make([]int, in.l)
-		for l := range capRow[t] {
-			capRow[t][l] = -1
-		}
-		// Demand: −Σ_{e∈v} Σ_{τ≤t} u_τ^e / a_e ≤ −D + Σ_{e∈v} x0_e/a_e.
+		// Demand: −Σ_{e∈v} y_t^e / a_e ≤ −D + Σ_{e∈v} x0_e/a_e.
 		for v := 0; v < in.v; v++ {
-			demandRow[t][v] = row
 			rhs := -input.Demand[t][v]
 			for l := 0; l < in.l; l++ {
-				pi := in.pairIdx[l][v]
-				if pi < 0 {
-					continue
-				}
-				inv := 1 / in.a[l][v]
-				rhs += input.X0[l][v] * inv
-				for tau := 0; tau <= t; tau++ {
-					gMat.Set(row, tau*e+pi, -inv)
+				if in.pairIdx[l][v] >= 0 {
+					rhs += input.X0[l][v] / in.a[l][v]
 				}
 			}
 			hVec[row] = rhs
 			row++
 		}
-		// Capacity: Σ_{e∈l} Σ_{τ≤t} u ≤ C_l − Σ_{e∈l} x0.
-		for _, l := range capacitated {
-			capRow[t][l] = row
+		// Capacity: Σ_{e∈l} y_t ≤ C_l − Σ_{e∈l} x0.
+		for _, l := range hs.capacitated {
 			rhs := in.capacity[l]
 			for v := 0; v < in.v; v++ {
-				pi := in.pairIdx[l][v]
-				if pi < 0 {
-					continue
-				}
-				rhs -= input.X0[l][v]
-				for tau := 0; tau <= t; tau++ {
-					gMat.Set(row, tau*e+pi, 1)
+				if in.pairIdx[l][v] >= 0 {
+					rhs -= input.X0[l][v]
 				}
 			}
 			hVec[row] = rhs
 			row++
 		}
-		// Nonnegativity: −Σ_{τ≤t} u_τ^e ≤ x0_e.
-		for pi, pr := range in.pairs {
-			for tau := 0; tau <= t; tau++ {
-				gMat.Set(row, tau*e+pi, -1)
-			}
+		// Nonnegativity: −y_t^e ≤ x0_e.
+		for _, pr := range in.pairs {
 			hVec[row] = input.X0[pr.l][pr.v]
 			row++
 		}
 	}
 
-	prob := &qp.Problem{Q: qMat, C: cVec, G: gMat, H: hVec}
-	res, err := qp.Solve(prob, opts)
+	prob := &qp.Problem{Q: hs.q, C: cVec, G: hs.g, H: hVec}
+	res, err := qp.SolveWarm(prob, opts, input.Warm.shifted(e, w, rowsPerStep, input.WarmShift))
+	hs.vecPool.Put(vecs)
 	if err != nil {
 		return nil, fmt.Errorf("horizon QP (W=%d, n=%d, m=%d): %w", w, n, m, err)
 	}
 
-	plan := &Plan{
-		U:             make([]State, w),
-		X:             make([]State, w),
-		Objective:     res.Objective + constCost,
-		CapacityDuals: make([][]float64, w),
-		DemandDuals:   make([][]float64, w),
-		QPIterations:  res.Iterations,
+	// The whole plan — 2W states plus the two dual tables — is carved out
+	// of one float backing array and one row-header block, so a plan costs
+	// a fixed handful of allocations instead of O(W·L) small ones.
+	floats := make([]float64, w*(2*in.l*in.v+in.v+in.l))
+	rows := make([][]float64, 2*w*in.l+2*w)
+	states := make([]State, 2*w)
+	takeRow := func(k int) []float64 {
+		r := floats[:k:k]
+		floats = floats[k:]
+		return r
 	}
-	prev := input.X0.Clone()
-	for t := 0; t < w; t++ {
-		u := in.NewState()
-		for pi, pr := range in.pairs {
-			u[pr.l][pr.v] = res.X[t*e+pi]
+	takeState := func() State {
+		s := State(rows[:in.l:in.l])
+		rows = rows[in.l:]
+		for l := range s {
+			s[l] = takeRow(in.v)
 		}
-		x := prev.Clone()
-		for l := 0; l < in.l; l++ {
-			for v := 0; v < in.v; v++ {
-				x[l][v] += u[l][v]
-				// Clamp the tiny interior-point slack so states stay
-				// exactly feasible for downstream consumers.
-				if x[l][v] < 0 {
-					x[l][v] = 0
-				}
+		return s
+	}
+
+	plan := &Plan{
+		U:             states[:w:w],
+		X:             states[w:],
+		Objective:     res.Objective + constCost,
+		CapacityDuals: rows[:w:w],
+		DemandDuals:   rows[w : 2*w : 2*w],
+		QPIterations:  res.Iterations,
+		Warm:          &HorizonWarm{y: res.X, z: res.IneqDuals, pairs: e, horizon: w, rowsPer: rowsPerStep},
+	}
+	rows = rows[2*w:]
+	// Trajectory reconstruction: each state starts as a copy of its
+	// predecessor (X0 itself is only read, never cloned) and only the
+	// feasible pairs — the only entries a control can move — are updated.
+	// The QP primal is cumulative, so the control is the difference of
+	// consecutive levels: u_t = y_t − y_{t−1}.
+	prev := input.X0
+	for t := 0; t < w; t++ {
+		u := takeState()
+		x := takeState()
+		for l := range x {
+			copy(x[l], prev[l])
+		}
+		for pi, pr := range in.pairs {
+			uv := res.X[t*e+pi]
+			if t > 0 {
+				uv -= res.X[(t-1)*e+pi]
 			}
+			u[pr.l][pr.v] = uv
+			xv := x[pr.l][pr.v] + uv
+			// Clamp the tiny interior-point slack so states stay
+			// exactly feasible for downstream consumers.
+			if xv < 0 {
+				xv = 0
+			}
+			x[pr.l][pr.v] = xv
 		}
 		plan.U[t] = u
 		plan.X[t] = x
 		prev = x
 
-		plan.DemandDuals[t] = make([]float64, in.v)
-		for v := 0; v < in.v; v++ {
-			plan.DemandDuals[t][v] = res.IneqDuals[demandRow[t][v]]
-		}
-		plan.CapacityDuals[t] = make([]float64, in.l)
-		for l := 0; l < in.l; l++ {
-			if r := capRow[t][l]; r >= 0 {
-				plan.CapacityDuals[t][l] = res.IneqDuals[r]
-			}
+		// Dual extraction follows the fixed row layout: step t's block
+		// starts at t·rowsPerStep with the V demand rows, then one row per
+		// capacitated DC.
+		base := t * rowsPerStep
+		plan.DemandDuals[t] = takeRow(in.v)
+		copy(plan.DemandDuals[t], res.IneqDuals[base:base+in.v])
+		plan.CapacityDuals[t] = takeRow(in.l)
+		for ci, l := range hs.capacitated {
+			plan.CapacityDuals[t][l] = res.IneqDuals[base+in.v+ci]
 		}
 	}
 	return plan, nil
+}
+
+// horizonStruct is the data-independent part of the horizon QP for one
+// horizon length: the quadratic term, the sparse constraint matrix, and
+// the row layout. Q's entries depend only on the reconfiguration weights,
+// G's only on the SLA coefficients and on which DCs are capacitated;
+// demand, prices, the initial state, and the capacity values enter solely
+// through the O(n) cost and right-hand-side vectors rebuilt per solve.
+type horizonStruct struct {
+	q *linalg.Matrix
+	g *linalg.SparseMatrix
+	// capacitated lists the DCs with finite capacity, ascending — the
+	// order their rows appear within each step's block.
+	capacitated []int
+	// rowsPerStep = V demand rows + len(capacitated) + E nonnegativity.
+	rowsPerStep int
+	// vecPool recycles the per-solve cost/rhs vectors (*horizonVecs);
+	// the solver does not retain them past a solve.
+	vecPool sync.Pool
+}
+
+// horizonVecs is the pooled pair of per-solve vectors for one structure.
+type horizonVecs struct {
+	c, h linalg.Vector
+}
+
+// horizonStructure returns the cached structure for horizon length w,
+// building it on first use.
+//
+// State-space formulation: the decision variable for (t, pair) is the
+// cumulative control y_t = Σ_{τ≤t} u_τ — the planned state relative to
+// x0 — instead of the raw control u_t. Every constraint on the planned
+// state x_t = x0 + y_t then touches only step t's block of e columns, so
+// G is block diagonal and the KKT matrix H = Q + GᵀDG is banded with
+// half-bandwidth e (Q couples consecutive steps of the same pair):
+// Cholesky factorization drops from O((eW)³) to O(eW·e²) per
+// interior-point iteration, and matrix-vector products run on O(W)
+// nonzero blocks instead of the O(W²) prefix-sum rows of the u-space
+// form. The two formulations are related by an invertible change of
+// variables, so optimum, objective, and constraint duals coincide.
+func (in *Instance) horizonStructure(w int) (*horizonStruct, error) {
+	in.qpMu.Lock()
+	defer in.qpMu.Unlock()
+	if hs, ok := in.qpCache[w]; ok {
+		return hs, nil
+	}
+
+	e := len(in.pairs)
+	n := e * w
+
+	// Quadratic term: Σ_t c^l (y_t − y_{t−1})², y_{−1} = 0 — in the
+	// ½ yᵀQy convention a block-tridiagonal Q with diag 4c (2c on the
+	// final step, which no later difference references) and −2c between
+	// consecutive steps of the same pair.
+	qMat := linalg.NewMatrix(n, n)
+	for t := 0; t < w; t++ {
+		for pi, pr := range in.pairs {
+			idx := t*e + pi
+			c2 := 2 * in.reconfig[pr.l]
+			if t < w-1 {
+				qMat.Set(idx, idx, 2*c2)
+				qMat.Set(idx, idx+e, -c2)
+				qMat.Set(idx+e, idx, -c2)
+			} else {
+				qMat.Set(idx, idx, c2)
+			}
+		}
+	}
+
+	// Inequality rows: per horizon step t — demand (V), capacity
+	// (capacitated DCs), nonnegativity (E). Each row constrains only step
+	// t's planned state, i.e. only the e columns of block t: the matrix
+	// is emitted in CSR form directly and KKT assembly inside the solver
+	// runs on nonzeros only instead of O(m·n²).
+	capacitated := make([]int, 0, in.l)
+	capPairs := 0
+	for l := 0; l < in.l; l++ {
+		if !math.IsInf(in.capacity[l], 1) {
+			capacitated = append(capacitated, l)
+			for v := 0; v < in.v; v++ {
+				if in.pairIdx[l][v] >= 0 {
+					capPairs++
+				}
+			}
+		}
+	}
+	rowsPerStep := in.v + len(capacitated) + e
+	gb := linalg.NewSparseBuilder(w*rowsPerStep, n, (2*e+capPairs)*w)
+	for t := 0; t < w; t++ {
+		for v := 0; v < in.v; v++ {
+			gb.StartRow()
+			for l := 0; l < in.l; l++ {
+				if pi := in.pairIdx[l][v]; pi >= 0 {
+					gb.Add(t*e+pi, -1/in.a[l][v])
+				}
+			}
+		}
+		for _, l := range capacitated {
+			gb.StartRow()
+			for v := 0; v < in.v; v++ {
+				if pi := in.pairIdx[l][v]; pi >= 0 {
+					gb.Add(t*e+pi, 1)
+				}
+			}
+		}
+		for pi := range in.pairs {
+			gb.StartRow()
+			gb.Add(t*e+pi, -1)
+		}
+	}
+	gMat, err := gb.Build()
+	if err != nil {
+		return nil, fmt.Errorf("horizon constraint assembly: %w", err)
+	}
+
+	hs := &horizonStruct{q: qMat, g: gMat, capacitated: capacitated, rowsPerStep: rowsPerStep}
+	if in.qpCache == nil {
+		in.qpCache = make(map[int]*horizonStruct)
+	}
+	in.qpCache[w] = hs
+	return hs, nil
 }

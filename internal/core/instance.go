@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"dspp/internal/queue"
 )
@@ -35,8 +36,9 @@ var (
 	ErrBadInput = errors.New("core: invalid input")
 )
 
-// Instance is an immutable DSPP instance: the placement graph with SLA
-// coefficients, per-DC reconfiguration weights and capacities.
+// Instance is a DSPP instance: the placement graph with SLA coefficients,
+// per-DC reconfiguration weights and capacities. Everything but the
+// capacity values (see SetCapacities) is immutable after construction.
 type Instance struct {
 	l, v int
 	// a[l][v] is the SLA coefficient a^lv (servers per unit arrival
@@ -50,6 +52,14 @@ type Instance struct {
 	// dense variable index of the pair or -1.
 	pairs   []pair
 	pairIdx [][]int
+
+	// qpCache holds the horizon QP's data-independent structure per
+	// horizon length (see horizonStructure): the repeated solves of an MPC
+	// or best-response loop then rebuild only the O(n) cost and
+	// right-hand-side vectors. Guarded by qpMu — instances are shared
+	// across the parallel sweep and experiment workers.
+	qpMu    sync.Mutex
+	qpCache map[int]*horizonStruct
 }
 
 type pair struct{ l, v int }
@@ -212,6 +222,29 @@ func (in *Instance) ReconfigWeight(l int) (float64, error) {
 	return in.reconfig[l], nil
 }
 
+// SetCapacities updates the per-DC capacities in place. The finiteness
+// pattern must match the current capacities: which DCs are capacitated
+// determines the horizon QP's cached constraint structure, while the
+// capacity values only enter the per-solve right-hand side. It must not be
+// called concurrently with solves on the same instance. The best-response
+// game uses it to move a provider's quotas between rounds without
+// rebuilding the instance.
+func (in *Instance) SetCapacities(caps []float64) error {
+	if len(caps) != in.l {
+		return fmt.Errorf("capacities %d, want %d: %w", len(caps), in.l, ErrBadInstance)
+	}
+	for l, c := range caps {
+		if c <= 0 || math.IsNaN(c) {
+			return fmt.Errorf("capacity[%d] = %g: %w", l, c, ErrBadInstance)
+		}
+		if math.IsInf(c, 1) != math.IsInf(in.capacity[l], 1) {
+			return fmt.Errorf("capacity[%d] = %g changes the capacitated set: %w", l, c, ErrBadInstance)
+		}
+	}
+	copy(in.capacity, caps)
+	return nil
+}
+
 // WithCapacities returns a copy of the instance with new per-DC capacities
 // (used by the competition game to impose per-provider quotas).
 func (in *Instance) WithCapacities(caps []float64) (*Instance, error) {
@@ -233,11 +266,14 @@ func (in *Instance) WithCapacities(caps []float64) (*Instance, error) {
 // pairs must stay at zero.
 type State [][]float64
 
-// NewState returns the all-zero allocation for the instance.
+// NewState returns the all-zero allocation for the instance. The rows
+// share one backing array, so building a state costs two allocations
+// regardless of L — the MPC loop creates two per horizon step.
 func (in *Instance) NewState() State {
 	s := make(State, in.l)
+	data := make([]float64, in.l*in.v)
 	for l := range s {
-		s[l] = make([]float64, in.v)
+		s[l] = data[l*in.v : (l+1)*in.v : (l+1)*in.v]
 	}
 	return s
 }

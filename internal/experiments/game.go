@@ -7,6 +7,7 @@ import (
 	"math/rand"
 
 	"dspp/internal/game"
+	"dspp/internal/parallel"
 )
 
 // randomProvider draws a provider with randomized (μ, D, s, c, d̄) as in
@@ -91,21 +92,32 @@ func Fig7GameConvergence(seed int64, maxPlayers int) (*Fig7Result, error) {
 	for n := 1; n <= maxPlayers; n++ {
 		res.Players = append(res.Players, n)
 	}
+	// Every (capacity, players, rep) cell draws from its own seeded RNG, so
+	// the cells are independent: fan out over the flattened grid and write
+	// each mean into its index-addressed slot.
 	const seedsPerCell = 3
-	for ci, c := range capacities {
-		for n := 1; n <= maxPlayers; n++ {
-			total := 0
-			for rep := 0; rep < seedsPerCell; rep++ {
-				rng := rand.New(rand.NewSource(seed + int64(n)*101 + int64(rep)*977))
-				s := gameScenario(rng, n, 3, c)
-				br, err := game.BestResponse(s, gameBRConfig(c))
-				if err != nil && !errors.Is(err, game.ErrNotConverged) {
-					return nil, fmt.Errorf("cap=%g n=%d: %w", c, n, err)
-				}
-				total += br.Iterations
+	for ci := range capacities {
+		res.Iterations[ci] = make([]int, maxPlayers)
+	}
+	cells := len(capacities) * maxPlayers
+	err := parallel.ForEach(cells, 0, func(cell int) error {
+		ci, n := cell/maxPlayers, cell%maxPlayers+1
+		c := capacities[ci]
+		total := 0
+		for rep := 0; rep < seedsPerCell; rep++ {
+			rng := rand.New(rand.NewSource(seed + int64(n)*101 + int64(rep)*977))
+			s := gameScenario(rng, n, 3, c)
+			br, err := game.BestResponse(s, gameBRConfig(c))
+			if err != nil && !errors.Is(err, game.ErrNotConverged) {
+				return fmt.Errorf("cap=%g n=%d: %w", c, n, err)
 			}
-			res.Iterations[ci] = append(res.Iterations[ci], total/seedsPerCell)
+			total += br.Iterations
 		}
+		res.Iterations[ci][n-1] = total / seedsPerCell
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	for i, n := range res.Players {
 		res.Table.AddRow(itoa(n),

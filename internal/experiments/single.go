@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"dspp/internal/core"
+	"dspp/internal/parallel"
 	"dspp/internal/predict"
 	"dspp/internal/pricing"
 	"dspp/internal/sim"
@@ -422,10 +423,14 @@ func Fig9HorizonVsCost(seed int64) (*HorizonCostResult, error) {
 			Columns: []string{"W", "total cost"},
 		},
 	}
-	for w := 1; w <= maxW; w++ {
+	// The horizon runs are independent closed loops over the same immutable
+	// instance and traces: fan out, then assemble the table in W order.
+	costs := make([]float64, maxW)
+	err = parallel.ForEach(maxW, 0, func(i int) error {
+		w := i + 1
 		ctrl, err := core.NewController(inst, w)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		run, err := sim.Run(sim.Config{
 			Instance:        inst,
@@ -438,11 +443,18 @@ func Fig9HorizonVsCost(seed int64) (*HorizonCostResult, error) {
 			PricePredictor:  predict.AR{P: 2, Window: 10},
 		})
 		if err != nil {
-			return nil, fmt.Errorf("W=%d: %w", w, err)
+			return fmt.Errorf("W=%d: %w", w, err)
 		}
+		costs[i] = run.TotalCost
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for w := 1; w <= maxW; w++ {
 		res.Horizons = append(res.Horizons, w)
-		res.Cost = append(res.Cost, run.TotalCost)
-		res.Table.AddRow(itoa(w), f2(run.TotalCost))
+		res.Cost = append(res.Cost, costs[w-1])
+		res.Table.AddRow(itoa(w), f2(costs[w-1]))
 	}
 	return res, nil
 }

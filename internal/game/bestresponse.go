@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"dspp/internal/core"
+	"dspp/internal/parallel"
 	"dspp/internal/qp"
 )
 
@@ -32,6 +33,17 @@ type BestResponseConfig struct {
 	// which is exactly how the price-of-anarchy experiment probes the
 	// equilibrium set.
 	InitialQuotas [][]float64
+	// Parallel bounds the worker pool for the per-round provider solves
+	// (providers are independent given their quotas); ≤ 0 means
+	// runtime.GOMAXPROCS(0). Results are collected by provider index, so
+	// the outcome is identical at any worker count.
+	Parallel int
+
+	// initialWarms optionally seeds round 0 of each provider's solve
+	// (shifted by initialWarmShift periods); used by the receding-horizon
+	// loop to chain warm starts across control periods.
+	initialWarms     []*core.HorizonWarm
+	initialWarmShift int
 }
 
 func (c BestResponseConfig) withDefaults() BestResponseConfig {
@@ -64,6 +76,10 @@ type BestResponseResult struct {
 	Converged bool
 	// Total is the final total cost Σᵢ Jᵢ.
 	Total float64
+
+	// finalWarms holds each provider's last QP iterates; the
+	// receding-horizon loop shifts them into the next period's round 0.
+	finalWarms []*core.HorizonWarm
 }
 
 // BestResponse runs the paper's Algorithm 2. Each round, every provider
@@ -125,16 +141,30 @@ func BestResponse(s *Scenario, cfg BestResponseConfig) (*BestResponseResult, err
 	prev := make([]float64, n)
 	havePrev := false
 	duals := make([][]float64, n)
+	// Warm starts: round 0 may be seeded by the caller (receding-horizon
+	// chaining); later rounds reuse each provider's previous solution —
+	// only the quotas move between rounds, so the previous plan is an
+	// excellent starting point and cuts interior-point iterations hard.
+	warms := make([]*core.HorizonWarm, n)
+	warmShift := 0
+	if cfg.initialWarms != nil && len(cfg.initialWarms) == n {
+		copy(warms, cfg.initialWarms)
+		warmShift = cfg.initialWarmShift
+	}
 
 	for iter := 0; iter < cfg.MaxIterations; iter++ {
 		outcomes := make([]Outcome, n)
-		var total float64
-		for i, p := range s.Providers {
-			plan, err := solveProvider(p, quotas[i], cfg.QP)
+		totals := make([]float64, n)
+		// Per-SP best responses are independent given the quotas: fan out
+		// on a bounded pool, collect by index (determinism contract).
+		err := parallel.ForEach(n, cfg.Parallel, func(i int) error {
+			p := s.Providers[i]
+			plan, err := solveProvider(p, quotas[i], cfg.QP, warms[i], warmShift)
 			if err != nil {
-				return nil, fmt.Errorf("round %d provider %d (%s): %w", iter, i, p.Name, err)
+				return fmt.Errorf("round %d provider %d (%s): %w", iter, i, p.Name, err)
 			}
 			outcomes[i] = Outcome{U: plan.U, X: plan.X, Cost: plan.Objective}
+			warms[i] = plan.Warm
 			// The plan reports duals of the server-count constraint
 			// (quota/sᵢ slots); one capacity unit buys 1/sᵢ servers, so
 			// the marginal value of quota is the dual divided by sᵢ.
@@ -142,12 +172,22 @@ func BestResponse(s *Scenario, cfg BestResponseConfig) (*BestResponseResult, err
 			for li := range duals[i] {
 				duals[i][li] /= p.ServerSize
 			}
-			total += plan.Objective
+			totals[i] = plan.Objective
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		warmShift = 0
+		var total float64
+		for _, t := range totals {
+			total += t
 		}
 		res.Outcomes = outcomes
 		res.Total = total
 		res.Iterations = iter + 1
 		res.CostHistory = append(res.CostHistory, total)
+		res.finalWarms = warms
 
 		// "This process repeats until no SP can significantly improve its
 		// total cost" (§VI): every provider's cost must be ε-stable.
@@ -200,16 +240,19 @@ func BestResponse(s *Scenario, cfg BestResponseConfig) (*BestResponseResult, err
 	return res, fmt.Errorf("after %d rounds (ε=%g): %w", cfg.MaxIterations, cfg.Epsilon, ErrNotConverged)
 }
 
-// solveProvider solves one provider's DSPP under the given quotas.
-func solveProvider(p *Provider, quota []float64, opts qp.Options) (*core.Plan, error) {
+// solveProvider solves one provider's DSPP under the given quotas,
+// optionally warm-started from a previous plan shifted by warmShift.
+func solveProvider(p *Provider, quota []float64, opts qp.Options, warm *core.HorizonWarm, warmShift int) (*core.Plan, error) {
 	inst, err := p.instance(quota)
 	if err != nil {
 		return nil, err
 	}
 	return inst.SolveHorizon(core.HorizonInput{
-		X0:     p.x0(),
-		Demand: p.Demand,
-		Prices: p.Prices,
+		X0:        p.x0(),
+		Demand:    p.Demand,
+		Prices:    p.Prices,
+		Warm:      warm,
+		WarmShift: warmShift,
 	}, opts)
 }
 

@@ -114,7 +114,7 @@ func TestSWPUncapacitatedMatchesIndependentSolves(t *testing.T) {
 	var independent float64
 	for _, p := range s.Providers {
 		quota := []float64{math.Inf(1), math.Inf(1)}
-		plan, err := solveProvider(p, quota, qp.DefaultOptions())
+		plan, err := solveProvider(p, quota, qp.DefaultOptions(), nil, 0)
 		if err != nil {
 			t.Fatal(err)
 		}

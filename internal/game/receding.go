@@ -86,6 +86,9 @@ func RunReceding(capacity []float64, providers []*DynamicProvider, cfg RecedingC
 		States: make([][]core.State, n),
 		Costs:  make([]float64, n),
 	}
+	// Each period's round 0 warm-starts from the previous period's final
+	// plans shifted by one period (the horizon recedes by exactly one).
+	brCfg := cfg.BestResponse
 	for k := 0; k < cfg.Periods; k++ {
 		// Build the window scenario: forecasts for periods k+1 .. k+W.
 		window := make([]*Provider, n)
@@ -101,10 +104,12 @@ func RunReceding(capacity []float64, providers []*DynamicProvider, cfg RecedingC
 			}
 		}
 		scen := &Scenario{Capacity: capacity, Providers: window}
-		br, err := BestResponse(scen, cfg.BestResponse)
+		br, err := BestResponse(scen, brCfg)
 		if err != nil && br == nil {
 			return nil, fmt.Errorf("period %d: %w", k, err)
 		}
+		brCfg.initialWarms = br.finalWarms
+		brCfg.initialWarmShift = 1
 		res.Rounds = append(res.Rounds, br.Iterations)
 		res.Converged = append(res.Converged, br.Converged)
 

@@ -47,6 +47,14 @@ type Provider struct {
 	Demand [][]float64
 	// Prices[t][l] is the price forecast over the game window.
 	Prices [][]float64
+
+	// inst caches the provider's core instance across best-response
+	// rounds: between rounds only the quota values move, so the instance
+	// — and with it the horizon QP structure it caches — is reused by
+	// updating its capacities in place. x0c caches the defensive copy of
+	// X0 handed to the solver.
+	inst *core.Instance
+	x0c  core.State
 }
 
 // numLocations returns Vᵢ.
@@ -68,11 +76,22 @@ func (p *Provider) instance(quota []float64) (*core.Instance, error) {
 			caps[l] = q / p.ServerSize
 		}
 	}
-	return core.NewInstance(core.Config{
+	// Reuse the cached instance when only the quota values changed;
+	// SetCapacities rejects a changed capacitated set (or invalid values),
+	// in which case the instance is rebuilt from scratch.
+	if p.inst != nil && p.inst.SetCapacities(caps) == nil {
+		return p.inst, nil
+	}
+	inst, err := core.NewInstance(core.Config{
 		SLA:             p.SLA,
 		ReconfigWeights: p.ReconfigWeights,
 		Capacities:      caps,
 	})
+	if err != nil {
+		return nil, err
+	}
+	p.inst = inst
+	return inst, nil
 }
 
 // Scenario is a complete competition setting.
@@ -160,16 +179,22 @@ func (s *Scenario) Validate() error {
 	return nil
 }
 
-// x0 returns the provider's initial state (zeros if unset).
+// x0 returns the provider's initial state (zeros if unset). The copy is
+// cached: the horizon solver only reads it, and rebuilding it every
+// best-response round is measurable across the tens of thousands of
+// rounds a convergence experiment runs.
 func (p *Provider) x0() core.State {
-	if p.X0 != nil {
-		return p.X0.Clone()
+	if p.x0c == nil {
+		if p.X0 != nil {
+			p.x0c = p.X0.Clone()
+		} else {
+			p.x0c = make(core.State, len(p.SLA))
+			for l := range p.x0c {
+				p.x0c[l] = make([]float64, p.numLocations())
+			}
+		}
 	}
-	out := make(core.State, len(p.SLA))
-	for l := range out {
-		out[l] = make([]float64, p.numLocations())
-	}
-	return out
+	return p.x0c
 }
 
 // Outcome is one provider's solved trajectory and cost.

@@ -15,38 +15,95 @@ var ErrSingular = errors.New("linalg: matrix is singular")
 
 // Cholesky holds the lower-triangular factor L of A = L·Lᵀ.
 type Cholesky struct {
-	n int
-	l []float64 // row-major lower triangle (full square storage)
+	n  int
+	bw int       // half-bandwidth of the factor (n−1 when dense)
+	l  []float64 // row-major lower triangle (full square storage)
+	// lt mirrors the factor transposed (row-major Lᵀ) so back
+	// substitution walks memory contiguously instead of striding down a
+	// column; the copy is O(n·bw) once per factorization and is repaid by
+	// the repeated solves of each interior-point iteration.
+	lt []float64
+	// dinv holds 1/L[i][i]: substitution then multiplies instead of
+	// dividing on every row of every solve.
+	dinv []float64
 }
 
 // NewCholesky factorizes the symmetric positive-definite matrix a.
 // Only the lower triangle of a is read. The input is not modified.
 func NewCholesky(a *Matrix) (*Cholesky, error) {
+	c := &Cholesky{}
+	if err := c.Factorize(a); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Factorize refactorizes c in place for a new matrix, reusing the factor
+// buffer when the size matches. Iterative callers (the interior-point
+// solver refactors every iteration) use it to avoid an O(n²) allocation
+// per call. On error the factor is invalid until the next successful call.
+func (c *Cholesky) Factorize(a *Matrix) error {
+	return c.FactorizeBand(a, -1)
+}
+
+// FactorizeBand is Factorize for a banded SPD matrix: entries of a with
+// |i−j| > bw are taken to be zero. The Cholesky factor of a banded matrix
+// stays inside the band, so factorization costs O(n·bw²) and the
+// subsequent Solve O(n·bw) instead of O(n³)/O(n²) — the payoff that makes
+// the state-space horizon QP cheap. bw < 0 (or ≥ n−1) means dense.
+func (c *Cholesky) FactorizeBand(a *Matrix, bw int) error {
 	if a.Rows() != a.Cols() {
-		return nil, fmt.Errorf("cholesky of (%dx%d): %w", a.Rows(), a.Cols(), ErrDimensionMismatch)
+		return fmt.Errorf("cholesky of (%dx%d): %w", a.Rows(), a.Cols(), ErrDimensionMismatch)
 	}
 	n := a.Rows()
-	c := &Cholesky{n: n, l: make([]float64, n*n)}
+	if bw < 0 || bw > n-1 {
+		bw = n - 1
+	}
+	if c.n != n || len(c.l) != n*n {
+		c.n = n
+		c.l = make([]float64, n*n)
+		c.lt = make([]float64, n*n)
+		c.dinv = make([]float64, n)
+	}
+	c.bw = bw
 	l := c.l
 	for i := 0; i < n; i++ {
-		for j := 0; j <= i; j++ {
+		lo := i - bw
+		if lo < 0 {
+			lo = 0
+		}
+		for j := lo; j <= i; j++ {
 			s := a.At(i, j)
-			li := l[i*n:]
-			lj := l[j*n:]
-			for k := 0; k < j; k++ {
-				s -= li[k] * lj[k]
+			// l[i][k] is zero for k < i−bw, so the dot product starts at lo.
+			li := l[i*n+lo : i*n+j]
+			lj := l[j*n+lo : j*n+j]
+			for k, lv := range li {
+				s -= lv * lj[k]
 			}
 			if i == j {
 				if s <= 0 || math.IsNaN(s) {
-					return nil, fmt.Errorf("pivot %d = %g: %w", i, s, ErrNotPositiveDefinite)
+					return fmt.Errorf("pivot %d = %g: %w", i, s, ErrNotPositiveDefinite)
 				}
 				l[i*n+j] = math.Sqrt(s)
 			} else {
-				l[i*n+j] = s / lj[j]
+				l[i*n+j] = s / l[j*n+j]
 			}
 		}
 	}
-	return c, nil
+	// Transposed copy of the band for the back-substitution pass, and the
+	// reciprocal diagonal for both substitution passes.
+	for i := 0; i < n; i++ {
+		hi := i + bw
+		if hi > n-1 {
+			hi = n - 1
+		}
+		lti := c.lt[i*n:]
+		for k := i; k <= hi; k++ {
+			lti[k] = l[k*n+i]
+		}
+		c.dinv[i] = 1 / l[i*n+i]
+	}
+	return nil
 }
 
 // Solve solves A x = b using the factorization, writing the result into x.
@@ -57,22 +114,37 @@ func (c *Cholesky) Solve(b Vector, x Vector) error {
 		return fmt.Errorf("cholesky solve b=%d x=%d n=%d: %w", len(b), len(x), n, ErrDimensionMismatch)
 	}
 	l := c.l
-	// Forward substitution: L y = b.
+	bw := c.bw
+	// Forward substitution: L y = b. Only the in-band part of each row is
+	// populated (and stale out-of-band entries from a previous, wider
+	// factorization must not be read).
 	for i := 0; i < n; i++ {
 		s := b[i]
-		li := l[i*n:]
-		for k := 0; k < i; k++ {
-			s -= li[k] * x[k]
+		lo := i - bw
+		if lo < 0 {
+			lo = 0
 		}
-		x[i] = s / li[i]
+		li := l[i*n+lo : i*n+i]
+		xk := x[lo:i]
+		for k, lv := range li {
+			s -= lv * xk[k]
+		}
+		x[i] = s * c.dinv[i]
 	}
-	// Back substitution: Lᵀ x = y.
+	// Back substitution: Lᵀ x = y, off the transposed (row-major) copy.
+	lt := c.lt
 	for i := n - 1; i >= 0; i-- {
 		s := x[i]
-		for k := i + 1; k < n; k++ {
-			s -= l[k*n+i] * x[k]
+		hi := i + bw
+		if hi > n-1 {
+			hi = n - 1
 		}
-		x[i] = s / l[i*n+i]
+		lti := lt[i*n+i+1 : i*n+hi+1]
+		xk := x[i+1 : hi+1]
+		for k, lv := range lti {
+			s -= lv * xk[k]
+		}
+		x[i] = s * c.dinv[i]
 	}
 	return nil
 }

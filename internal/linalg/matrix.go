@@ -119,6 +119,35 @@ func (m *Matrix) MulVec(x Vector, y Vector) error {
 	return nil
 }
 
+// MulVecBand computes y = M x for a square banded matrix: entries with
+// |i−j| > bw are taken to be zero, so the product costs O(n·bw) instead of
+// O(n²). bw < 0 (or ≥ n−1) falls back to the dense product.
+func (m *Matrix) MulVecBand(bw int, x Vector, y Vector) error {
+	if m.rows != m.cols || bw < 0 || bw >= m.rows-1 {
+		return m.MulVec(x, y)
+	}
+	if len(x) != m.cols || len(y) != m.rows {
+		return fmt.Errorf("mulvecband (%dx%d)·%d into %d: %w", m.rows, m.cols, len(x), len(y), ErrDimensionMismatch)
+	}
+	n := m.rows
+	for i := 0; i < n; i++ {
+		lo, hi := i-bw, i+bw
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > n-1 {
+			hi = n - 1
+		}
+		ri := m.data[i*n:]
+		var s float64
+		for j := lo; j <= hi; j++ {
+			s += ri[j] * x[j]
+		}
+		y[i] = s
+	}
+	return nil
+}
+
 // MulVecT computes y = Mᵀ x without forming the transpose.
 // The output y must have length m.Cols() and x length m.Rows().
 func (m *Matrix) MulVecT(x Vector, y Vector) error {

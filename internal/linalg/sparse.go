@@ -1,0 +1,310 @@
+package linalg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Operator is the read-only matrix contract the QP solver needs from a
+// constraint matrix: shape, element access, products with vectors, and the
+// weighted Gram product AᵀDA that dominates KKT assembly. Both the dense
+// *Matrix and the CSR *SparseMatrix implement it, so callers pick the
+// representation that matches their constraint structure.
+type Operator interface {
+	Rows() int
+	Cols() int
+	At(i, j int) float64
+	MulVec(x Vector, y Vector) error
+	MulVecT(x Vector, y Vector) error
+	AtATWeighted(w Vector, dst *Matrix) error
+}
+
+var (
+	_ Operator = (*Matrix)(nil)
+	_ Operator = (*SparseMatrix)(nil)
+)
+
+// SparseMatrix is an immutable compressed-sparse-row (CSR) matrix. Rows
+// with few nonzeros — such as the prefix-sum constraint rows of the
+// horizon QP, which touch at most e·(t+1) of the e·W columns — make its
+// products nnz-proportional instead of dimension-proportional.
+type SparseMatrix struct {
+	rows, cols int
+	rowPtr     []int // len rows+1; row i occupies [rowPtr[i], rowPtr[i+1])
+	colIdx     []int
+	vals       []float64
+	// CSC mirror, built once on Build: transpose products then gather
+	// along contiguous column runs (accumulating in a register) instead of
+	// scattering read-modify-writes across the output.
+	colPtr  []int // len cols+1; column j occupies [colPtr[j], colPtr[j+1])
+	rowIdxT []int
+	valsT   []float64
+	gramBW  int // cached GramBandwidth
+}
+
+// SparseBuilder assembles a SparseMatrix row by row. Entries within a row
+// may be added in any column order (they are sorted on Build); adding the
+// same column twice within a row is an error surfaced by Build.
+type SparseBuilder struct {
+	rows, cols int
+	rowPtr     []int
+	colIdx     []int
+	vals       []float64
+	err        error
+}
+
+// NewSparseBuilder starts a builder for a rows×cols matrix. nnzHint
+// preallocates entry storage (0 is fine).
+func NewSparseBuilder(rows, cols, nnzHint int) *SparseBuilder {
+	if rows < 0 {
+		rows = 0
+	}
+	if cols < 0 {
+		cols = 0
+	}
+	if nnzHint < 0 {
+		nnzHint = 0
+	}
+	return &SparseBuilder{
+		rows:   rows,
+		cols:   cols,
+		rowPtr: append(make([]int, 0, rows+1), 0),
+		colIdx: make([]int, 0, nnzHint),
+		vals:   make([]float64, 0, nnzHint),
+	}
+}
+
+// StartRow finishes the current row and begins the next. Every row must be
+// started, in order, before Build; rows may be empty.
+func (b *SparseBuilder) StartRow() {
+	if len(b.rowPtr) > b.rows {
+		b.setErr(fmt.Errorf("row %d of %d: %w", len(b.rowPtr), b.rows, ErrDimensionMismatch))
+		return
+	}
+	b.rowPtr = append(b.rowPtr, len(b.colIdx))
+}
+
+// Add appends a nonzero entry to the current row. Zero values are kept
+// (callers filter if they care); out-of-range columns fail the Build.
+func (b *SparseBuilder) Add(col int, v float64) {
+	if len(b.rowPtr) < 2 {
+		b.setErr(fmt.Errorf("entry before first StartRow: %w", ErrDimensionMismatch))
+		return
+	}
+	if col < 0 || col >= b.cols {
+		b.setErr(fmt.Errorf("column %d of %d: %w", col, b.cols, ErrDimensionMismatch))
+		return
+	}
+	b.colIdx = append(b.colIdx, col)
+	b.vals = append(b.vals, v)
+	b.rowPtr[len(b.rowPtr)-1] = len(b.colIdx)
+}
+
+func (b *SparseBuilder) setErr(err error) {
+	if b.err == nil {
+		b.err = err
+	}
+}
+
+// Build finalizes the matrix: all rows must have been started, entries are
+// sorted by column within each row, and duplicate columns are rejected.
+func (b *SparseBuilder) Build() (*SparseMatrix, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.rowPtr) != b.rows+1 {
+		return nil, fmt.Errorf("built %d of %d rows: %w", len(b.rowPtr)-1, b.rows, ErrDimensionMismatch)
+	}
+	m := &SparseMatrix{rows: b.rows, cols: b.cols, rowPtr: b.rowPtr, colIdx: b.colIdx, vals: b.vals}
+	for i := 0; i < m.rows; i++ {
+		lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+		cols := m.colIdx[lo:hi]
+		vals := m.vals[lo:hi]
+		if !sort.IntsAreSorted(cols) {
+			sort.Sort(&rowSorter{cols: cols, vals: vals})
+		}
+		for k := 1; k < len(cols); k++ {
+			if cols[k] == cols[k-1] {
+				return nil, fmt.Errorf("row %d has duplicate column %d: %w", i, cols[k], ErrDimensionMismatch)
+			}
+		}
+		if n := hi - lo; n > 0 {
+			if d := cols[n-1] - cols[0]; d > m.gramBW {
+				m.gramBW = d
+			}
+		}
+	}
+	// CSC mirror via counting sort; rows within a column come out ascending.
+	nnz := len(m.vals)
+	m.colPtr = make([]int, m.cols+1)
+	for _, c := range m.colIdx {
+		m.colPtr[c+1]++
+	}
+	for j := 0; j < m.cols; j++ {
+		m.colPtr[j+1] += m.colPtr[j]
+	}
+	m.rowIdxT = make([]int, nnz)
+	m.valsT = make([]float64, nnz)
+	next := append([]int(nil), m.colPtr...)
+	for i := 0; i < m.rows; i++ {
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			p := next[m.colIdx[k]]
+			m.rowIdxT[p] = i
+			m.valsT[p] = m.vals[k]
+			next[m.colIdx[k]]++
+		}
+	}
+	return m, nil
+}
+
+type rowSorter struct {
+	cols []int
+	vals []float64
+}
+
+func (r *rowSorter) Len() int           { return len(r.cols) }
+func (r *rowSorter) Less(i, j int) bool { return r.cols[i] < r.cols[j] }
+func (r *rowSorter) Swap(i, j int) {
+	r.cols[i], r.cols[j] = r.cols[j], r.cols[i]
+	r.vals[i], r.vals[j] = r.vals[j], r.vals[i]
+}
+
+// SparseFromDense converts a dense matrix, dropping exact zeros.
+func SparseFromDense(d *Matrix) *SparseMatrix {
+	b := NewSparseBuilder(d.Rows(), d.Cols(), 0)
+	for i := 0; i < d.Rows(); i++ {
+		b.StartRow()
+		for j := 0; j < d.Cols(); j++ {
+			if v := d.At(i, j); v != 0 {
+				b.Add(j, v)
+			}
+		}
+	}
+	m, err := b.Build()
+	if err != nil {
+		// Unreachable: the loop above emits every row in order with
+		// strictly increasing columns.
+		panic(err)
+	}
+	return m
+}
+
+// ToDense materializes the matrix densely (for tests and debugging).
+func (m *SparseMatrix) ToDense() *Matrix {
+	d := NewMatrix(m.rows, m.cols)
+	for i := 0; i < m.rows; i++ {
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			d.Set(i, m.colIdx[k], m.vals[k])
+		}
+	}
+	return d
+}
+
+// Rows returns the number of rows.
+func (m *SparseMatrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *SparseMatrix) Cols() int { return m.cols }
+
+// NNZ returns the number of stored entries.
+func (m *SparseMatrix) NNZ() int { return len(m.vals) }
+
+// At returns the (i, j) entry by binary search within row i.
+func (m *SparseMatrix) At(i, j int) float64 {
+	lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+	cols := m.colIdx[lo:hi]
+	k := sort.SearchInts(cols, j)
+	if k < len(cols) && cols[k] == j {
+		return m.vals[lo+k]
+	}
+	return 0
+}
+
+// MulVec computes y = M x in O(nnz).
+func (m *SparseMatrix) MulVec(x Vector, y Vector) error {
+	if len(x) != m.cols || len(y) != m.rows {
+		return fmt.Errorf("sparse mulvec (%dx%d)·%d into %d: %w", m.rows, m.cols, len(x), len(y), ErrDimensionMismatch)
+	}
+	for i := range y {
+		lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+		cols := m.colIdx[lo:hi]
+		vals := m.vals[lo:hi]
+		var s float64
+		for k, v := range vals {
+			s += v * x[cols[k]]
+		}
+		y[i] = s
+	}
+	return nil
+}
+
+// MulVecT computes y = Mᵀ x in O(nnz) off the CSC mirror.
+func (m *SparseMatrix) MulVecT(x Vector, y Vector) error {
+	if len(x) != m.rows || len(y) != m.cols {
+		return fmt.Errorf("sparse mulvecT (%dx%d)ᵀ·%d into %d: %w", m.rows, m.cols, len(x), len(y), ErrDimensionMismatch)
+	}
+	for j := range y {
+		lo, hi := m.colPtr[j], m.colPtr[j+1]
+		rows := m.rowIdxT[lo:hi]
+		vals := m.valsT[lo:hi]
+		var s float64
+		for k, v := range vals {
+			s += v * x[rows[k]]
+		}
+		y[j] = s
+	}
+	return nil
+}
+
+// AtATWeighted accumulates Gᵀ·diag(w)·G into dst in O(Σᵢ nnzᵢ²) — each
+// row contributes only the outer product of its own nonzeros, instead of
+// the O(nnz·n) a dense row scan costs. As in the dense method the upper
+// triangle is accumulated and mirrored to the lower, but only within the
+// Gram band (see GramBandwidth) — all accumulation lands there, so
+// entries farther from the diagonal are left untouched and dst must be
+// symmetric outside the band for the result to be symmetric.
+func (m *SparseMatrix) AtATWeighted(w Vector, dst *Matrix) error {
+	if len(w) != m.rows || dst.Rows() != m.cols || dst.Cols() != m.cols {
+		return fmt.Errorf("sparse gtwg (%dx%d), w=%d, dst=(%dx%d): %w",
+			m.rows, m.cols, len(w), dst.Rows(), dst.Cols(), ErrDimensionMismatch)
+	}
+	n := m.cols
+	for r := 0; r < m.rows; r++ {
+		wr := w[r]
+		if wr == 0 {
+			continue
+		}
+		lo, hi := m.rowPtr[r], m.rowPtr[r+1]
+		cols := m.colIdx[lo:hi]
+		vals := m.vals[lo:hi]
+		for a, ci := range cols {
+			f := wr * vals[a]
+			if f == 0 {
+				continue
+			}
+			di := dst.data[ci*n:]
+			// Columns are sorted, so b ≥ a stays in the upper triangle.
+			for bIdx := a; bIdx < len(cols); bIdx++ {
+				di[cols[bIdx]] += f * vals[bIdx]
+			}
+		}
+	}
+	bw := m.GramBandwidth()
+	for i := 0; i < n; i++ {
+		hi := i + bw
+		if hi > n-1 {
+			hi = n - 1
+		}
+		for j := i + 1; j <= hi; j++ {
+			dst.data[j*n+i] = dst.data[i*n+j]
+		}
+	}
+	return nil
+}
+
+// GramBandwidth returns the half-bandwidth of the weighted Gram product
+// AᵀDA for any diagonal D: the widest column spread of any row (columns
+// i and j only meet in the Gram matrix when some row holds both). Rows
+// confined to narrow column blocks — the state-space horizon QP — yield
+// a banded Gram matrix, which the QP solver factorizes in O(n·bw²).
+func (m *SparseMatrix) GramBandwidth() int { return m.gramBW }

@@ -1,0 +1,84 @@
+// Package parallel provides the bounded, deterministic fan-out primitive
+// used by the embarrassingly parallel outer loops of the simulator and the
+// competition game: per-SP best-response solves, horizon sweeps, and
+// parameter sweeps.
+//
+// Determinism contract: callers seed any randomness per item (never from a
+// shared RNG consumed inside workers) and workers write results only into
+// their own item's slot. Completion order then never changes observable
+// output, so runs are bit-identical at any worker count — including 1.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Workers normalizes a worker-count setting: values ≤ 0 mean
+// runtime.GOMAXPROCS(0), and the count never exceeds n items.
+func Workers(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// ForEach runs fn(0), …, fn(n−1) on at most workers goroutines (≤ 0 means
+// GOMAXPROCS). Every index runs to completion regardless of other items'
+// errors, no goroutine outlives the call, and the returned error is the
+// lowest-index failure — the same error a sequential loop that kept going
+// would report first. Results must be written into index-addressed slots.
+func ForEach(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if fn == nil {
+		return fmt.Errorf("parallel: nil function")
+	}
+	workers = Workers(workers, n)
+	if workers == 1 {
+		// Inline fast path: no goroutines, same semantics.
+		var first error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+
+	errs := make([]error, n)
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,82 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0, 100); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0, 100) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3, 100); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3, 100) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(8, 3); got != 3 {
+		t.Errorf("Workers(8, 3) = %d, want 3", got)
+	}
+	if got := Workers(2, 100); got != 2 {
+		t.Errorf("Workers(2, 100) = %d, want 2", got)
+	}
+	if got := Workers(5, 0); got != 1 {
+		t.Errorf("Workers(5, 0) = %d, want 1", got)
+	}
+}
+
+func TestForEachRunsEveryIndexAtAnyWorkerCount(t *testing.T) {
+	const n = 57
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		out := make([]int, n)
+		err := ForEach(n, workers, func(i int) error {
+			out[i] = i*i + 1
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range out {
+			if v != i*i+1 {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, v, i*i+1)
+			}
+		}
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	sentinel := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		var calls atomic.Int64
+		err := ForEach(20, workers, func(i int) error {
+			calls.Add(1)
+			if i == 3 || i == 11 {
+				return fmt.Errorf("item %d: %w", i, sentinel)
+			}
+			return nil
+		})
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("workers=%d: err = %v, want sentinel", workers, err)
+		}
+		if got := err.Error(); got != "item 3: boom" {
+			t.Errorf("workers=%d: err = %q, want lowest-index failure", workers, got)
+		}
+		// Every index still ran despite the failures.
+		if calls.Load() != 20 {
+			t.Errorf("workers=%d: %d calls, want 20", workers, calls.Load())
+		}
+	}
+}
+
+func TestForEachEdgeCases(t *testing.T) {
+	if err := ForEach(0, 4, func(int) error { return errors.New("never") }); err != nil {
+		t.Errorf("n=0: %v", err)
+	}
+	if err := ForEach(-1, 4, nil); err != nil {
+		t.Errorf("n<0: %v", err)
+	}
+	if err := ForEach(3, 4, nil); err == nil {
+		t.Error("nil fn with n>0: no error")
+	}
+}

@@ -35,13 +35,18 @@ var (
 
 // Problem is a convex QP instance. G/h and A/b may be nil for problems
 // without inequality or equality constraints respectively.
+//
+// G is any linalg.Operator: pass a dense *linalg.Matrix for general
+// constraints, or a *linalg.SparseMatrix when the rows are sparse (the
+// horizon QP's prefix-sum rows are) so KKT assembly runs nnz-proportional
+// instead of O(m·n²).
 type Problem struct {
-	Q *linalg.Matrix // n×n, symmetric PSD
-	C linalg.Vector  // n, linear cost term q
-	G *linalg.Matrix // m×n or nil
-	H linalg.Vector  // m or nil
-	A *linalg.Matrix // p×n or nil
-	B linalg.Vector  // p or nil
+	Q *linalg.Matrix  // n×n, symmetric PSD
+	C linalg.Vector   // n, linear cost term q
+	G linalg.Operator // m×n (dense or sparse) or nil
+	H linalg.Vector   // m or nil
+	A *linalg.Matrix  // p×n or nil
+	B linalg.Vector   // p or nil
 }
 
 // Validate checks dimensional consistency.
@@ -105,19 +110,30 @@ func (p *Problem) Objective(x linalg.Vector) (float64, error) {
 	if len(x) != p.NumVars() {
 		return 0, fmt.Errorf("objective at x of len %d, n=%d: %w", len(x), p.NumVars(), ErrBadProblem)
 	}
-	qx := linalg.NewVector(len(x))
-	if err := p.Q.MulVec(x, qx); err != nil {
-		return 0, err
+	return p.objectiveScratch(x, linalg.NewVector(len(x))), nil
+}
+
+// objectiveScratch computes the objective using caller-provided scratch of
+// length n, for per-iteration convergence checks without allocation.
+func (p *Problem) objectiveScratch(x, scratch linalg.Vector) float64 {
+	_ = p.Q.MulVec(x, scratch)
+	var s float64
+	for i, xi := range x {
+		s += xi * (0.5*scratch[i] + p.C[i])
 	}
-	xqx, err := linalg.Dot(x, qx)
-	if err != nil {
-		return 0, err
-	}
-	cx, err := linalg.Dot(p.C, x)
-	if err != nil {
-		return 0, err
-	}
-	return 0.5*xqx + cx, nil
+	return s
+}
+
+// WarmStart seeds the interior-point iteration from a previous solution of
+// a nearby problem — the same window re-solved under slightly different
+// data (best-response rounds) or the previous MPC plan shifted by one
+// period. Vectors are copied, not retained.
+type WarmStart struct {
+	// X is the primal guess (length n). Required.
+	X linalg.Vector
+	// Z holds inequality-dual guesses (length m). Optional; entries are
+	// floored away from zero so the iteration stays interior.
+	Z linalg.Vector
 }
 
 // Result holds the outcome of a Solve call.

@@ -3,6 +3,7 @@ package qp
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"dspp/internal/linalg"
 )
@@ -11,6 +12,15 @@ import (
 // method. On ErrMaxIterations the best iterate found so far is returned
 // alongside the error so callers may decide whether it is usable.
 func Solve(p *Problem, opts Options) (*Result, error) {
+	return SolveWarm(p, opts, nil)
+}
+
+// SolveWarm is Solve with an optional warm start. A good warm start — the
+// previous MPC plan shifted one period, or the previous best-response
+// round's solution — typically cuts the iteration count severalfold; a bad
+// one only costs the iterations needed to walk back to the central path.
+// A warm start whose dimensions don't match the problem is ignored.
+func SolveWarm(p *Problem, opts Options, warm *WarmStart) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -25,7 +35,8 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 	}
 
 	st := newIPMState(p, n, m, pe)
-	st.initPoint()
+	defer st.release()
+	st.initPoint(warm)
 
 	for iter := 0; iter < opts.MaxIterations; iter++ {
 		st.computeResiduals()
@@ -40,8 +51,9 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 
 		// Affine (predictor) direction: pure Newton on the residuals with
 		// rc = s∘z (no centering).
-		for i := 0; i < m; i++ {
-			st.rc[i] = st.s[i] * st.z[i]
+		rcv, sv, zv := st.rc[:m], st.s[:m], st.z[:m]
+		for i := range rcv {
+			rcv[i] = sv[i] * zv[i]
 		}
 		if err := st.solveDirection(); err != nil {
 			return nil, fmt.Errorf("iteration %d (affine): %w", iter, err)
@@ -57,8 +69,9 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 		}
 
 		// Corrector direction: rc = s∘z + Δs_aff∘Δz_aff − σμ·1.
-		for i := 0; i < m; i++ {
-			st.rc[i] = st.s[i]*st.z[i] + st.ds[i]*st.dz[i] - sigma*mu
+		dsv, dzv := st.ds[:m], st.dz[:m]
+		for i := range rcv {
+			rcv[i] = sv[i]*zv[i] + dsv[i]*dzv[i] - sigma*mu
 		}
 		if err := st.solveDirection(); err != nil {
 			return nil, fmt.Errorf("iteration %d (corrector): %w", iter, err)
@@ -97,70 +110,180 @@ type ipmState struct {
 	dx, ds, dz, dy linalg.Vector // search direction
 
 	w    linalg.Vector // z/s weights
+	sInv linalg.Vector // 1/s, refreshed by factorKKT for the direction solves
 	hMat *linalg.Matrix
+	hBW  int // half-bandwidth of H = Q + GᵀDG (n−1 when dense)
+	// Constant per problem, hoisted out of the per-iteration convergence
+	// test: ‖c‖∞ and ‖h‖∞.
+	cNorm, hNorm float64
+	// obj is the objective at the current iterate, computed as a by-product
+	// of computeResiduals.
+	obj  float64
 	chol *linalg.Cholesky
 	// Schur complement pieces for equality constraints.
 	hInvAt *linalg.Matrix
 	schur  *linalg.Cholesky
 
-	scratchN linalg.Vector
-	scratchM linalg.Vector
-	scratchQ linalg.Vector
+	scratchN  linalg.Vector
+	scratchN2 linalg.Vector
+	scratchM  linalg.Vector
+	scratchQ  linalg.Vector
 }
+
+// kktBandwidth bounds the half-bandwidth of H = Q + Gᵀdiag(w)G for any
+// diagonal weights: the Gram bandwidth advertised by G widened to cover
+// Q's own band. A dense G (no GramBandwidth method) means a dense H.
+func kktBandwidth(p *Problem, n int) int {
+	g, ok := p.G.(interface{ GramBandwidth() int })
+	if !ok {
+		return n - 1
+	}
+	bw := g.GramBandwidth()
+	for i := 0; i < n && bw < n-1; i++ {
+		for j := 0; j < i-bw; j++ {
+			if p.Q.At(i, j) != 0 || p.Q.At(j, i) != 0 {
+				bw = i - j
+			}
+		}
+	}
+	return bw
+}
+
+// statePool recycles ipmStates across solves: MPC and best-response loops
+// solve tens of thousands of same-shaped QPs, and the working vectors plus
+// the n×n KKT buffer dominate the solver's allocation profile.
+var statePool = sync.Pool{New: func() any {
+	return &ipmState{chol: &linalg.Cholesky{}, schur: &linalg.Cholesky{}}
+}}
 
 func newIPMState(p *Problem, n, m, q int) *ipmState {
-	return &ipmState{
-		p: p, n: n, m: m, q: q,
-		x: linalg.NewVector(n), s: linalg.NewVector(m),
-		z: linalg.NewVector(m), y: linalg.NewVector(q),
-		rd: linalg.NewVector(n), rp: linalg.NewVector(m),
-		re: linalg.NewVector(q), rc: linalg.NewVector(m),
-		dx: linalg.NewVector(n), ds: linalg.NewVector(m),
-		dz: linalg.NewVector(m), dy: linalg.NewVector(q),
-		w:        linalg.NewVector(m),
-		hMat:     linalg.NewMatrix(n, n),
-		scratchN: linalg.NewVector(n), scratchM: linalg.NewVector(m),
-		scratchQ: linalg.NewVector(q),
+	st := statePool.Get().(*ipmState)
+	st.p = p
+	st.hBW = kktBandwidth(p, n)
+	st.cNorm = p.C.NormInf()
+	st.hNorm = 0
+	if m > 0 {
+		st.hNorm = p.H.NormInf()
 	}
+	if st.n != n {
+		st.x = linalg.NewVector(n)
+		st.rd = linalg.NewVector(n)
+		st.dx = linalg.NewVector(n)
+		st.scratchN = linalg.NewVector(n)
+		st.scratchN2 = linalg.NewVector(n)
+		st.hMat = linalg.NewMatrix(n, n)
+	}
+	if st.m != m {
+		st.s = linalg.NewVector(m)
+		st.z = linalg.NewVector(m)
+		st.rp = linalg.NewVector(m)
+		st.rc = linalg.NewVector(m)
+		st.ds = linalg.NewVector(m)
+		st.dz = linalg.NewVector(m)
+		st.w = linalg.NewVector(m)
+		st.sInv = linalg.NewVector(m)
+		st.scratchM = linalg.NewVector(m)
+	}
+	if st.q != q {
+		st.y = linalg.NewVector(q)
+		st.re = linalg.NewVector(q)
+		st.dy = linalg.NewVector(q)
+		st.scratchQ = linalg.NewVector(q)
+	}
+	st.n, st.m, st.q = n, m, q
+	return st
 }
 
-// initPoint picks a strictly feasible-in-(s,z) starting point.
-func (st *ipmState) initPoint() {
-	st.x.Zero()
+// release returns the state to the pool. Every iterate the caller keeps is
+// cloned by result(), so the buffers are free to be reused. The stale hMat
+// content is harmless: factorKKT rewrites the full working band before the
+// factorization reads it.
+func (st *ipmState) release() {
+	st.p = nil
+	statePool.Put(st)
+}
+
+// initPoint picks a strictly feasible-in-(s,z) starting point: the cold
+// default (x = 0, unit slacks and duals), or the warm-start guess with
+// slacks recomputed from the primal point and both s and z floored away
+// from the boundary so the first iterations stay well centered.
+func (st *ipmState) initPoint(warm *WarmStart) {
+	if warm == nil || len(warm.X) != st.n || (warm.Z != nil && len(warm.Z) != st.m) {
+		st.x.Zero()
+		gx := st.scratchM
+		_ = st.p.G.MulVec(st.x, gx)
+		for i := 0; i < st.m; i++ {
+			slack := st.p.H[i] - gx[i]
+			if slack < 1 {
+				slack = 1
+			}
+			st.s[i] = slack
+			st.z[i] = 1
+		}
+		st.y.Zero()
+		return
+	}
+	copy(st.x, warm.X)
 	gx := st.scratchM
 	_ = st.p.G.MulVec(st.x, gx)
 	for i := 0; i < st.m; i++ {
+		// Keep a modest distance from the boundary: a warm point sitting
+		// exactly on an active constraint would start the iteration with a
+		// near-singular scaling matrix.
+		// The 1e-4 floor balances two failure modes measured on the MPC
+		// and best-response workloads: larger floors discard most of the
+		// warm point's centering information, smaller ones start so close
+		// to the boundary that the first steps collapse.
+		floor := 1e-4 * (1 + math.Abs(st.p.H[i]))
 		slack := st.p.H[i] - gx[i]
-		if slack < 1 {
-			slack = 1
+		if slack < floor {
+			slack = floor
 		}
 		st.s[i] = slack
-		st.z[i] = 1
+		z := 1.0
+		if warm.Z != nil {
+			z = warm.Z[i]
+			if z < floor {
+				z = floor
+			}
+		}
+		st.z[i] = z
 	}
 	st.y.Zero()
 }
 
 func (st *ipmState) computeResiduals() {
 	p := st.p
-	// rd = Qx + c + Gᵀz + Aᵀy
-	_ = p.Q.MulVec(st.x, st.rd)
-	for i := range st.rd {
-		st.rd[i] += p.C[i]
+	// rd = Qx + c + Gᵀz + Aᵀy (Q's band is inside the KKT band)
+	_ = p.Q.MulVecBand(st.hBW, st.x, st.rd)
+	// The product Qx in hand, the objective ½xᵀQx + cᵀx falls out of the
+	// same pass; converged() and result() reuse it instead of redoing the
+	// banded product. The value matches Problem.Objective exactly: the
+	// entries the band skips are exact zeros, which cannot change an IEEE
+	// accumulation.
+	var obj float64
+	rd, c, x := st.rd[:st.n], p.C[:st.n], st.x[:st.n]
+	for i := range rd {
+		obj += x[i] * (0.5*rd[i] + c[i])
+		rd[i] += c[i]
 	}
+	st.obj = obj
 	_ = p.G.MulVecT(st.z, st.scratchN)
-	for i := range st.rd {
-		st.rd[i] += st.scratchN[i]
+	sn := st.scratchN[:st.n]
+	for i := range rd {
+		rd[i] += sn[i]
 	}
 	if st.q > 0 {
 		_ = p.A.MulVecT(st.y, st.scratchN)
-		for i := range st.rd {
-			st.rd[i] += st.scratchN[i]
+		for i := range rd {
+			rd[i] += sn[i]
 		}
 	}
 	// rp = Gx + s − h
 	_ = p.G.MulVec(st.x, st.rp)
-	for i := range st.rp {
-		st.rp[i] += st.s[i] - p.H[i]
+	rp, s, h := st.rp[:st.m], st.s[:st.m], p.H[:st.m]
+	for i := range rp {
+		rp[i] += s[i] - h[i]
 	}
 	// re = Ax − b
 	if st.q > 0 {
@@ -173,16 +296,19 @@ func (st *ipmState) computeResiduals() {
 
 func (st *ipmState) gap() float64 {
 	var g float64
-	for i := 0; i < st.m; i++ {
-		g += st.s[i] * st.z[i]
+	s, z := st.s[:st.m], st.z[:st.m]
+	for i := range s {
+		g += s[i] * z[i]
 	}
 	return g / float64(st.m)
 }
 
 func (st *ipmState) gapAfter(alpha float64) float64 {
 	var g float64
-	for i := 0; i < st.m; i++ {
-		g += (st.s[i] + alpha*st.ds[i]) * (st.z[i] + alpha*st.dz[i])
+	s, ds := st.s[:st.m], st.ds[:st.m]
+	z, dz := st.z[:st.m], st.dz[:st.m]
+	for i := range s {
+		g += (s[i] + alpha*ds[i]) * (z[i] + alpha*dz[i])
 	}
 	return g / float64(st.m)
 }
@@ -192,16 +318,9 @@ func (st *ipmState) converged(tol, mu float64) bool {
 	// against the objective magnitude, the dual residual against the cost
 	// vector, the primal residuals against the constraint data. Scaling
 	// everything by ‖h‖ would let one huge (slack) bound mask a bad gap.
-	obj, err := st.p.Objective(st.x)
-	if err != nil {
-		return false
-	}
-	objScale := 1 + math.Abs(obj)
-	dualScale := 1 + st.p.C.NormInf()
-	priScale := 1.0
-	if st.m > 0 {
-		priScale += st.p.H.NormInf()
-	}
+	objScale := 1 + math.Abs(st.obj)
+	dualScale := 1 + st.cNorm
+	priScale := 1 + st.hNorm
 	eqScale := 1.0
 	if st.q > 0 {
 		eqScale += st.p.B.NormInf()
@@ -215,21 +334,34 @@ func (st *ipmState) converged(tol, mu float64) bool {
 // factorKKT forms H = Q + Gᵀdiag(z/s)G (+ regularization) and factorizes
 // it, plus the Schur complement A H⁻¹ Aᵀ when equalities are present.
 func (st *ipmState) factorKKT(reg float64) error {
-	for i := 0; i < st.m; i++ {
-		st.w[i] = st.z[i] / st.s[i]
+	sInv, wv := st.sInv[:st.m], st.w[:st.m]
+	sv, zv := st.s[:st.m], st.z[:st.m]
+	for i := range sv {
+		sInv[i] = 1 / sv[i]
+		wv[i] = zv[i] * sInv[i]
 	}
-	st.hMat.Zero()
+	// Assemble only the working band |i−j| ≤ hBW: H = Q (+ reg·I) copied in,
+	// then Gᵀdiag(w)G accumulated on top. kktBandwidth guarantees both terms
+	// live inside the band, and the banded factorization below never reads
+	// outside it, so stale out-of-band entries need no clearing.
+	n, bw := st.n, st.hBW
+	for i := 0; i < n; i++ {
+		lo, hi := i-bw, i+bw
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > n-1 {
+			hi = n - 1
+		}
+		row := st.hMat.Row(i)
+		qrow := st.p.Q.Row(i)
+		copy(row[lo:hi+1], qrow[lo:hi+1])
+		row[i] += reg
+	}
 	if err := st.p.G.AtATWeighted(st.w, st.hMat); err != nil {
 		return err
 	}
-	if err := st.hMat.AddScaled(1, st.p.Q); err != nil {
-		return err
-	}
-	for i := 0; i < st.n; i++ {
-		st.hMat.Inc(i, i, reg)
-	}
-	chol, err := linalg.NewCholesky(st.hMat)
-	if err != nil {
+	if err := st.chol.FactorizeBand(st.hMat, st.hBW); err != nil {
 		// Retry once with heavier regularization, scaled to the matrix
 		// magnitude: near-complementary iterates blow the z/s weights up
 		// to ~1e14, where an absolute 1e-8 shift is lost in rounding.
@@ -243,16 +375,15 @@ func (st *ipmState) factorKKT(reg float64) error {
 		for i := 0; i < st.n; i++ {
 			st.hMat.Inc(i, i, bump)
 		}
-		chol, err = linalg.NewCholesky(st.hMat)
-		if err != nil {
+		if err := st.chol.FactorizeBand(st.hMat, st.hBW); err != nil {
 			return fmt.Errorf("%v: %w", err, ErrNumerical)
 		}
 	}
-	st.chol = chol
 
 	if st.q > 0 {
 		at := st.p.A.T()
-		st.hInvAt, err = chol.SolveMatrix(at)
+		var err error
+		st.hInvAt, err = st.chol.SolveMatrix(at)
 		if err != nil {
 			return fmt.Errorf("%v: %w", err, ErrNumerical)
 		}
@@ -263,8 +394,7 @@ func (st *ipmState) factorKKT(reg float64) error {
 		for i := 0; i < st.q; i++ {
 			sc.Inc(i, i, reg)
 		}
-		st.schur, err = linalg.NewCholesky(sc)
-		if err != nil {
+		if err := st.schur.Factorize(sc); err != nil {
 			return fmt.Errorf("schur: %v: %w", err, ErrNumerical)
 		}
 	}
@@ -276,15 +406,18 @@ func (st *ipmState) factorKKT(reg float64) error {
 // factorKKT must have been called for the current (s, z).
 func (st *ipmState) solveDirection() error {
 	// r1 = −rd − Gᵀ S⁻¹ (Z·rp − rc)
-	for i := 0; i < st.m; i++ {
-		st.scratchM[i] = (st.z[i]*st.rp[i] - st.rc[i]) / st.s[i]
+	scr := st.scratchM[:st.m]
+	z, rp, rc, sInv := st.z[:st.m], st.rp[:st.m], st.rc[:st.m], st.sInv[:st.m]
+	for i := range scr {
+		scr[i] = (z[i]*rp[i] - rc[i]) * sInv[i]
 	}
 	if err := st.p.G.MulVecT(st.scratchM, st.scratchN); err != nil {
 		return err
 	}
-	r1 := st.dx // reuse storage
-	for i := 0; i < st.n; i++ {
-		r1[i] = -st.rd[i] - st.scratchN[i]
+	r1 := st.dx[:st.n] // reuse storage
+	rd, sn := st.rd[:st.n], st.scratchN[:st.n]
+	for i := range r1 {
+		r1[i] = -rd[i] - sn[i]
 	}
 
 	if st.q == 0 {
@@ -293,7 +426,7 @@ func (st *ipmState) solveDirection() error {
 		}
 	} else {
 		// Schur: (A H⁻¹ Aᵀ) dy = A H⁻¹ r1 + re, dx = H⁻¹ (r1 − Aᵀ dy).
-		hr := linalg.NewVector(st.n)
+		hr := st.scratchN2
 		if err := st.chol.Solve(r1, hr); err != nil {
 			return fmt.Errorf("%v: %w", err, ErrNumerical)
 		}
@@ -322,26 +455,29 @@ func (st *ipmState) solveDirection() error {
 	if err := st.p.G.MulVec(st.dx, st.scratchM); err != nil {
 		return err
 	}
-	for i := 0; i < st.m; i++ {
-		st.ds[i] = -st.rp[i] - st.scratchM[i]
-		st.dz[i] = (-st.rc[i] - st.z[i]*st.ds[i]) / st.s[i]
+	ds, dz := st.ds[:st.m], st.dz[:st.m]
+	for i := range ds {
+		d := -rp[i] - scr[i]
+		ds[i] = d
+		dz[i] = (-rc[i] - z[i]*d) * sInv[i]
 	}
 	return nil
 }
 
 // maxStep returns the largest alpha in (0, 1] keeping s and z positive.
+// Since s, z > 0, the guard −v > alpha·d can only fire for d < 0, where it
+// is exactly −v/d < alpha: the common non-tightening case costs a multiply
+// instead of a divide.
 func (st *ipmState) maxStep() float64 {
 	alpha := 1.0
-	for i := 0; i < st.m; i++ {
-		if st.ds[i] < 0 {
-			if a := -st.s[i] / st.ds[i]; a < alpha {
-				alpha = a
-			}
+	s, ds := st.s[:st.m], st.ds[:st.m]
+	z, dz := st.z[:st.m], st.dz[:st.m]
+	for i := range s {
+		if -s[i] > alpha*ds[i] {
+			alpha = -s[i] / ds[i]
 		}
-		if st.dz[i] < 0 {
-			if a := -st.z[i] / st.dz[i]; a < alpha {
-				alpha = a
-			}
+		if -z[i] > alpha*dz[i] {
+			alpha = -z[i] / dz[i]
 		}
 	}
 	return alpha
@@ -353,32 +489,39 @@ func (st *ipmState) step(alpha float64) {
 	_ = st.z.AXPY(alpha, st.dz)
 	_ = st.y.AXPY(alpha, st.dy)
 	const floor = 1e-14
-	for i := 0; i < st.m; i++ {
-		if st.s[i] < floor {
-			st.s[i] = floor
+	s, z := st.s[:st.m], st.z[:st.m]
+	for i := range s {
+		if s[i] < floor {
+			s[i] = floor
 		}
-		if st.z[i] < floor {
-			st.z[i] = floor
+		if z[i] < floor {
+			z[i] = floor
 		}
 	}
 }
 
 func (st *ipmState) result(p *Problem, iters int, mu float64) (*Result, error) {
-	obj, err := p.Objective(st.x)
-	if err != nil {
-		return nil, err
-	}
+	// The escaping iterates are carved from one backing buffer (the state's
+	// own vectors go back to the pool), and the objective reuses the
+	// state's scratch instead of allocating.
+	buf := linalg.NewVector(st.n + st.m + st.q)
+	x := buf[:st.n:st.n]
+	copy(x, st.x)
+	z := buf[st.n : st.n+st.m : st.n+st.m]
+	copy(z, st.z)
 	res := &Result{
-		X:          st.x.Clone(),
-		IneqDuals:  st.z.Clone(),
-		Objective:  obj,
+		X:          x,
+		IneqDuals:  z,
+		Objective:  st.obj,
 		Iterations: iters,
 		Gap:        mu,
 		PrimalRes:  math.Max(st.rp.NormInf(), st.re.NormInf()),
 		DualRes:    st.rd.NormInf(),
 	}
 	if st.q > 0 {
-		res.EqDuals = st.y.Clone()
+		y := buf[st.n+st.m:]
+		copy(y, st.y)
+		res.EqDuals = y
 	}
 	return res, nil
 }

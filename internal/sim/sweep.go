@@ -2,7 +2,8 @@ package sim
 
 import (
 	"fmt"
-	"sync"
+
+	"dspp/internal/parallel"
 )
 
 // SweepItem pairs a label with a simulation configuration.
@@ -18,15 +19,15 @@ type SweepResult struct {
 }
 
 // RunSweep executes independent simulations concurrently with at most
-// `parallel` workers (≤ 0 means one worker per item). All simulations run
-// to completion; the first error encountered (lowest item index) is
+// `workers` goroutines (≤ 0 means runtime.GOMAXPROCS(0)). All simulations
+// run to completion; the first error encountered (lowest item index) is
 // returned after every worker has exited — no goroutine outlives the
 // call, as the distributed-systems house rules demand. Results are
-// returned in input order.
+// returned in input order regardless of completion order.
 //
 // Configurations must not share mutable state: in particular each item
 // needs its own Policy instance (policies carry allocation state).
-func RunSweep(items []SweepItem, parallel int) ([]SweepResult, error) {
+func RunSweep(items []SweepItem, workers int) ([]SweepResult, error) {
 	if len(items) == 0 {
 		return nil, fmt.Errorf("no sweep items: %w", ErrBadConfig)
 	}
@@ -37,38 +38,18 @@ func RunSweep(items []SweepItem, parallel int) ([]SweepResult, error) {
 			}
 		}
 	}
-	if parallel <= 0 || parallel > len(items) {
-		parallel = len(items)
-	}
 
 	results := make([]SweepResult, len(items))
-	errs := make([]error, len(items))
-	work := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < parallel; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for idx := range work {
-				res, err := Run(items[idx].Config)
-				if err != nil {
-					errs[idx] = fmt.Errorf("sweep %q: %w", items[idx].Label, err)
-					continue
-				}
-				results[idx] = SweepResult{Label: items[idx].Label, Result: res}
-			}
-		}()
-	}
-	for idx := range items {
-		work <- idx
-	}
-	close(work)
-	wg.Wait()
-
-	for _, err := range errs {
+	err := parallel.ForEach(len(items), workers, func(idx int) error {
+		res, err := Run(items[idx].Config)
 		if err != nil {
-			return nil, err
+			return fmt.Errorf("sweep %q: %w", items[idx].Label, err)
 		}
+		results[idx] = SweepResult{Label: items[idx].Label, Result: res}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return results, nil
 }

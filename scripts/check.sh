@@ -1,0 +1,21 @@
+#!/bin/sh
+# check.sh — the full local gate: vet, build, race-enabled tests, and a
+# one-iteration benchmark smoke pass (catches benchmarks that stopped
+# compiling or panic without paying for a full measurement run).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "== benchmark smoke (1 iteration each) =="
+go test -run XXX -bench . -benchtime 1x .
+
+echo "All checks passed."
