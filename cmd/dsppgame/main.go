@@ -7,10 +7,16 @@
 // Usage:
 //
 //	dsppgame [-players 4] [-bottleneck 150] [-window 3]
-//	         [-alpha 100] [-epsilon 0.05] [-seed 11]
+//	         [-alpha 100] [-epsilon 0.05] [-seed 11] [-timeout 30s]
+//
+// With -timeout, the best-response loop runs under a deadline: on expiry
+// it stops within one round and reports the last (non-equilibrium)
+// iterate instead of hanging on slow scenarios.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -35,6 +41,7 @@ func run(args []string, out *os.File) error {
 	alpha := fs.Float64("alpha", 100, "quota step size")
 	epsilon := fs.Float64("epsilon", 0.01, "relative stability threshold (paper uses 0.05; tighter tracks the optimum closer)")
 	seed := fs.Int64("seed", 11, "random seed")
+	timeout := fs.Duration("timeout", 0, "wall-clock budget for Algorithm 2 (0 = none)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -59,13 +66,23 @@ func run(args []string, out *os.File) error {
 	if err != nil {
 		return fmt.Errorf("social welfare: %w", err)
 	}
-	ne, err := dspp.BestResponse(scenario, dspp.BestResponseConfig{
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	ne, err := dspp.BestResponseCtx(ctx, scenario, dspp.BestResponseConfig{
 		Alpha:     *alpha,
 		Epsilon:   *epsilon,
 		StepDecay: 0.3,
 	})
 	if err != nil {
-		return fmt.Errorf("best response: %w", err)
+		// A deadline expiry with a partial iterate is reported, not fatal.
+		if ne == nil || !errors.Is(err, context.DeadlineExceeded) {
+			return fmt.Errorf("best response: %w", err)
+		}
+		fmt.Fprintf(out, "timeout after %d rounds; reporting the last iterate\n\n", ne.Iterations)
 	}
 	ratio, err := dspp.EfficiencyRatio(ne, swp)
 	if err != nil {

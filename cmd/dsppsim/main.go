@@ -12,7 +12,13 @@
 //
 //	dsppsim [-dcs 4] [-metros 8] [-periods 48] [-horizon 5]
 //	        [-predictor perfect|persistence|seasonal|ar] [-seed 7]
+//	        [-fault outage:dc=1,start=10,end=20] [-fault noise:start=0,end=47,factor=0.3]
 //	        [-cpuprofile cpu.out] [-memprofile mem.out]
+//
+// Each -fault flag adds one event to the run's fault schedule
+// (outage | shock | spike | surge | noise); the controller degrades
+// gracefully instead of aborting, and the per-period table reports the
+// degradation mode and shed demand.
 package main
 
 import (
@@ -26,6 +32,19 @@ import (
 	"dspp/internal/profiling"
 	"dspp/internal/workload"
 )
+
+// faultSpecs collects repeated -fault flags.
+type faultSpecs []string
+
+func (f *faultSpecs) String() string { return strings.Join(*f, "; ") }
+
+func (f *faultSpecs) Set(v string) error {
+	if _, err := dspp.ParseFault(v); err != nil {
+		return err
+	}
+	*f = append(*f, v)
+	return nil
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -43,6 +62,8 @@ func run(args []string, out *os.File) error {
 	predictor := fs.String("predictor", "perfect", "demand predictor: perfect|persistence|seasonal|ar|holtwinters")
 	seed := fs.Int64("seed", 7, "random seed")
 	csvOut := fs.String("csv", "", "also write the per-period series to this CSV file")
+	var faultFlags faultSpecs
+	fs.Var(&faultFlags, "fault", "fault spec (repeatable), e.g. outage:dc=1,start=10,end=20")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -179,6 +200,10 @@ func run(args []string, out *os.File) error {
 		return fmt.Errorf("unknown predictor %q", *predictor)
 	}
 
+	sched, err := dspp.ParseFaultSchedule(faultFlags, *seed)
+	if err != nil {
+		return err
+	}
 	ctrl, err := dspp.NewController(inst, *horizon)
 	if err != nil {
 		return err
@@ -191,6 +216,7 @@ func run(args []string, out *os.File) error {
 		Periods:         *periods,
 		Horizon:         *horizon,
 		DemandPredictor: demandPred,
+		Faults:          sched,
 	})
 	if err != nil {
 		return err
@@ -202,7 +228,12 @@ func run(args []string, out *os.File) error {
 	for i := 0; i < *numDCs; i++ {
 		fmt.Fprintf(out, " %14s", dcNames[i])
 	}
-	fmt.Fprintf(out, " %10s %6s\n", "cost", "SLA")
+	withFaults := len(faultFlags) > 0
+	fmt.Fprintf(out, " %10s %6s", "cost", "SLA")
+	if withFaults {
+		fmt.Fprintf(out, " %-s", "degradation")
+	}
+	fmt.Fprintln(out)
 	for _, s := range res.Steps {
 		var totalDemand float64
 		for _, d := range s.Demand {
@@ -216,10 +247,17 @@ func run(args []string, out *os.File) error {
 		if !s.SLAMet {
 			slaMark = "MISS"
 		}
-		fmt.Fprintf(out, " %10.4f %6s\n", s.Cost.Total(), slaMark)
+		fmt.Fprintf(out, " %10.4f %6s", s.Cost.Total(), slaMark)
+		if withFaults {
+			fmt.Fprintf(out, " %s", s.Degradation)
+		}
+		fmt.Fprintln(out)
 	}
 	fmt.Fprintf(out, "\ntotal cost %.4f (resource %.4f, reconfig %.4f), SLA violations %d/%d\n",
 		res.TotalCost, res.TotalResource, res.TotalReconfig, res.SLAViolations, len(res.Steps))
+	if withFaults {
+		fmt.Fprintln(out, res.DegradationSummary())
+	}
 
 	if *csvOut != "" {
 		f, err := os.Create(*csvOut)

@@ -193,6 +193,14 @@ func registry() []experiment {
 			}
 			return r.Table, r.Check(), nil
 		}},
+		{"robust-outage", func(seed int64, _ int) (*experiments.Table, error, error) {
+			r, err := experiments.OutageRecovery(seed)
+			if err != nil {
+				return nil, nil, err
+			}
+			fmt.Println(r.Fault.DegradationSummary())
+			return r.Table, r.Check(), nil
+		}},
 	}
 }
 

@@ -15,7 +15,7 @@ func TestRegistryComplete(t *testing.T) {
 		"validate-mm1": false, "ablation-soft": false,
 		"game-receding": false, "extension-pooling": false,
 		"validate-endtoend": false, "ablation-integer": false, "poa": false,
-		"predictors": false, "extension-spot": false,
+		"predictors": false, "extension-spot": false, "robust-outage": false,
 	}
 	for _, e := range reg {
 		if _, ok := want[e.name]; !ok {

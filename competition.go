@@ -1,6 +1,8 @@
 package dspp
 
 import (
+	"context"
+
 	"dspp/internal/game"
 )
 
@@ -51,6 +53,13 @@ func BestResponse(s *GameScenario, cfg BestResponseConfig) (*BestResponseResult,
 	return game.BestResponse(s, cfg)
 }
 
+// BestResponseCtx is BestResponse with cooperative cancellation: the loop
+// stops within one round of the context being cancelled, returning the
+// partial result when at least one round completed.
+func BestResponseCtx(ctx context.Context, s *GameScenario, cfg BestResponseConfig) (*BestResponseResult, error) {
+	return game.BestResponseCtx(ctx, s, cfg)
+}
+
 // EfficiencyRatio returns equilibrium cost over social-optimum cost.
 func EfficiencyRatio(ne *BestResponseResult, swp *SWPResult) (float64, error) {
 	return game.EfficiencyRatio(ne, swp)
@@ -61,4 +70,9 @@ func EfficiencyRatio(ne *BestResponseResult, swp *SWPResult) (float64, error) {
 // window equilibrium and every provider applies only its first control.
 func RunRecedingGame(capacity []float64, providers []*DynamicProvider, cfg RecedingConfig) (*RecedingResult, error) {
 	return game.RunReceding(capacity, providers, cfg)
+}
+
+// RunRecedingGameCtx is RunRecedingGame with cooperative cancellation.
+func RunRecedingGameCtx(ctx context.Context, capacity []float64, providers []*DynamicProvider, cfg RecedingConfig) (*RecedingResult, error) {
+	return game.RunRecedingCtx(ctx, capacity, providers, cfg)
 }

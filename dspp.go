@@ -54,6 +54,11 @@ type (
 	ControllerOption = core.ControllerOption
 	// StepResult reports one executed MPC step.
 	StepResult = core.StepResult
+	// Degradation records how a controller step was produced: which rung
+	// of the graceful-degradation ladder ran and how much demand was shed.
+	Degradation = core.Degradation
+	// DegradationMode identifies a ladder rung.
+	DegradationMode = core.DegradationMode
 	// HorizonInput is one horizon optimization problem.
 	HorizonInput = core.HorizonInput
 	// Plan is a solved horizon (controls, states, duals).
@@ -62,6 +67,14 @@ type (
 	RoundResult = core.RoundResult
 	// QPOptions tunes the interior-point solver.
 	QPOptions = qp.Options
+)
+
+// Degradation-ladder rungs (see Controller.StepCtx).
+const (
+	DegradeNone        = core.DegradeNone
+	DegradeColdRestart = core.DegradeColdRestart
+	DegradeSoft        = core.DegradeSoft
+	DegradeHold        = core.DegradeHold
 )
 
 // Sentinel errors of the core problem, re-exported for errors.Is.
@@ -95,6 +108,17 @@ func WithQPOptions(opts QPOptions) ControllerOption { return core.WithQPOptions(
 
 // WithInitialState sets a controller's starting allocation.
 func WithInitialState(s State) ControllerOption { return core.WithInitialState(s) }
+
+// WithDegradation enables or disables the controller's graceful-
+// degradation ladder (enabled by default): on solver failure the step
+// retries cold, then solves a soft-constrained relaxation that sheds
+// demand, then holds the last allocation projected onto the surviving
+// capacity — and reports the rung used on StepResult.Degradation.
+func WithDegradation(enabled bool) ControllerOption { return core.WithDegradation(enabled) }
+
+// WithShedPenalty overrides the linear penalty per unit of shed demand in
+// the soft-relaxation rung (default core.DefaultShedPenalty).
+func WithShedPenalty(penalty float64) ControllerOption { return core.WithShedPenalty(penalty) }
 
 // DefaultQPOptions returns the recommended interior-point settings.
 func DefaultQPOptions() QPOptions { return qp.DefaultOptions() }

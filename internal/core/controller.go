@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"dspp/internal/qp"
@@ -9,6 +11,10 @@ import (
 // Controller is the paper's MPC resource controller (Algorithm 1): at each
 // control period it solves the horizon QP from the current state and
 // applies only the first control action.
+//
+// By default the controller degrades gracefully instead of erroring when a
+// solve fails (see StepCtx); WithDegradation(false) restores the strict
+// fail-fast behaviour.
 type Controller struct {
 	inst    *Instance
 	horizon int
@@ -18,6 +24,10 @@ type Controller struct {
 	// its solve from the prior plan shifted by one period, which cuts
 	// interior-point iterations across the closed loop.
 	warm *HorizonWarm
+	// degrade enables the degradation ladder (default true); shedPenalty
+	// prices shed demand in the soft rung (≤ 0 means DefaultShedPenalty).
+	degrade     bool
+	shedPenalty float64
 }
 
 // ControllerOption customizes a Controller.
@@ -33,6 +43,19 @@ func WithInitialState(s State) ControllerOption {
 	return func(c *Controller) { c.state = s.Clone() }
 }
 
+// WithDegradation enables or disables the graceful-degradation ladder
+// (enabled by default). Disabled, Step returns solver errors to the caller
+// exactly as the underlying solve reported them.
+func WithDegradation(enabled bool) ControllerOption {
+	return func(c *Controller) { c.degrade = enabled }
+}
+
+// WithShedPenalty overrides the linear penalty per unit of shed demand
+// used by the soft-relaxation rung (default DefaultShedPenalty).
+func WithShedPenalty(penalty float64) ControllerOption {
+	return func(c *Controller) { c.shedPenalty = penalty }
+}
+
 // NewController creates an MPC controller with prediction horizon W ≥ 1.
 func NewController(inst *Instance, horizon int, opts ...ControllerOption) (*Controller, error) {
 	if inst == nil {
@@ -46,6 +69,7 @@ func NewController(inst *Instance, horizon int, opts ...ControllerOption) (*Cont
 		horizon: horizon,
 		opts:    qp.DefaultOptions(),
 		state:   inst.NewState(),
+		degrade: true,
 	}
 	for _, o := range opts {
 		o(c)
@@ -85,6 +109,10 @@ type StepResult struct {
 	NewState State
 	// Plan is the full horizon solution (U[0] == Applied).
 	Plan *Plan
+	// Degradation records how the plan was produced: DegradeNone for a
+	// clean solve, otherwise the ladder rung used plus retry counts and
+	// violation mass. Experiments chart it to measure robustness.
+	Degradation Degradation
 }
 
 // Step executes one period of Algorithm 1: solve the horizon QP for the
@@ -92,25 +120,75 @@ type StepResult struct {
 // must cover t = 0..W−1 (forecasts for the next W periods); shorter
 // forecasts are an error, longer ones are truncated to W.
 func (c *Controller) Step(demand, prices [][]float64) (*StepResult, error) {
+	return c.StepCtx(context.Background(), demand, prices)
+}
+
+// StepCtx is Step with cooperative cancellation and the graceful-
+// degradation ladder. When a solve fails and degradation is enabled
+// (the default) the controller walks down the ladder instead of erroring:
+//
+//  1. warm-started hard QP (cold-restarted once on numerical failure);
+//  2. soft-constrained relaxation — capacity stays hard, demand gains
+//     penalized slack, so the step reports shed demand instead of failing
+//     when the surviving capacity cannot carry the load;
+//  3. hold-last-plan — the current allocation projected onto the
+//     surviving capacity, with zero further movement.
+//
+// Input-validation errors (ErrBadInput) and context cancellation always
+// propagate: the ladder only absorbs solver-level failures (infeasibility,
+// numerical breakdown, iteration exhaustion). The returned StepResult's
+// Degradation field says which rung produced the plan.
+func (c *Controller) StepCtx(ctx context.Context, demand, prices [][]float64) (*StepResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("step: %w", err)
+	}
 	if len(demand) < c.horizon || len(prices) < c.horizon {
 		return nil, fmt.Errorf("forecasts cover %d/%d periods, horizon %d: %w",
 			len(demand), len(prices), c.horizon, ErrBadInput)
 	}
-	plan, err := c.inst.SolveHorizon(HorizonInput{
+	input := HorizonInput{
 		X0:        c.state,
 		Demand:    demand[:c.horizon],
 		Prices:    prices[:c.horizon],
 		Warm:      c.warm,
 		WarmShift: 1,
-	}, c.opts)
+	}
+	var deg Degradation
+	plan, err := c.inst.SolveHorizonCtx(ctx, input, c.opts)
+	if err == nil && plan.ColdRestarts > 0 {
+		deg.Mode = DegradeColdRestart
+		deg.ColdRestarts = plan.ColdRestarts
+	}
 	if err != nil {
-		return nil, err
+		if !c.degrade || errors.Is(err, ErrBadInput) || ctx.Err() != nil {
+			return nil, err
+		}
+		deg.Cause = err.Error()
+		input.Warm, input.WarmShift = nil, 0
+		soft, softErr := c.inst.SolveHorizonSoftCtx(ctx, input, c.opts, c.shedPenalty)
+		switch {
+		case softErr == nil:
+			deg.Mode = DegradeSoft
+			plan = soft
+			for _, s := range soft.Shed[0] {
+				deg.ShedDemand += s
+			}
+			deg.HorizonShed = soft.TotalShed()
+		case ctx.Err() != nil:
+			return nil, softErr
+		default:
+			// Last rung: hold the current allocation, projected onto the
+			// surviving capacity. Never fails.
+			deg.Mode = DegradeHold
+			plan, deg.CapacityTrim = c.inst.holdPlan(c.state, input.Prices)
+		}
 	}
 	c.warm = plan.Warm
 	c.state = plan.X[0].Clone()
 	return &StepResult{
-		Applied:  plan.U[0],
-		NewState: plan.X[0],
-		Plan:     plan,
+		Applied:     plan.U[0],
+		NewState:    plan.X[0],
+		Plan:        plan,
+		Degradation: deg,
 	}, nil
 }

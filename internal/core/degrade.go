@@ -1,0 +1,145 @@
+package core
+
+import "fmt"
+
+// DegradationMode identifies which rung of the controller's degradation
+// ladder produced a step's plan.
+type DegradationMode int
+
+const (
+	// DegradeNone: the hard horizon QP solved normally.
+	DegradeNone DegradationMode = iota
+	// DegradeColdRestart: the warm-started solve failed numerically and a
+	// cold restart succeeded.
+	DegradeColdRestart
+	// DegradeSoft: the hard QP was infeasible or kept failing, and the
+	// soft-constrained relaxation produced the plan (demand may be shed).
+	DegradeSoft
+	// DegradeHold: even the relaxation failed; the controller held its
+	// last allocation, projected onto the surviving capacity.
+	DegradeHold
+)
+
+// String returns the mode's report label.
+func (m DegradationMode) String() string {
+	switch m {
+	case DegradeNone:
+		return "none"
+	case DegradeColdRestart:
+		return "cold-restart"
+	case DegradeSoft:
+		return "soft"
+	case DegradeHold:
+		return "hold"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Degradation records how a controller step was produced: which rung of
+// the ladder (normal solve → cold restart → soft relaxation → hold-last),
+// how many solver retries it took, and how much constraint violation the
+// chosen plan carries. A zero value means a clean, fully-constrained step.
+type Degradation struct {
+	// Mode is the ladder rung that produced the plan.
+	Mode DegradationMode
+	// ColdRestarts counts warm-start discards (numerical retries) spent on
+	// this step, whichever rung finally succeeded.
+	ColdRestarts int
+	// ShedDemand is the demand (req/s) shed in the applied period by a
+	// soft-mode plan.
+	ShedDemand float64
+	// HorizonShed is the total demand shed across the planned horizon.
+	HorizonShed float64
+	// CapacityTrim is the number of servers the hold projection dropped to
+	// fit the surviving capacity.
+	CapacityTrim float64
+	// Cause is the error the ladder recovered from ("" for a clean step).
+	Cause string
+}
+
+// Degraded reports whether the step deviated from the normal solve path.
+func (d Degradation) Degraded() bool {
+	return d.Mode != DegradeNone || d.ColdRestarts > 0
+}
+
+// String renders a compact report line.
+func (d Degradation) String() string {
+	if !d.Degraded() {
+		return "ok"
+	}
+	s := d.Mode.String()
+	if d.ColdRestarts > 0 {
+		s += fmt.Sprintf(" restarts=%d", d.ColdRestarts)
+	}
+	if d.ShedDemand > 0 || d.HorizonShed > 0 {
+		s += fmt.Sprintf(" shed=%.1f(horizon %.1f)", d.ShedDemand, d.HorizonShed)
+	}
+	if d.CapacityTrim > 0 {
+		s += fmt.Sprintf(" trimmed=%.1f", d.CapacityTrim)
+	}
+	return s
+}
+
+// holdProjection returns the allocation closest to s (by per-DC
+// proportional scaling) that fits the instance's current capacities, along
+// with the number of servers dropped. It is the degradation ladder's last
+// rung: always well defined, no solve involved.
+func (in *Instance) holdProjection(s State) (State, float64) {
+	next := in.NewState()
+	var trimmed float64
+	for l := 0; l < in.l; l++ {
+		var total float64
+		for v := 0; v < in.v; v++ {
+			next[l][v] = s[l][v]
+			total += s[l][v]
+		}
+		c := in.capacity[l]
+		if total > c {
+			scale := c / total
+			for v := 0; v < in.v; v++ {
+				next[l][v] *= scale
+			}
+			trimmed += total - c
+		}
+	}
+	return next, trimmed
+}
+
+// holdPlan synthesizes a full-length plan that applies the projection step
+// and then holds: U[0] moves from the current state onto the projected
+// one, all later controls are zero. Duals are zero — the plan carries no
+// optimality information — and there is no warm-start capsule.
+func (in *Instance) holdPlan(x0 State, prices [][]float64) (*Plan, float64) {
+	next, trimmed := in.holdProjection(x0)
+	w := len(prices)
+	plan := &Plan{
+		U:             make([]State, w),
+		X:             make([]State, w),
+		CapacityDuals: make([][]float64, w),
+		DemandDuals:   make([][]float64, w),
+	}
+	u0 := in.NewState()
+	for l := 0; l < in.l; l++ {
+		for v := 0; v < in.v; v++ {
+			u0[l][v] = next[l][v] - x0[l][v]
+			plan.Objective += in.reconfig[l] * u0[l][v] * u0[l][v]
+		}
+	}
+	for t := 0; t < w; t++ {
+		if t == 0 {
+			plan.U[t] = u0
+		} else {
+			plan.U[t] = in.NewState()
+		}
+		plan.X[t] = next
+		plan.CapacityDuals[t] = make([]float64, in.l)
+		plan.DemandDuals[t] = make([]float64, in.v)
+		for l := 0; l < in.l; l++ {
+			for v := 0; v < in.v; v++ {
+				plan.Objective += prices[t][l] * next[l][v]
+			}
+		}
+	}
+	return plan, trimmed
+}

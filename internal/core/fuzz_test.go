@@ -1,0 +1,89 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"dspp/internal/queue"
+)
+
+// FuzzNewInstance drives the Config validator with arbitrary shapes and
+// values: construction must either succeed with a usable instance or
+// reject the config with a wrapped package sentinel — never panic.
+func FuzzNewInstance(f *testing.F) {
+	f.Add(2, 2, 0.01, 1e-4, 100.0)
+	f.Add(1, 1, math.Inf(1), 1e-4, 100.0)
+	f.Add(3, 1, -0.5, 0.0, math.NaN())
+	f.Add(0, 5, 0.01, 1e-4, 100.0)
+	f.Add(2, 3, 0.02, math.Inf(1), 0.0)
+	f.Fuzz(func(t *testing.T, l, v int, a, w, c float64) {
+		if l < 0 || l > 8 || v < 0 || v > 8 {
+			t.Skip()
+		}
+		sla := make([][]float64, l)
+		weights := make([]float64, l)
+		caps := make([]float64, l)
+		for li := range sla {
+			sla[li] = make([]float64, v)
+			for vi := range sla[li] {
+				// Vary entries so one config exercises several code paths
+				// (including the per-location feasibility scan).
+				sla[li][vi] = a * float64(1+(li+vi)%3)
+			}
+			weights[li] = w
+			caps[li] = c
+		}
+		inst, err := NewInstance(Config{SLA: sla, ReconfigWeights: weights, Capacities: caps})
+		if err != nil {
+			if !errors.Is(err, ErrBadInstance) && !errors.Is(err, ErrInfeasible) {
+				t.Fatalf("unwrapped error %v for l=%d v=%d a=%g w=%g c=%g", err, l, v, a, w, c)
+			}
+			return
+		}
+		// An accepted config must yield a self-consistent instance.
+		if inst.NumDataCenters() != l || inst.NumLocations() != v {
+			t.Fatalf("dims %dx%d, want %dx%d", inst.NumDataCenters(), inst.NumLocations(), l, v)
+		}
+		if err := inst.CheckState(inst.NewState()); err != nil {
+			t.Fatalf("zero state rejected: %v", err)
+		}
+	})
+}
+
+// FuzzSLAMatrix exercises the latency→coefficient conversion: arbitrary
+// queueing parameters must produce either a matrix NewInstance can accept
+// or a wrapped sentinel from core or queue.
+func FuzzSLAMatrix(f *testing.F) {
+	f.Add(100.0, 0.25, 1.0, 0.0, 0.05)
+	f.Add(100.0, 0.25, 0.8, 0.95, 0.05)
+	f.Add(-1.0, 0.25, 1.0, 0.0, 0.05)
+	f.Add(100.0, 0.0, 1.0, 0.0, 0.5)
+	f.Add(math.NaN(), math.Inf(1), 2.0, 1.5, math.Inf(-1))
+	f.Fuzz(func(t *testing.T, mu, dbar, rho, pct, lat float64) {
+		latency := [][]float64{{lat, lat * 2}, {0, lat}}
+		a, err := SLAMatrix(latency, SLAConfig{
+			Mu:               mu,
+			MaxDelay:         dbar,
+			ReservationRatio: rho,
+			Percentile:       pct,
+		})
+		if err != nil {
+			if !errors.Is(err, ErrBadInstance) &&
+				!errors.Is(err, queue.ErrBadParameter) &&
+				!errors.Is(err, queue.ErrUnstable) {
+				t.Fatalf("unwrapped error %v for mu=%g dbar=%g rho=%g pct=%g lat=%g",
+					err, mu, dbar, rho, pct, lat)
+			}
+			return
+		}
+		for l := range a {
+			for v := range a[l] {
+				if math.IsNaN(a[l][v]) || a[l][v] <= 0 {
+					t.Fatalf("a[%d][%d] = %g from mu=%g dbar=%g rho=%g pct=%g lat=%g",
+						l, v, a[l][v], mu, dbar, rho, pct, lat)
+				}
+			}
+		}
+	})
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -88,9 +90,28 @@ type Plan struct {
 	DemandDuals [][]float64
 	// QPIterations reports interior-point iterations used.
 	QPIterations int
+	// ColdRestarts counts warm-started solves that failed numerically and
+	// were retried from a cold start (0 or 1 per solve).
+	ColdRestarts int
+	// Shed[t][v] is the demand shed at horizon step t for location v; nil
+	// unless the plan came from the soft-constrained relaxation (see
+	// SolveHorizonSoft).
+	Shed [][]float64
 	// Warm carries the raw QP iterates for warm-starting the next solve
 	// over the same instance layout (see HorizonInput.Warm).
 	Warm *HorizonWarm
+}
+
+// TotalShed sums the shed demand over the whole horizon (zero for plans
+// from the hard-constrained solve).
+func (p *Plan) TotalShed() float64 {
+	var t float64
+	for _, row := range p.Shed {
+		for _, s := range row {
+			t += s
+		}
+	}
+	return t
 }
 
 // Horizon returns len(plan.U).
@@ -116,56 +137,17 @@ func (p *Plan) TotalCapacityDuals() []float64 {
 // restricted to a window, states substituted out) and reconstructs the
 // trajectory. It is the computational core of Algorithm 1.
 func (in *Instance) SolveHorizon(input HorizonInput, opts qp.Options) (*Plan, error) {
-	w := len(input.Demand)
-	if w == 0 {
-		return nil, fmt.Errorf("empty horizon: %w", ErrBadInput)
-	}
-	if len(input.Prices) != w {
-		return nil, fmt.Errorf("prices horizon %d, demand horizon %d: %w", len(input.Prices), w, ErrBadInput)
-	}
-	if err := in.CheckState(input.X0); err != nil {
+	return in.SolveHorizonCtx(context.Background(), input, opts)
+}
+
+// SolveHorizonCtx is SolveHorizon with cooperative cancellation: ctx is
+// polled once per interior-point iteration, so a stuck solve terminates
+// within one iteration of ctx expiring and the returned error wraps
+// ctx.Err().
+func (in *Instance) SolveHorizonCtx(ctx context.Context, input HorizonInput, opts qp.Options) (*Plan, error) {
+	w, err := in.checkHorizonInput(input, true)
+	if err != nil {
 		return nil, err
-	}
-	for t := 0; t < w; t++ {
-		if len(input.Demand[t]) != in.v {
-			return nil, fmt.Errorf("demand[%d] has %d locations, want %d: %w", t, len(input.Demand[t]), in.v, ErrBadInput)
-		}
-		if len(input.Prices[t]) != in.l {
-			return nil, fmt.Errorf("prices[%d] has %d DCs, want %d: %w", t, len(input.Prices[t]), in.l, ErrBadInput)
-		}
-		for v, d := range input.Demand[t] {
-			if d < 0 || math.IsNaN(d) || math.IsInf(d, 0) {
-				return nil, fmt.Errorf("demand[%d][%d] = %g: %w", t, v, d, ErrBadInput)
-			}
-		}
-		for l, p := range input.Prices[t] {
-			if p < 0 || math.IsNaN(p) || math.IsInf(p, 0) {
-				return nil, fmt.Errorf("prices[%d][%d] = %g: %w", t, l, p, ErrBadInput)
-			}
-		}
-		// Cheap necessary feasibility check: even granting location v
-		// every feasible DC's full capacity, the demand must fit. It
-		// catches the common misconfiguration (demand beyond physical
-		// capacity) with a clear error instead of a QP solver failure.
-		for v := 0; v < in.v; v++ {
-			var ceiling float64
-			for l := 0; l < in.l; l++ {
-				pi := in.pairIdx[l][v]
-				if pi < 0 {
-					continue
-				}
-				if math.IsInf(in.capacity[l], 1) {
-					ceiling = math.Inf(1)
-					break
-				}
-				ceiling += in.capacity[l] / in.a[l][v]
-			}
-			if input.Demand[t][v] > ceiling {
-				return nil, fmt.Errorf(
-					"demand[%d][%d] = %g exceeds the %g req/s ceiling of its feasible DCs: %w",
-					t, v, input.Demand[t][v], ceiling, ErrInfeasible)
-			}
-		}
 	}
 
 	e := len(in.pairs)
@@ -241,7 +223,16 @@ func (in *Instance) SolveHorizon(input HorizonInput, opts qp.Options) (*Plan, er
 	}
 
 	prob := &qp.Problem{Q: hs.q, C: cVec, G: hs.g, H: hVec}
-	res, err := qp.SolveWarm(prob, opts, input.Warm.shifted(e, w, rowsPerStep, input.WarmShift))
+	warm := input.Warm.shifted(e, w, rowsPerStep, input.WarmShift)
+	res, err := qp.SolveWarmCtx(ctx, prob, opts, warm)
+	coldRestarts := 0
+	if err != nil && warm != nil && errors.Is(err, qp.ErrNumerical) {
+		// A warm point can sit badly for the new data (e.g. after a capacity
+		// shock) and wreck the KKT conditioning; the cold start costs extra
+		// iterations but starts well centered. Retry once before failing.
+		coldRestarts = 1
+		res, err = qp.SolveWarmCtx(ctx, prob, opts, nil)
+	}
 	hs.vecPool.Put(vecs)
 	if err != nil {
 		return nil, fmt.Errorf("horizon QP (W=%d, n=%d, m=%d): %w", w, n, m, err)
@@ -274,6 +265,7 @@ func (in *Instance) SolveHorizon(input HorizonInput, opts qp.Options) (*Plan, er
 		CapacityDuals: rows[:w:w],
 		DemandDuals:   rows[w : 2*w : 2*w],
 		QPIterations:  res.Iterations,
+		ColdRestarts:  coldRestarts,
 		Warm:          &HorizonWarm{y: res.X, z: res.IneqDuals, pairs: e, horizon: w, rowsPer: rowsPerStep},
 	}
 	rows = rows[2*w:]
@@ -440,4 +432,65 @@ func (in *Instance) horizonStructure(w int) (*horizonStruct, error) {
 	}
 	in.qpCache[w] = hs
 	return hs, nil
+}
+
+// checkHorizonInput validates a horizon problem's dimensions and values and
+// returns the horizon length. With ceiling set it additionally runs the
+// cheap necessary feasibility check — even granting location v every
+// feasible DC's full capacity, the demand must fit — which catches the
+// common misconfiguration (demand beyond physical capacity) with a clear
+// error instead of a QP solver failure. The soft relaxation skips that
+// check: excess demand is exactly what its slack variables absorb.
+func (in *Instance) checkHorizonInput(input HorizonInput, ceiling bool) (int, error) {
+	w := len(input.Demand)
+	if w == 0 {
+		return 0, fmt.Errorf("empty horizon: %w", ErrBadInput)
+	}
+	if len(input.Prices) != w {
+		return 0, fmt.Errorf("prices horizon %d, demand horizon %d: %w", len(input.Prices), w, ErrBadInput)
+	}
+	if err := in.CheckState(input.X0); err != nil {
+		return 0, err
+	}
+	for t := 0; t < w; t++ {
+		if len(input.Demand[t]) != in.v {
+			return 0, fmt.Errorf("demand[%d] has %d locations, want %d: %w", t, len(input.Demand[t]), in.v, ErrBadInput)
+		}
+		if len(input.Prices[t]) != in.l {
+			return 0, fmt.Errorf("prices[%d] has %d DCs, want %d: %w", t, len(input.Prices[t]), in.l, ErrBadInput)
+		}
+		for v, d := range input.Demand[t] {
+			if d < 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+				return 0, fmt.Errorf("demand[%d][%d] = %g: %w", t, v, d, ErrBadInput)
+			}
+		}
+		for l, p := range input.Prices[t] {
+			if p < 0 || math.IsNaN(p) || math.IsInf(p, 0) {
+				return 0, fmt.Errorf("prices[%d][%d] = %g: %w", t, l, p, ErrBadInput)
+			}
+		}
+		if !ceiling {
+			continue
+		}
+		for v := 0; v < in.v; v++ {
+			var ceil float64
+			for l := 0; l < in.l; l++ {
+				pi := in.pairIdx[l][v]
+				if pi < 0 {
+					continue
+				}
+				if math.IsInf(in.capacity[l], 1) {
+					ceil = math.Inf(1)
+					break
+				}
+				ceil += in.capacity[l] / in.a[l][v]
+			}
+			if input.Demand[t][v] > ceil {
+				return 0, fmt.Errorf(
+					"demand[%d][%d] = %g exceeds the %g req/s ceiling of its feasible DCs: %w",
+					t, v, input.Demand[t][v], ceil, ErrInfeasible)
+			}
+		}
+	}
+	return w, nil
 }

@@ -57,9 +57,11 @@ type Instance struct {
 	// horizon length (see horizonStructure): the repeated solves of an MPC
 	// or best-response loop then rebuild only the O(n) cost and
 	// right-hand-side vectors. Guarded by qpMu — instances are shared
-	// across the parallel sweep and experiment workers.
-	qpMu    sync.Mutex
-	qpCache map[int]*horizonStruct
+	// across the parallel sweep and experiment workers. softCache is the
+	// analogue for the soft-constrained relaxation (see softStructure).
+	qpMu      sync.Mutex
+	qpCache   map[int]*horizonStruct
+	softCache map[int]*horizonStruct
 }
 
 type pair struct{ l, v int }
@@ -212,6 +214,12 @@ func (in *Instance) Capacity(l int) (float64, error) {
 		return 0, fmt.Errorf("dc %d of %d: %w", l, in.l, ErrBadInput)
 	}
 	return in.capacity[l], nil
+}
+
+// Capacities returns a copy of the per-DC capacity vector (callers snapshot
+// it before fault injection and restore it afterwards via SetCapacities).
+func (in *Instance) Capacities() []float64 {
+	return append([]float64(nil), in.capacity...)
 }
 
 // ReconfigWeight returns c^l.

@@ -1,0 +1,298 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"dspp/internal/linalg"
+	"dspp/internal/qp"
+)
+
+// DefaultShedPenalty is the default linear cost per unit of shed demand per
+// period in the soft relaxation. It is several orders of magnitude above
+// the realistic per-request serving cost (price × SLA coefficient, ~1e-3),
+// so demand is shed only when the hard constraints genuinely cannot hold.
+const DefaultShedPenalty = 1e3
+
+// softQuadPenalty is the small quadratic term on the shed variables. It
+// keeps the soft QP strictly convex (unique optimum, well-conditioned KKT)
+// without materially changing which demand is shed. It is a fixed constant
+// because it enters the cached quadratic term.
+const softQuadPenalty = 1e-3
+
+// SolveHorizonSoft solves the soft-constrained relaxation of the horizon
+// QP: per (step, location) a slack variable s_t^v ≥ 0 absorbs demand the
+// allocation cannot serve, penalized linearly at shedPenalty (plus a tiny
+// quadratic regularizer). Capacity and nonnegativity stay hard — they are
+// physical — so the relaxation is always feasible: in the worst case the
+// allocation drains to zero and all demand is shed. It is the degradation
+// ladder's second rung: when the hard QP is infeasible (a DC outage or
+// capacity shock leaves less capacity than demand) or numerically stuck,
+// the controller still gets a usable plan plus an explicit report of the
+// demand it had to shed (Plan.Shed).
+//
+// shedPenalty ≤ 0 selects DefaultShedPenalty. The returned plan carries no
+// warm-start capsule (its QP layout differs from the hard solve's), and
+// Plan.Objective includes the shed penalty terms.
+func (in *Instance) SolveHorizonSoft(input HorizonInput, opts qp.Options, shedPenalty float64) (*Plan, error) {
+	return in.SolveHorizonSoftCtx(context.Background(), input, opts, shedPenalty)
+}
+
+// SolveHorizonSoftCtx is SolveHorizonSoft with cooperative cancellation
+// (see SolveHorizonCtx).
+func (in *Instance) SolveHorizonSoftCtx(ctx context.Context, input HorizonInput, opts qp.Options, shedPenalty float64) (*Plan, error) {
+	w, err := in.checkHorizonInput(input, false)
+	if err != nil {
+		return nil, err
+	}
+	if shedPenalty <= 0 {
+		shedPenalty = DefaultShedPenalty
+	}
+	if math.IsNaN(shedPenalty) || math.IsInf(shedPenalty, 0) {
+		return nil, fmt.Errorf("shed penalty %g: %w", shedPenalty, ErrBadInput)
+	}
+
+	e := len(in.pairs)
+	b := e + in.v // per-step block: e cumulative controls, then v sheds
+	n := b * w
+
+	hs, err := in.softStructure(w)
+	if err != nil {
+		return nil, err
+	}
+	rowsPerStep := hs.rowsPerStep
+	m := w * rowsPerStep
+
+	vecs, _ := hs.vecPool.Get().(*horizonVecs)
+	if vecs == nil {
+		vecs = &horizonVecs{c: linalg.NewVector(n), h: linalg.NewVector(m)}
+	}
+
+	// Linear term: prices on the cumulative controls, the shed penalty on
+	// the slacks.
+	cVec := vecs.c
+	for t := 0; t < w; t++ {
+		for pi, pr := range in.pairs {
+			cVec[t*b+pi] = input.Prices[t][pr.l]
+		}
+		for v := 0; v < in.v; v++ {
+			cVec[t*b+e+v] = shedPenalty
+		}
+	}
+	var constCost float64
+	for t := 0; t < w; t++ {
+		for _, pr := range in.pairs {
+			constCost += input.Prices[t][pr.l] * input.X0[pr.l][pr.v]
+		}
+	}
+
+	// Right-hand sides, in the fixed row order of the cached G (per step:
+	// demand, capacity, nonneg y, nonneg s — see softStructure).
+	hVec := vecs.h
+	row := 0
+	for t := 0; t < w; t++ {
+		// Demand with slack: −Σ y/a − s ≤ −D + Σ x0/a.
+		for v := 0; v < in.v; v++ {
+			rhs := -input.Demand[t][v]
+			for l := 0; l < in.l; l++ {
+				if in.pairIdx[l][v] >= 0 {
+					rhs += input.X0[l][v] / in.a[l][v]
+				}
+			}
+			hVec[row] = rhs
+			row++
+		}
+		// Capacity (hard): Σ y ≤ C − Σ x0.
+		for _, l := range hs.capacitated {
+			rhs := in.capacity[l]
+			for v := 0; v < in.v; v++ {
+				if in.pairIdx[l][v] >= 0 {
+					rhs -= input.X0[l][v]
+				}
+			}
+			hVec[row] = rhs
+			row++
+		}
+		// Nonnegativity of the planned state: −y ≤ x0.
+		for _, pr := range in.pairs {
+			hVec[row] = input.X0[pr.l][pr.v]
+			row++
+		}
+		// Nonnegativity of the sheds: −s ≤ 0.
+		for v := 0; v < in.v; v++ {
+			hVec[row] = 0
+			row++
+		}
+	}
+
+	prob := &qp.Problem{Q: hs.q, C: cVec, G: hs.g, H: hVec}
+	res, err := qp.SolveWarmCtx(ctx, prob, opts, nil)
+	hs.vecPool.Put(vecs)
+	if err != nil {
+		return nil, fmt.Errorf("soft horizon QP (W=%d, n=%d, m=%d): %w", w, n, m, err)
+	}
+
+	// Plan reconstruction mirrors the hard solve, with one extra w×v shed
+	// table carved out of the same backing array.
+	floats := make([]float64, w*(2*in.l*in.v+in.v+in.l+in.v))
+	rows := make([][]float64, 2*w*in.l+3*w)
+	states := make([]State, 2*w)
+	takeRow := func(k int) []float64 {
+		r := floats[:k:k]
+		floats = floats[k:]
+		return r
+	}
+	takeState := func() State {
+		s := State(rows[:in.l:in.l])
+		rows = rows[in.l:]
+		for l := range s {
+			s[l] = takeRow(in.v)
+		}
+		return s
+	}
+
+	plan := &Plan{
+		U:             states[:w:w],
+		X:             states[w:],
+		Objective:     res.Objective + constCost,
+		CapacityDuals: rows[:w:w],
+		DemandDuals:   rows[w : 2*w : 2*w],
+		Shed:          rows[2*w : 3*w : 3*w],
+		QPIterations:  res.Iterations,
+	}
+	rows = rows[3*w:]
+	prev := input.X0
+	for t := 0; t < w; t++ {
+		u := takeState()
+		x := takeState()
+		for l := range x {
+			copy(x[l], prev[l])
+		}
+		for pi, pr := range in.pairs {
+			uv := res.X[t*b+pi]
+			if t > 0 {
+				uv -= res.X[(t-1)*b+pi]
+			}
+			u[pr.l][pr.v] = uv
+			xv := x[pr.l][pr.v] + uv
+			if xv < 0 {
+				xv = 0
+			}
+			x[pr.l][pr.v] = xv
+		}
+		plan.U[t] = u
+		plan.X[t] = x
+		prev = x
+
+		plan.Shed[t] = takeRow(in.v)
+		for v := 0; v < in.v; v++ {
+			// Clamp the tiny interior-point slack so zero shed reports as
+			// exactly zero.
+			if s := res.X[t*b+e+v]; s > 1e-9 {
+				plan.Shed[t][v] = s
+			}
+		}
+
+		base := t * rowsPerStep
+		plan.DemandDuals[t] = takeRow(in.v)
+		copy(plan.DemandDuals[t], res.IneqDuals[base:base+in.v])
+		plan.CapacityDuals[t] = takeRow(in.l)
+		for ci, l := range hs.capacitated {
+			plan.CapacityDuals[t][l] = res.IneqDuals[base+in.v+ci]
+		}
+	}
+	return plan, nil
+}
+
+// softStructure returns the cached data-independent part of the soft
+// relaxation for horizon length w, building it on first use. The layout
+// parallels horizonStructure with per-step blocks of e+v variables
+// (cumulative controls, then sheds): every constraint row touches only its
+// own step's block, so G stays block diagonal and the KKT matrix banded
+// with half-bandwidth e+v.
+func (in *Instance) softStructure(w int) (*horizonStruct, error) {
+	in.qpMu.Lock()
+	defer in.qpMu.Unlock()
+	if hs, ok := in.softCache[w]; ok {
+		return hs, nil
+	}
+
+	e := len(in.pairs)
+	b := e + in.v
+	n := b * w
+
+	// Quadratic term: the reconfiguration differences on y (block stride b
+	// instead of e) plus the small fixed regularizer on the sheds.
+	qMat := linalg.NewMatrix(n, n)
+	for t := 0; t < w; t++ {
+		for pi, pr := range in.pairs {
+			idx := t*b + pi
+			c2 := 2 * in.reconfig[pr.l]
+			if t < w-1 {
+				qMat.Set(idx, idx, 2*c2)
+				qMat.Set(idx, idx+b, -c2)
+				qMat.Set(idx+b, idx, -c2)
+			} else {
+				qMat.Set(idx, idx, c2)
+			}
+		}
+		for v := 0; v < in.v; v++ {
+			idx := t*b + e + v
+			qMat.Set(idx, idx, 2*softQuadPenalty)
+		}
+	}
+
+	capacitated := make([]int, 0, in.l)
+	capPairs := 0
+	for l := 0; l < in.l; l++ {
+		if !math.IsInf(in.capacity[l], 1) {
+			capacitated = append(capacitated, l)
+			for v := 0; v < in.v; v++ {
+				if in.pairIdx[l][v] >= 0 {
+					capPairs++
+				}
+			}
+		}
+	}
+	rowsPerStep := in.v + len(capacitated) + e + in.v
+	gb := linalg.NewSparseBuilder(w*rowsPerStep, n, (2*e+2*in.v+capPairs)*w)
+	for t := 0; t < w; t++ {
+		for v := 0; v < in.v; v++ {
+			gb.StartRow()
+			for l := 0; l < in.l; l++ {
+				if pi := in.pairIdx[l][v]; pi >= 0 {
+					gb.Add(t*b+pi, -1/in.a[l][v])
+				}
+			}
+			gb.Add(t*b+e+v, -1)
+		}
+		for _, l := range capacitated {
+			gb.StartRow()
+			for v := 0; v < in.v; v++ {
+				if pi := in.pairIdx[l][v]; pi >= 0 {
+					gb.Add(t*b+pi, 1)
+				}
+			}
+		}
+		for pi := range in.pairs {
+			gb.StartRow()
+			gb.Add(t*b+pi, -1)
+		}
+		for v := 0; v < in.v; v++ {
+			gb.StartRow()
+			gb.Add(t*b+e+v, -1)
+		}
+	}
+	gMat, err := gb.Build()
+	if err != nil {
+		return nil, fmt.Errorf("soft constraint assembly: %w", err)
+	}
+
+	hs := &horizonStruct{q: qMat, g: gMat, capacitated: capacitated, rowsPerStep: rowsPerStep}
+	if in.softCache == nil {
+		in.softCache = make(map[int]*horizonStruct)
+	}
+	in.softCache[w] = hs
+	return hs, nil
+}

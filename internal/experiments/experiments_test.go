@@ -370,3 +370,21 @@ func TestExtensionSpotPricing(t *testing.T) {
 		t.Errorf("saving = %g%%", r.SavingPct)
 	}
 }
+
+func TestOutageRecovery(t *testing.T) {
+	r, err := OutageRecovery(testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Fault.DegradedSteps == 0 || r.Fault.ShedDemand <= 0 {
+		t.Errorf("degraded=%d shed=%g, want a degraded, shedding run",
+			r.Fault.DegradedSteps, r.Fault.ShedDemand)
+	}
+	// The no-fault companion run must be clean end to end.
+	if got := r.NoFault.DegradationSummary(); got != "mpc-w6: all 30 steps clean" {
+		t.Errorf("no-fault summary = %q", got)
+	}
+}

@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dspp/internal/core"
+	"dspp/internal/faults"
+	"dspp/internal/pricing"
+	"dspp/internal/sim"
+	"dspp/internal/workload"
+)
+
+// Outage experiment layout: two capacitated DCs sized so that either alone
+// cannot carry the working-hours peak; the cheap DC goes down mid-day, which
+// makes the hard horizon QP infeasible and forces the controller onto the
+// soft rung of its degradation ladder until the DC comes back.
+const (
+	outagePeriods = 30
+	outageHorizon = 6
+	outageStart   = 10 // 1-based period the DC goes down
+	outageEnd     = 14 // last period of the outage
+	outageDC      = 0
+)
+
+// OutageResult holds the fault-injection run of the robustness experiment:
+// the same scenario executed twice (with and without a mid-run DC outage)
+// so re-convergence after restore can be measured directly.
+type OutageResult struct {
+	Hours   []int
+	Demand  []float64
+	Modes   []string  // degradation mode per period (fault run)
+	Shed    []float64 // demand shed per period (fault run)
+	Fault   *sim.Result
+	NoFault *sim.Result
+	Table   *Table
+}
+
+// outageScenario builds the two-DC variant of the Fig. 4 workload: one
+// cheap (TX) and one expensive (CA) data center, each with 60 servers —
+// comfortable together (peak needs ≈ 90), insufficient alone.
+func outageScenario(seed int64, periods int) (*core.Instance, [][]float64, [][]float64, error) {
+	sla, err := core.SLAMatrix([][]float64{{0.020}, {0.030}}, paperSLA)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	inst, err := core.NewInstance(core.Config{
+		SLA:             sla,
+		ReconfigWeights: []float64{2e-5, 2e-5},
+		Capacities:      []float64{60, 60},
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	model, err := workload.NewDiurnal(2500, 22000)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	demand := make([][]float64, periods+outageHorizon+1)
+	for k := range demand {
+		n, err := workload.SamplePoisson(model.Rate(k), 1, rng)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		demand[k] = []float64{float64(n)}
+	}
+	tx, _ := pricing.RegionByName("TX")
+	ca, _ := pricing.RegionByName("CA")
+	txPrice := pricing.DiurnalServer{Region: tx, Class: pricing.MediumVM}
+	caPrice := pricing.DiurnalServer{Region: ca, Class: pricing.MediumVM}
+	prices := make([][]float64, periods+outageHorizon+1)
+	for k := range prices {
+		prices[k] = []float64{txPrice.Price(k), caPrice.Price(k)}
+	}
+	return inst, demand, prices, nil
+}
+
+func outageRun(seed int64, sched *faults.Schedule) (*sim.Result, error) {
+	inst, demand, prices, err := outageScenario(seed, outagePeriods)
+	if err != nil {
+		return nil, err
+	}
+	ctrl, err := core.NewController(inst, outageHorizon)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(sim.Config{
+		Instance:    inst,
+		Policy:      &sim.MPCPolicy{Ctrl: ctrl},
+		DemandTrace: demand,
+		PriceTrace:  prices,
+		Periods:     outagePeriods,
+		Horizon:     outageHorizon,
+		Faults:      sched,
+	})
+}
+
+// OutageRecovery runs the degradation experiment: a mid-day outage of the
+// cheap DC, versus the identical run without faults. The controller must
+// finish every period — shedding demand through the soft relaxation while
+// the surviving capacity is short — and snap back to the no-fault
+// trajectory once the DC returns.
+func OutageRecovery(seed int64) (*OutageResult, error) {
+	sched := &faults.Schedule{
+		Faults: []faults.Fault{
+			{Kind: faults.DCOutage, Target: outageDC, Start: outageStart, End: outageEnd},
+		},
+		Seed: seed,
+	}
+	fault, err := outageRun(seed, sched)
+	if err != nil {
+		return nil, fmt.Errorf("fault run: %w", err)
+	}
+	noFault, err := outageRun(seed, nil)
+	if err != nil {
+		return nil, fmt.Errorf("no-fault run: %w", err)
+	}
+
+	res := &OutageResult{
+		Fault:   fault,
+		NoFault: noFault,
+		Table: &Table{
+			Title: fmt.Sprintf("Robustness: DC %d outage periods %d-%d (2 DCs, soft degradation)",
+				outageDC, outageStart, outageEnd),
+			Columns: []string{"hour", "demand(req/s)", "srv-dc0", "srv-dc1", "srv-nofault", "mode", "shed(req/s)"},
+		},
+	}
+	for i, step := range fault.Steps {
+		deg := step.Degradation
+		var noFaultTotal float64
+		for _, s := range noFault.Steps[i].ServersByDC {
+			noFaultTotal += s
+		}
+		res.Hours = append(res.Hours, i)
+		res.Demand = append(res.Demand, step.Demand[0])
+		res.Modes = append(res.Modes, deg.Mode.String())
+		res.Shed = append(res.Shed, deg.ShedDemand)
+		res.Table.AddRow(itoa(i), f1(step.Demand[0]),
+			f1(step.ServersByDC[0]), f1(step.ServersByDC[1]), f1(noFaultTotal),
+			deg.Mode.String(), f1(deg.ShedDemand))
+	}
+	return res, nil
+}
+
+// Check verifies the degradation contract: the run completed every period,
+// degraded only while the DC was down, shed demand exactly when the
+// surviving capacity was short, and returned to within 1% of the no-fault
+// trajectory within one horizon of the restore.
+func (r *OutageResult) Check() error {
+	if len(r.Fault.Steps) != outagePeriods || len(r.NoFault.Steps) != outagePeriods {
+		return fmt.Errorf("fault run %d steps, no-fault %d, want %d: %w",
+			len(r.Fault.Steps), len(r.NoFault.Steps), outagePeriods, ErrShape)
+	}
+	if r.NoFault.DegradedSteps != 0 {
+		return fmt.Errorf("no-fault run degraded %d steps: %w", r.NoFault.DegradedSteps, ErrShape)
+	}
+	soft := 0
+	for _, step := range r.Fault.Steps {
+		deg := step.Degradation
+		down := step.Period >= outageStart && step.Period <= outageEnd
+		if deg.Degraded() && !down {
+			return fmt.Errorf("period %d degraded (%v) outside the outage window: %w",
+				step.Period, deg, ErrShape)
+		}
+		if deg.Mode == core.DegradeSoft {
+			soft++
+			if deg.ShedDemand <= 0 {
+				return fmt.Errorf("period %d soft mode with no shed demand: %w", step.Period, ErrShape)
+			}
+		}
+		if down && step.ServersByDC[outageDC] > 1e-3 {
+			return fmt.Errorf("period %d: %g servers on the dead DC: %w",
+				step.Period, step.ServersByDC[outageDC], ErrShape)
+		}
+	}
+	if soft == 0 {
+		return fmt.Errorf("outage never forced the soft rung: %w", ErrShape)
+	}
+	// Re-convergence: within W periods of the restore the allocation must
+	// track the no-fault trajectory to 1% per DC.
+	for i, step := range r.Fault.Steps {
+		if step.Period < outageEnd+1+outageHorizon {
+			continue
+		}
+		for l, s := range step.ServersByDC {
+			want := r.NoFault.Steps[i].ServersByDC[l]
+			if math.Abs(s-want) > 0.01*math.Max(1, want) {
+				return fmt.Errorf("period %d DC %d: %g servers vs no-fault %g (>1%%): %w",
+					step.Period, l, s, want, ErrShape)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,378 @@
+// Package faults is the fault-injection layer of the simulator: a
+// composable, deterministic schedule of adverse events — data center
+// outages and restores, capacity shocks, electricity price spikes, demand
+// surges, and forecast-noise amplification — that the simulation engine
+// and sweep drivers apply per control period.
+//
+// The schedule is declarative: each Fault names a kind, a target, an
+// active window [Start, End] (inclusive, in control periods), and a
+// factor. Faults compose — several may be active in the same period, and
+// multiplicative effects stack in schedule order. Forecast noise draws
+// from an RNG seeded by (Schedule.Seed, period), so a run is bit-for-bit
+// reproducible at any worker count and regardless of how many other
+// schedules exist.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// ErrBadSchedule flags an invalid fault schedule or spec string.
+var ErrBadSchedule = errors.New("faults: invalid schedule")
+
+// OutageCapacity is the residual capacity of a DC under an outage: not
+// exactly zero (instances require positive capacities and a fixed
+// capacitated set) but small enough that no meaningful allocation
+// survives there.
+const OutageCapacity = 1e-6
+
+// Kind enumerates the fault types.
+type Kind int
+
+const (
+	// DCOutage takes a data center down: its capacity drops to
+	// OutageCapacity for the active window and is restored afterwards.
+	// Factor is ignored.
+	DCOutage Kind = iota
+	// CapacityShock multiplies a DC's capacity by Factor (0 < Factor).
+	CapacityShock
+	// PriceSpike multiplies a DC's electricity price by Factor.
+	PriceSpike
+	// DemandSurge multiplies a location's demand by Factor (Target −1
+	// surges every location).
+	DemandSurge
+	// ForecastNoise multiplies every forecast entry by 1 + Factor·N(0,1)
+	// (clamped at zero): corrupted predictions without touching realized
+	// traces. Target is ignored.
+	ForecastNoise
+)
+
+// String returns the kind's spec name.
+func (k Kind) String() string {
+	switch k {
+	case DCOutage:
+		return "outage"
+	case CapacityShock:
+		return "shock"
+	case PriceSpike:
+		return "spike"
+	case DemandSurge:
+		return "surge"
+	case ForecastNoise:
+		return "noise"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Fault is one scheduled event. It is active for periods
+// Start ≤ k ≤ End (End < Start never fires).
+type Fault struct {
+	Kind   Kind
+	Target int // DC index, or location index for DemandSurge (−1 = all)
+	Start  int
+	End    int
+	Factor float64
+}
+
+// Active reports whether the fault applies at period k.
+func (f Fault) Active(k int) bool { return k >= f.Start && k <= f.End }
+
+// String renders the fault in spec syntax (parsable by ParseFault).
+func (f Fault) String() string {
+	switch f.Kind {
+	case DCOutage:
+		return fmt.Sprintf("outage:dc=%d,start=%d,end=%d", f.Target, f.Start, f.End)
+	case CapacityShock:
+		return fmt.Sprintf("shock:dc=%d,start=%d,end=%d,factor=%g", f.Target, f.Start, f.End, f.Factor)
+	case PriceSpike:
+		return fmt.Sprintf("spike:dc=%d,start=%d,end=%d,factor=%g", f.Target, f.Start, f.End, f.Factor)
+	case DemandSurge:
+		return fmt.Sprintf("surge:loc=%d,start=%d,end=%d,factor=%g", f.Target, f.Start, f.End, f.Factor)
+	case ForecastNoise:
+		return fmt.Sprintf("noise:start=%d,end=%d,factor=%g", f.Start, f.End, f.Factor)
+	default:
+		return fmt.Sprintf("%v:start=%d,end=%d", f.Kind, f.Start, f.End)
+	}
+}
+
+// Schedule is a set of faults plus the seed for the stochastic ones.
+type Schedule struct {
+	Faults []Fault
+	// Seed drives forecast-noise draws; two schedules with equal faults
+	// and seeds perturb identically.
+	Seed int64
+}
+
+// Empty reports whether the schedule contains no faults.
+func (s *Schedule) Empty() bool { return s == nil || len(s.Faults) == 0 }
+
+// Validate checks every fault against the scenario dimensions. Capacity
+// faults (outage, shock) must target a DC in [0, numDCs); surges a
+// location in [0, numLocs) or −1 for all.
+func (s *Schedule) Validate(numDCs, numLocs int) error {
+	if s == nil {
+		return nil
+	}
+	for i, f := range s.Faults {
+		if f.End < f.Start {
+			return fmt.Errorf("fault %d (%v): end %d before start %d: %w", i, f.Kind, f.End, f.Start, ErrBadSchedule)
+		}
+		switch f.Kind {
+		case DCOutage:
+			if f.Target < 0 || f.Target >= numDCs {
+				return fmt.Errorf("fault %d: outage dc %d of %d: %w", i, f.Target, numDCs, ErrBadSchedule)
+			}
+		case CapacityShock, PriceSpike:
+			if f.Target < 0 || f.Target >= numDCs {
+				return fmt.Errorf("fault %d (%v): dc %d of %d: %w", i, f.Kind, f.Target, numDCs, ErrBadSchedule)
+			}
+			if !validFactor(f.Factor) {
+				return fmt.Errorf("fault %d (%v): factor %g: %w", i, f.Kind, f.Factor, ErrBadSchedule)
+			}
+		case DemandSurge:
+			if f.Target != -1 && (f.Target < 0 || f.Target >= numLocs) {
+				return fmt.Errorf("fault %d: surge location %d of %d: %w", i, f.Target, numLocs, ErrBadSchedule)
+			}
+			if !validFactor(f.Factor) {
+				return fmt.Errorf("fault %d: surge factor %g: %w", i, f.Factor, ErrBadSchedule)
+			}
+		case ForecastNoise:
+			if f.Factor < 0 || math.IsNaN(f.Factor) || math.IsInf(f.Factor, 0) {
+				return fmt.Errorf("fault %d: noise factor %g: %w", i, f.Factor, ErrBadSchedule)
+			}
+		default:
+			return fmt.Errorf("fault %d: unknown kind %d: %w", i, int(f.Kind), ErrBadSchedule)
+		}
+	}
+	return nil
+}
+
+func validFactor(f float64) bool {
+	return f > 0 && !math.IsNaN(f) && !math.IsInf(f, 0)
+}
+
+// Active returns the faults applying at period k, in schedule order.
+func (s *Schedule) Active(k int) []Fault {
+	if s == nil {
+		return nil
+	}
+	var out []Fault
+	for _, f := range s.Faults {
+		if f.Active(k) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// DCDown reports whether DC l is under an outage at period k.
+func (s *Schedule) DCDown(k, l int) bool {
+	if s == nil {
+		return false
+	}
+	for _, f := range s.Faults {
+		if f.Kind == DCOutage && f.Target == l && f.Active(k) {
+			return true
+		}
+	}
+	return false
+}
+
+// Capacities returns the effective per-DC capacities at period k. When no
+// capacity fault is active it returns base itself (no copy); otherwise a
+// modified copy — outages floor the DC at OutageCapacity, shocks multiply,
+// and an outage dominates any concurrent shock on the same DC.
+func (s *Schedule) Capacities(k int, base []float64) []float64 {
+	if s == nil {
+		return base
+	}
+	out := base
+	for _, f := range s.Faults {
+		if !f.Active(k) {
+			continue
+		}
+		switch f.Kind {
+		case CapacityShock:
+			out = cow(out, base)
+			out[f.Target] *= f.Factor
+		case DCOutage:
+			out = cow(out, base)
+			out[f.Target] = OutageCapacity
+		}
+	}
+	// Apply outages last so they dominate shocks regardless of order.
+	for _, f := range s.Faults {
+		if f.Kind == DCOutage && f.Active(k) {
+			out[f.Target] = OutageCapacity
+		}
+	}
+	return out
+}
+
+// Prices returns the effective per-DC prices at period k (base itself when
+// no price fault is active, a modified copy otherwise).
+func (s *Schedule) Prices(k int, base []float64) []float64 {
+	if s == nil {
+		return base
+	}
+	out := base
+	for _, f := range s.Faults {
+		if f.Kind == PriceSpike && f.Active(k) {
+			out = cow(out, base)
+			out[f.Target] *= f.Factor
+		}
+	}
+	return out
+}
+
+// Demand returns the effective per-location demand at period k (base
+// itself when no surge is active, a modified copy otherwise).
+func (s *Schedule) Demand(k int, base []float64) []float64 {
+	if s == nil {
+		return base
+	}
+	out := base
+	for _, f := range s.Faults {
+		if f.Kind != DemandSurge || !f.Active(k) {
+			continue
+		}
+		out = cow(out, base)
+		if f.Target == -1 {
+			for v := range out {
+				out[v] *= f.Factor
+			}
+		} else {
+			out[f.Target] *= f.Factor
+		}
+	}
+	return out
+}
+
+// PerturbForecast applies the active forecast-noise faults to a W×width
+// forecast made at period k, in place. Draws come from an RNG seeded by
+// (Seed, k) and consumed in fixed row-major order, so the perturbation is
+// deterministic per (schedule, period) no matter how runs are parallelized
+// or how many other faults fire.
+func (s *Schedule) PerturbForecast(k int, fc [][]float64) {
+	if s == nil {
+		return
+	}
+	var sigma float64
+	for _, f := range s.Faults {
+		if f.Kind == ForecastNoise && f.Active(k) {
+			sigma += f.Factor
+		}
+	}
+	if sigma == 0 {
+		return
+	}
+	rng := rand.New(rand.NewSource(s.Seed*1000003 + int64(k)))
+	for _, row := range fc {
+		for i := range row {
+			v := row[i] * (1 + sigma*rng.NormFloat64())
+			if v < 0 {
+				v = 0
+			}
+			row[i] = v
+		}
+	}
+}
+
+// cow returns out if it is already a private copy, otherwise clones base.
+func cow(out, base []float64) []float64 {
+	if len(out) > 0 && len(base) > 0 && &out[0] != &base[0] {
+		return out
+	}
+	return append([]float64(nil), base...)
+}
+
+// ParseFault parses the CLI spec syntax, e.g.
+//
+//	outage:dc=1,start=10,end=20
+//	shock:dc=0,start=5,end=8,factor=0.5
+//	spike:dc=2,start=3,end=6,factor=4
+//	surge:loc=1,start=10,end=12,factor=2   (omit loc to surge all)
+//	noise:start=0,end=47,factor=0.3
+func ParseFault(spec string) (Fault, error) {
+	kindStr, rest, ok := strings.Cut(strings.TrimSpace(spec), ":")
+	if !ok {
+		return Fault{}, fmt.Errorf("spec %q: missing ':' after kind: %w", spec, ErrBadSchedule)
+	}
+	var f Fault
+	switch strings.ToLower(kindStr) {
+	case "outage":
+		f.Kind = DCOutage
+	case "shock":
+		f.Kind = CapacityShock
+	case "spike":
+		f.Kind = PriceSpike
+	case "surge":
+		f.Kind = DemandSurge
+		f.Target = -1
+	case "noise":
+		f.Kind = ForecastNoise
+	default:
+		return Fault{}, fmt.Errorf("spec %q: unknown kind %q: %w", spec, kindStr, ErrBadSchedule)
+	}
+	f.Factor = 1
+	seen := map[string]bool{}
+	for _, kv := range strings.Split(rest, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return Fault{}, fmt.Errorf("spec %q: bad field %q: %w", spec, kv, ErrBadSchedule)
+		}
+		key = strings.ToLower(strings.TrimSpace(key))
+		if seen[key] {
+			return Fault{}, fmt.Errorf("spec %q: duplicate field %q: %w", spec, key, ErrBadSchedule)
+		}
+		seen[key] = true
+		switch key {
+		case "dc", "loc":
+			n, err := strconv.Atoi(strings.TrimSpace(val))
+			if err != nil {
+				return Fault{}, fmt.Errorf("spec %q: %s=%q: %w", spec, key, val, ErrBadSchedule)
+			}
+			f.Target = n
+		case "start":
+			n, err := strconv.Atoi(strings.TrimSpace(val))
+			if err != nil {
+				return Fault{}, fmt.Errorf("spec %q: start=%q: %w", spec, val, ErrBadSchedule)
+			}
+			f.Start = n
+		case "end":
+			n, err := strconv.Atoi(strings.TrimSpace(val))
+			if err != nil {
+				return Fault{}, fmt.Errorf("spec %q: end=%q: %w", spec, val, ErrBadSchedule)
+			}
+			f.End = n
+		case "factor":
+			x, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+			if err != nil {
+				return Fault{}, fmt.Errorf("spec %q: factor=%q: %w", spec, val, ErrBadSchedule)
+			}
+			f.Factor = x
+		default:
+			return Fault{}, fmt.Errorf("spec %q: unknown field %q: %w", spec, key, ErrBadSchedule)
+		}
+	}
+	return f, nil
+}
+
+// ParseSchedule parses a list of fault specs into a schedule.
+func ParseSchedule(specs []string, seed int64) (*Schedule, error) {
+	s := &Schedule{Seed: seed}
+	for _, spec := range specs {
+		f, err := ParseFault(spec)
+		if err != nil {
+			return nil, err
+		}
+		s.Faults = append(s.Faults, f)
+	}
+	return s, nil
+}

@@ -1,0 +1,209 @@
+package faults
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestParseFault(t *testing.T) {
+	cases := []struct {
+		spec string
+		want Fault
+	}{
+		{"outage:dc=1,start=10,end=20", Fault{Kind: DCOutage, Target: 1, Start: 10, End: 20, Factor: 1}},
+		{"shock:dc=0,start=5,end=8,factor=0.5", Fault{Kind: CapacityShock, Target: 0, Start: 5, End: 8, Factor: 0.5}},
+		{"spike:dc=2,start=3,end=6,factor=4", Fault{Kind: PriceSpike, Target: 2, Start: 3, End: 6, Factor: 4}},
+		{"surge:loc=1,start=10,end=12,factor=2", Fault{Kind: DemandSurge, Target: 1, Start: 10, End: 12, Factor: 2}},
+		{"surge:start=10,end=12,factor=2", Fault{Kind: DemandSurge, Target: -1, Start: 10, End: 12, Factor: 2}},
+		{"noise:start=0,end=47,factor=0.3", Fault{Kind: ForecastNoise, Start: 0, End: 47, Factor: 0.3}},
+	}
+	for _, c := range cases {
+		got, err := ParseFault(c.spec)
+		if err != nil {
+			t.Errorf("%q: %v", c.spec, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%q = %+v, want %+v", c.spec, got, c.want)
+		}
+		// String() must round-trip through ParseFault.
+		back, err := ParseFault(got.String())
+		if err != nil || back != got {
+			t.Errorf("round trip %q -> %q -> %+v (%v)", c.spec, got.String(), back, err)
+		}
+	}
+}
+
+func TestParseFaultErrors(t *testing.T) {
+	for _, spec := range []string{
+		"",
+		"outage",
+		"meteor:dc=1,start=0,end=1",
+		"outage:dc=x,start=0,end=1",
+		"outage:dc=1,dc=2,start=0,end=1",
+		"shock:dc=1,start=0,end=1,factor=half",
+		"outage:dc",
+		"outage:wat=1",
+	} {
+		if _, err := ParseFault(spec); !errors.Is(err, ErrBadSchedule) {
+			t.Errorf("%q: err = %v, want ErrBadSchedule", spec, err)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := &Schedule{Faults: []Fault{
+		{Kind: DCOutage, Target: 1, Start: 2, End: 3},
+		{Kind: CapacityShock, Target: 0, Start: 0, End: 9, Factor: 0.5},
+		{Kind: PriceSpike, Target: 1, Start: 1, End: 1, Factor: 3},
+		{Kind: DemandSurge, Target: -1, Start: 4, End: 6, Factor: 2},
+		{Kind: ForecastNoise, Start: 0, End: 9, Factor: 0.2},
+	}}
+	if err := good.Validate(2, 3); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+	bad := []Schedule{
+		{Faults: []Fault{{Kind: DCOutage, Target: 2, Start: 0, End: 1}}},
+		{Faults: []Fault{{Kind: DCOutage, Target: 0, Start: 5, End: 4}}},
+		{Faults: []Fault{{Kind: CapacityShock, Target: 0, Start: 0, End: 1, Factor: 0}}},
+		{Faults: []Fault{{Kind: CapacityShock, Target: 0, Start: 0, End: 1, Factor: math.Inf(1)}}},
+		{Faults: []Fault{{Kind: DemandSurge, Target: 3, Start: 0, End: 1, Factor: 2}}},
+		{Faults: []Fault{{Kind: ForecastNoise, Start: 0, End: 1, Factor: -1}}},
+		{Faults: []Fault{{Kind: Kind(99), Start: 0, End: 1}}},
+	}
+	for i := range bad {
+		if err := bad[i].Validate(2, 3); !errors.Is(err, ErrBadSchedule) {
+			t.Errorf("bad schedule %d: err = %v, want ErrBadSchedule", i, err)
+		}
+	}
+	var nilSched *Schedule
+	if err := nilSched.Validate(2, 3); err != nil {
+		t.Errorf("nil schedule: %v", err)
+	}
+}
+
+func TestCapacities(t *testing.T) {
+	s := &Schedule{Faults: []Fault{
+		{Kind: CapacityShock, Target: 0, Start: 2, End: 4, Factor: 0.5},
+		{Kind: DCOutage, Target: 0, Start: 3, End: 3},
+		{Kind: DCOutage, Target: 1, Start: 4, End: 5},
+	}}
+	base := []float64{100, 200}
+
+	// No fault active: base returned unchanged, same backing array.
+	if got := s.Capacities(1, base); &got[0] != &base[0] {
+		t.Error("period 1: expected base slice back")
+	}
+	// Shock alone.
+	if got := s.Capacities(2, base); got[0] != 50 || got[1] != 200 {
+		t.Errorf("period 2 = %v", got)
+	}
+	// Outage dominates the concurrent shock.
+	if got := s.Capacities(3, base); got[0] != OutageCapacity || got[1] != 200 {
+		t.Errorf("period 3 = %v", got)
+	}
+	// Shock on 0 plus outage on 1.
+	if got := s.Capacities(4, base); got[0] != 50 || got[1] != OutageCapacity {
+		t.Errorf("period 4 = %v", got)
+	}
+	if base[0] != 100 || base[1] != 200 {
+		t.Errorf("base mutated: %v", base)
+	}
+	if s.DCDown(4, 1) != true || s.DCDown(4, 0) != false || s.DCDown(6, 1) != false {
+		t.Error("DCDown window wrong")
+	}
+}
+
+func TestDemandAndPrices(t *testing.T) {
+	s := &Schedule{Faults: []Fault{
+		{Kind: DemandSurge, Target: -1, Start: 1, End: 1, Factor: 2},
+		{Kind: DemandSurge, Target: 0, Start: 1, End: 2, Factor: 3},
+		{Kind: PriceSpike, Target: 1, Start: 2, End: 2, Factor: 10},
+	}}
+	d := []float64{5, 7}
+	if got := s.Demand(1, d); got[0] != 30 || got[1] != 14 {
+		t.Errorf("period 1 demand = %v (surges must stack)", got)
+	}
+	if got := s.Demand(2, d); got[0] != 15 || got[1] != 7 {
+		t.Errorf("period 2 demand = %v", got)
+	}
+	if got := s.Demand(3, d); &got[0] != &d[0] {
+		t.Error("period 3: expected base demand back")
+	}
+	p := []float64{1, 2}
+	if got := s.Prices(2, p); got[0] != 1 || got[1] != 20 {
+		t.Errorf("period 2 prices = %v", got)
+	}
+	if d[0] != 5 || p[1] != 2 {
+		t.Error("base rows mutated")
+	}
+}
+
+func TestPerturbForecastDeterministic(t *testing.T) {
+	mk := func() [][]float64 {
+		return [][]float64{{100, 200}, {300, 400}}
+	}
+	s := &Schedule{
+		Faults: []Fault{{Kind: ForecastNoise, Start: 0, End: 10, Factor: 0.3}},
+		Seed:   7,
+	}
+	a, b := mk(), mk()
+	s.PerturbForecast(5, a)
+	s.PerturbForecast(5, b)
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("same (seed, period) diverged: %v vs %v", a, b)
+			}
+			if a[i][j] < 0 {
+				t.Fatalf("negative forecast %g", a[i][j])
+			}
+		}
+	}
+	// A different period must draw differently.
+	c := mk()
+	s.PerturbForecast(6, c)
+	same := true
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != c[i][j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("periods 5 and 6 perturbed identically")
+	}
+	// Outside the window: untouched.
+	d := mk()
+	s.PerturbForecast(11, d)
+	if d[0][0] != 100 || d[1][1] != 400 {
+		t.Errorf("inactive noise changed forecast: %v", d)
+	}
+}
+
+func TestParseSchedule(t *testing.T) {
+	s, err := ParseSchedule([]string{
+		"outage:dc=0,start=1,end=2",
+		"noise:start=0,end=9,factor=0.1",
+	}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Faults) != 2 || s.Seed != 42 {
+		t.Fatalf("schedule = %+v", s)
+	}
+	if !s.Empty() == (len(s.Faults) > 0) == false {
+		t.Error("Empty() inconsistent")
+	}
+	if _, err := ParseSchedule([]string{"bogus"}, 0); !errors.Is(err, ErrBadSchedule) {
+		t.Errorf("bad spec: err = %v", err)
+	}
+	if got := s.Active(1); len(got) != 2 {
+		t.Errorf("Active(1) = %v", got)
+	}
+	if got := s.Active(3); len(got) != 1 || got[0].Kind != ForecastNoise {
+		t.Errorf("Active(3) = %v", got)
+	}
+}

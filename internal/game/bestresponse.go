@@ -1,6 +1,8 @@
 package game
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 
@@ -90,6 +92,17 @@ type BestResponseResult struct {
 // loop stops when total cost changes by at most ε (relative), which the
 // paper uses as its "approximately stable outcome" criterion.
 func BestResponse(s *Scenario, cfg BestResponseConfig) (*BestResponseResult, error) {
+	return BestResponseCtx(context.Background(), s, cfg)
+}
+
+// BestResponseCtx is BestResponse with cooperative cancellation: the
+// context is checked before every round and threaded into each provider's
+// QP solve, so the loop stops within one round of the context being
+// cancelled. If at least one round completed, the partial result is
+// returned alongside the context's error (mirroring the ErrNotConverged
+// contract); callers must treat such a result as a snapshot, not an
+// equilibrium.
+func BestResponseCtx(ctx context.Context, s *Scenario, cfg BestResponseConfig) (*BestResponseResult, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -153,13 +166,20 @@ func BestResponse(s *Scenario, cfg BestResponseConfig) (*BestResponseResult, err
 	}
 
 	for iter := 0; iter < cfg.MaxIterations; iter++ {
+		if err := ctx.Err(); err != nil {
+			wrapped := fmt.Errorf("round %d: %w", iter, err)
+			if iter > 0 {
+				return res, wrapped
+			}
+			return nil, wrapped
+		}
 		outcomes := make([]Outcome, n)
 		totals := make([]float64, n)
 		// Per-SP best responses are independent given the quotas: fan out
 		// on a bounded pool, collect by index (determinism contract).
-		err := parallel.ForEach(n, cfg.Parallel, func(i int) error {
+		err := parallel.ForEachCtx(ctx, n, cfg.Parallel, func(i int) error {
 			p := s.Providers[i]
-			plan, err := solveProvider(p, quotas[i], cfg.QP, warms[i], warmShift)
+			plan, err := solveProvider(ctx, p, quotas[i], cfg.QP, warms[i], warmShift)
 			if err != nil {
 				return fmt.Errorf("round %d provider %d (%s): %w", iter, i, p.Name, err)
 			}
@@ -176,6 +196,13 @@ func BestResponse(s *Scenario, cfg BestResponseConfig) (*BestResponseResult, err
 			return nil
 		})
 		if err != nil {
+			// A cancellation that lands mid-round still hands back the
+			// last completed round's iterate; a genuine solve failure
+			// (which the lowest-index rule ranks above any cancelled
+			// slot) stays fatal.
+			if ctxErr := ctx.Err(); ctxErr != nil && errors.Is(err, ctxErr) && iter > 0 {
+				return res, fmt.Errorf("round %d: %w", iter, ctxErr)
+			}
 			return nil, err
 		}
 		warmShift = 0
@@ -242,12 +269,12 @@ func BestResponse(s *Scenario, cfg BestResponseConfig) (*BestResponseResult, err
 
 // solveProvider solves one provider's DSPP under the given quotas,
 // optionally warm-started from a previous plan shifted by warmShift.
-func solveProvider(p *Provider, quota []float64, opts qp.Options, warm *core.HorizonWarm, warmShift int) (*core.Plan, error) {
+func solveProvider(ctx context.Context, p *Provider, quota []float64, opts qp.Options, warm *core.HorizonWarm, warmShift int) (*core.Plan, error) {
 	inst, err := p.instance(quota)
 	if err != nil {
 		return nil, err
 	}
-	return inst.SolveHorizon(core.HorizonInput{
+	return inst.SolveHorizonCtx(ctx, core.HorizonInput{
 		X0:        p.x0(),
 		Demand:    p.Demand,
 		Prices:    p.Prices,

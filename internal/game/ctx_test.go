@@ -1,0 +1,114 @@
+package game
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+)
+
+// tripCtx reports Canceled from the (after+1)-th Err() poll onward. Every
+// cancellation consumer in this codebase polls Err() (none selects on
+// Done()), so tripping mid-run is deterministic where a timer is not.
+type tripCtx struct {
+	context.Context
+	mu    sync.Mutex
+	calls int
+	after int
+}
+
+func (c *tripCtx) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.calls++
+	if c.calls > c.after {
+		return context.Canceled
+	}
+	return nil
+}
+
+func TestBestResponseCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := BestResponseCtx(ctx, twoProviderScenario(3, 150), BestResponseConfig{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Errorf("pre-cancelled run produced a result: %+v", res)
+	}
+}
+
+func TestBestResponseCtxCancelMidRun(t *testing.T) {
+	// Trip the context partway through the run for a spread of poll
+	// budgets: wherever the trip lands — inside a QP solve, inside the
+	// fan-out, or at the top of a round — the loop must stop within one
+	// round and surface the cancellation.
+	for _, after := range []int{1, 5, 50, 500} {
+		ctx := &tripCtx{Context: context.Background(), after: after}
+		res, err := BestResponseCtx(ctx, twoProviderScenario(3, 5), BestResponseConfig{
+			Epsilon:       1e-15,
+			MaxIterations: 1 << 20,
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("after=%d: err = %v, want context.Canceled", after, err)
+		}
+		// Wherever the trip lands, a partial iterate is handed back once a
+		// full round has completed, and the round count reflects completed
+		// rounds only.
+		if res != nil && res.Iterations < 1 {
+			t.Errorf("after=%d: partial result with %d rounds", after, res.Iterations)
+		}
+		if res == nil && after >= 500 {
+			t.Errorf("after=%d: no partial iterate despite completed rounds", after)
+		}
+	}
+}
+
+func TestRunRecedingCtxCancelled(t *testing.T) {
+	p := dynProvider("a", 1000, 4, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunRecedingCtx(ctx, []float64{10, 1e9}, []*DynamicProvider{p},
+		RecedingConfig{Window: 2, Periods: 4})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunRecedingPreservesCostHistories(t *testing.T) {
+	providers := []*DynamicProvider{
+		dynProvider("a", 800, 4, 2),
+		dynProvider("b", 1200, 4, 2),
+	}
+	const periods = 4
+	res, err := RunReceding([]float64{8, 1e9}, providers, RecedingConfig{
+		Window:  2,
+		Periods: periods,
+		BestResponse: BestResponseConfig{
+			Epsilon:       1e-15, // unattainable: every period hits the cap
+			MaxIterations: 3,
+		},
+	})
+	if err != nil {
+		t.Fatalf("round-capped receding run errored: %v", err)
+	}
+	if len(res.CostHistories) != periods {
+		t.Fatalf("CostHistories covers %d/%d periods", len(res.CostHistories), periods)
+	}
+	for k, hist := range res.CostHistories {
+		if res.Converged[k] {
+			t.Errorf("period %d converged under ε=1e-15", k)
+		}
+		// The trace must be preserved in full even though the round cap was
+		// hit without ε-stability: one entry per completed round.
+		if len(hist) != res.Rounds[k] {
+			t.Errorf("period %d: %d cost entries for %d rounds", k, len(hist), res.Rounds[k])
+		}
+		for r, c := range hist {
+			if !(c > 0) {
+				t.Errorf("period %d round %d: cost %g", k, r, c)
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package game
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -114,7 +115,7 @@ func TestSWPUncapacitatedMatchesIndependentSolves(t *testing.T) {
 	var independent float64
 	for _, p := range s.Providers {
 		quota := []float64{math.Inf(1), math.Inf(1)}
-		plan, err := solveProvider(p, quota, qp.DefaultOptions(), nil, 0)
+		plan, err := solveProvider(context.Background(), p, quota, qp.DefaultOptions(), nil, 0)
 		if err != nil {
 			t.Fatal(err)
 		}

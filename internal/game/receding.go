@@ -1,6 +1,8 @@
 package game
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"dspp/internal/core"
@@ -43,6 +45,11 @@ type RecedingResult struct {
 	Rounds []int
 	// Converged[k] reports per-period ε-stability.
 	Converged []bool
+	// CostHistories[k] is period k's per-round total-cost trace from
+	// Algorithm 2 — preserved even when the round cap was hit without
+	// ε-stability, since the non-converged traces are exactly the ones
+	// worth inspecting.
+	CostHistories [][]float64
 }
 
 // RunReceding implements the paper's W-MPC equilibrium dynamics
@@ -51,6 +58,13 @@ type RecedingResult struct {
 // provider applies only its first control, and the horizon recedes. It is
 // the multi-provider analogue of the single-SP MPC loop in package sim.
 func RunReceding(capacity []float64, providers []*DynamicProvider, cfg RecedingConfig) (*RecedingResult, error) {
+	return RunRecedingCtx(context.Background(), capacity, providers, cfg)
+}
+
+// RunRecedingCtx is RunReceding with cooperative cancellation: the context
+// is checked every period and threaded through the per-period Algorithm 2
+// runs, so cancellation stops the loop within one best-response round.
+func RunRecedingCtx(ctx context.Context, capacity []float64, providers []*DynamicProvider, cfg RecedingConfig) (*RecedingResult, error) {
 	if cfg.Window < 1 {
 		return nil, fmt.Errorf("window %d: %w", cfg.Window, ErrBadScenario)
 	}
@@ -104,14 +118,17 @@ func RunReceding(capacity []float64, providers []*DynamicProvider, cfg RecedingC
 			}
 		}
 		scen := &Scenario{Capacity: capacity, Providers: window}
-		br, err := BestResponse(scen, brCfg)
-		if err != nil && br == nil {
+		br, err := BestResponseCtx(ctx, scen, brCfg)
+		// A round-cap overrun still yields a usable (ε-unstable) outcome to
+		// apply; any other error — including cancellation — aborts the run.
+		if err != nil && !errors.Is(err, ErrNotConverged) {
 			return nil, fmt.Errorf("period %d: %w", k, err)
 		}
 		brCfg.initialWarms = br.finalWarms
 		brCfg.initialWarmShift = 1
 		res.Rounds = append(res.Rounds, br.Iterations)
 		res.Converged = append(res.Converged, br.Converged)
+		res.CostHistories = append(res.CostHistories, br.CostHistory)
 
 		// Apply only the first control of every provider's plan.
 		for i, p := range providers {

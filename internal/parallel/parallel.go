@@ -10,6 +10,7 @@
 package parallel
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -36,18 +37,35 @@ func Workers(workers, n int) int {
 // lowest-index failure — the same error a sequential loop that kept going
 // would report first. Results must be written into index-addressed slots.
 func ForEach(n, workers int, fn func(i int) error) error {
+	return ForEachCtx(context.Background(), n, workers, fn)
+}
+
+// ForEachCtx is ForEach with cooperative cancellation: once ctx is done, no
+// new item is dispatched (items already running finish normally — workers
+// are never killed mid-item) and every undispatched item's slot reports
+// ctx.Err(). The lowest-index rule still picks the returned error, so a
+// genuine item failure that happened before the cancellation wins over the
+// cancellation itself.
+func ForEachCtx(ctx context.Context, n, workers int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
 	if fn == nil {
 		return fmt.Errorf("parallel: nil function")
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	workers = Workers(workers, n)
 	if workers == 1 {
 		// Inline fast path: no goroutines, same semantics.
 		var first error
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil && first == nil {
+			var err error
+			if err = ctx.Err(); err == nil {
+				err = fn(i)
+			}
+			if err != nil && first == nil {
 				first = err
 			}
 		}
@@ -69,6 +87,10 @@ func ForEach(n, workers int, fn func(i int) error) error {
 				mu.Unlock()
 				if i >= n {
 					return
+				}
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
 				}
 				errs[i] = fn(i)
 			}

@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -78,5 +79,62 @@ func TestForEachEdgeCases(t *testing.T) {
 	}
 	if err := ForEach(3, 4, nil); err == nil {
 		t.Error("nil fn with n>0: no error")
+	}
+}
+
+func TestForEachCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var calls atomic.Int32
+		err := ForEachCtx(ctx, 10, workers, func(i int) error {
+			calls.Add(1)
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if calls.Load() != 0 {
+			t.Errorf("workers=%d: %d items dispatched after cancellation", workers, calls.Load())
+		}
+	}
+}
+
+func TestForEachCtxStopsDispatch(t *testing.T) {
+	// Single worker makes dispatch order deterministic: item 2 cancels, so
+	// items 3..9 must be skipped and their slots report the cancellation.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var calls atomic.Int32
+	err := ForEachCtx(ctx, 10, 1, func(i int) error {
+		calls.Add(1)
+		if i == 2 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls.Load() != 3 {
+		t.Errorf("%d items ran, want 3 (0..2 then stop)", calls.Load())
+	}
+}
+
+func TestForEachCtxItemErrorBeatsCancellation(t *testing.T) {
+	// A genuine failure at a lower index than any cancelled slot must win
+	// the lowest-index rule over the cancellation itself.
+	sentinel := errors.New("boom")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	err := ForEachCtx(ctx, 10, 1, func(i int) error {
+		if i == 1 {
+			cancel()
+			return fmt.Errorf("item %d: %w", i, sentinel)
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Errorf("err = %v, want the item failure, not the cancellation", err)
 	}
 }

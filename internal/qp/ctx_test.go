@@ -1,0 +1,33 @@
+package qp
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"dspp/internal/linalg"
+)
+
+func TestSolveWarmCtxCancelled(t *testing.T) {
+	// Inequality-constrained so the solve enters the IPM loop, where the
+	// context is polled once per iteration.
+	p := &Problem{
+		Q: linalg.Identity(2),
+		C: linalg.VectorOf(-1, -2),
+		G: mustMatrix(t, [][]float64{{1, 0}, {0, 1}, {-1, 0}, {0, -1}}),
+		H: linalg.VectorOf(0.5, 0.5, 0, 0),
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SolveWarmCtx(ctx, p, DefaultOptions(), nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The same problem with a live context must solve cleanly.
+	res, err := SolveWarmCtx(context.Background(), p, DefaultOptions(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.X[0] > 0.5+1e-8 || res.X[1] > 0.5+1e-8 {
+		t.Errorf("x = %v violates the box", res.X)
+	}
+}

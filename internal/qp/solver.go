@@ -1,6 +1,7 @@
 package qp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -21,8 +22,20 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 // one only costs the iterations needed to walk back to the central path.
 // A warm start whose dimensions don't match the problem is ignored.
 func SolveWarm(p *Problem, opts Options, warm *WarmStart) (*Result, error) {
+	return SolveWarmCtx(context.Background(), p, opts, warm)
+}
+
+// SolveWarmCtx is SolveWarm with cooperative cancellation: the context is
+// polled once per interior-point iteration, so a stuck or slow solve
+// terminates within one iteration of ctx expiring. The returned error wraps
+// ctx.Err() (not ErrNumerical/ErrMaxIterations), letting callers tell an
+// abandoned solve from a failed one.
+func SolveWarmCtx(ctx context.Context, p *Problem, opts Options, warm *WarmStart) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	opts = opts.withDefaults()
 
@@ -39,6 +52,9 @@ func SolveWarm(p *Problem, opts Options, warm *WarmStart) (*Result, error) {
 	st.initPoint(warm)
 
 	for iter := 0; iter < opts.MaxIterations; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("qp: iteration %d: %w", iter, err)
+		}
 		st.computeResiduals()
 		mu := st.gap()
 		if st.converged(opts.Tolerance, mu) {

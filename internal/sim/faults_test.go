@@ -1,0 +1,201 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"dspp/internal/core"
+	"dspp/internal/faults"
+)
+
+// cappedInstance is a single capacitated DC (10 servers, a = 0.01 →
+// ceiling 1000 req/s) so capacity faults bite.
+func cappedInstance(t *testing.T, servers float64) *core.Instance {
+	t.Helper()
+	inst, err := core.NewInstance(core.Config{
+		SLA:             [][]float64{{0.01}},
+		ReconfigWeights: []float64{1e-3},
+		Capacities:      []float64{servers},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func faultedConfig(t *testing.T, inst *core.Instance, sched *faults.Schedule) Config {
+	t.Helper()
+	return Config{
+		Instance:    inst,
+		Policy:      mpcPolicy(t, inst, 3),
+		DemandTrace: constTrace(16, []float64{500}),
+		PriceTrace:  constTrace(16, []float64{0.1}),
+		Periods:     12,
+		Horizon:     3,
+		Faults:      sched,
+	}
+}
+
+func TestRunOutageDegradesAndRestores(t *testing.T) {
+	inst := cappedInstance(t, 10)
+	base := inst.Capacities()
+	sched := &faults.Schedule{Faults: []faults.Fault{
+		{Kind: faults.DCOutage, Target: 0, Start: 5, End: 7},
+	}}
+	res, err := Run(faultedConfig(t, inst, sched))
+	if err != nil {
+		t.Fatalf("outage run errored: %v", err)
+	}
+	if res.DegradedSteps == 0 || res.ShedDemand <= 0 {
+		t.Fatalf("degraded=%d shed=%g; the outage must force shedding",
+			res.DegradedSteps, res.ShedDemand)
+	}
+	for _, s := range res.Steps {
+		down := s.Period >= 5 && s.Period <= 7
+		if down {
+			if s.Degradation.Mode != core.DegradeSoft {
+				t.Errorf("period %d: mode %v, want soft", s.Period, s.Degradation.Mode)
+			}
+			if len(s.ActiveFaults) != 1 {
+				t.Errorf("period %d: active faults %v", s.Period, s.ActiveFaults)
+			}
+		} else {
+			if s.Degradation.Degraded() {
+				t.Errorf("period %d degraded outside the outage: %v", s.Period, s.Degradation)
+			}
+			if len(s.ActiveFaults) != 0 {
+				t.Errorf("period %d: active faults %v, want none", s.Period, s.ActiveFaults)
+			}
+		}
+	}
+	// The run must leave the instance's capacities restored.
+	got := inst.Capacities()
+	for l := range base {
+		if got[l] != base[l] {
+			t.Errorf("capacity[%d] left at %g, want %g", l, got[l], base[l])
+		}
+	}
+}
+
+func TestRunSurgeAndSpikeRewriteTraces(t *testing.T) {
+	inst := simpleInstance(t)
+	sched := &faults.Schedule{Faults: []faults.Fault{
+		{Kind: faults.DemandSurge, Target: 0, Start: 4, End: 4, Factor: 2},
+		{Kind: faults.PriceSpike, Target: 0, Start: 6, End: 6, Factor: 5},
+	}}
+	cfg := faultedConfig(t, inst, sched)
+	cfg.Instance = inst
+	cfg.Policy = mpcPolicy(t, inst, 3)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Steps {
+		wantD, wantP := 500.0, 0.1
+		if s.Period == 4 {
+			wantD = 1000
+		}
+		if s.Period == 6 {
+			wantP = 0.5
+		}
+		if s.Demand[0] != wantD {
+			t.Errorf("period %d demand %g, want %g", s.Period, s.Demand[0], wantD)
+		}
+		if math.Abs(s.Prices[0]-wantP) > 1e-12 {
+			t.Errorf("period %d price %g, want %g", s.Period, s.Prices[0], wantP)
+		}
+	}
+	// Perfect foresight sees the surge coming: the realized demand and the
+	// one-step forecast must agree even in the surged period.
+	for _, s := range res.Steps {
+		if s.DemandForecast[0] != s.Demand[0] {
+			t.Errorf("period %d forecast %g vs realized %g", s.Period, s.DemandForecast[0], s.Demand[0])
+		}
+	}
+	if res.DegradedSteps != 0 {
+		t.Errorf("uncapacitated run degraded %d steps", res.DegradedSteps)
+	}
+}
+
+func TestRunForecastNoiseLeavesTraceClean(t *testing.T) {
+	inst := simpleInstance(t)
+	sched := &faults.Schedule{
+		Faults: []faults.Fault{{Kind: faults.ForecastNoise, Start: 1, End: 12, Factor: 0.5}},
+		Seed:   3,
+	}
+	cfg := faultedConfig(t, inst, sched)
+	cfg.Instance = inst
+	cfg.Policy = mpcPolicy(t, inst, 3)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perturbed := 0
+	for _, s := range res.Steps {
+		if s.Demand[0] != 500 {
+			t.Errorf("period %d realized demand %g mutated by noise", s.Period, s.Demand[0])
+		}
+		if s.DemandForecast[0] != 500 {
+			perturbed++
+		}
+	}
+	if perturbed == 0 {
+		t.Error("forecast noise never perturbed the forecasts")
+	}
+}
+
+func TestRunFaultValidation(t *testing.T) {
+	inst := simpleInstance(t) // uncapacitated: capacity faults are invalid
+	cfg := faultedConfig(t, inst, &faults.Schedule{Faults: []faults.Fault{
+		{Kind: faults.DCOutage, Target: 0, Start: 1, End: 2},
+	}})
+	cfg.Instance = inst
+	cfg.Policy = mpcPolicy(t, inst, 3)
+	if _, err := Run(cfg); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("outage on uncapacitated DC: err = %v, want ErrBadConfig", err)
+	}
+	cfg.Faults = &faults.Schedule{Faults: []faults.Fault{
+		{Kind: faults.DemandSurge, Target: 7, Start: 1, End: 2, Factor: 2},
+	}}
+	if _, err := Run(cfg); !errors.Is(err, faults.ErrBadSchedule) {
+		t.Errorf("surge out of range: err = %v, want ErrBadSchedule", err)
+	}
+}
+
+func TestRunCtxCancelled(t *testing.T) {
+	inst := simpleInstance(t)
+	cfg := faultedConfig(t, inst, nil)
+	cfg.Instance = inst
+	cfg.Policy = mpcPolicy(t, inst, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunCtx(ctx, cfg); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled run err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunNoFaultsIdenticalToNilSchedule(t *testing.T) {
+	mk := func(sched *faults.Schedule) *Result {
+		inst := cappedInstance(t, 10)
+		cfg := faultedConfig(t, inst, sched)
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a := mk(nil)
+	b := mk(&faults.Schedule{}) // empty schedule must be a true no-op
+	if a.TotalCost != b.TotalCost || a.TotalReconfig != b.TotalReconfig {
+		t.Errorf("empty schedule changed totals: %g/%g vs %g/%g",
+			a.TotalCost, a.TotalReconfig, b.TotalCost, b.TotalReconfig)
+	}
+	for i := range a.Steps {
+		if a.Steps[i].ServersByDC[0] != b.Steps[i].ServersByDC[0] {
+			t.Errorf("period %d allocation diverged: %g vs %g",
+				a.Steps[i].Period, a.Steps[i].ServersByDC[0], b.Steps[i].ServersByDC[0])
+		}
+	}
+}

@@ -9,10 +9,13 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math"
 
 	"dspp/internal/core"
+	"dspp/internal/faults"
 	"dspp/internal/monitor"
 	"dspp/internal/predict"
 )
@@ -36,11 +39,27 @@ type Policy interface {
 	Step(demandForecast, priceForecast [][]float64) (applied core.State, newState core.State, err error)
 }
 
+// CtxPolicy is optionally implemented by policies that support cooperative
+// cancellation; the engine prefers StepCtx over Step when it is available.
+type CtxPolicy interface {
+	Policy
+	StepCtx(ctx context.Context, demandForecast, priceForecast [][]float64) (applied core.State, newState core.State, err error)
+}
+
+// DegradationReporter is optionally implemented by policies that can say
+// how their last step was produced (clean solve vs a degradation-ladder
+// rung). The engine records the report on each StepRecord.
+type DegradationReporter interface {
+	LastDegradation() core.Degradation
+}
+
 // MPCPolicy adapts core.Controller to the Policy interface.
 type MPCPolicy struct {
 	Ctrl *core.Controller
 	// Label overrides the default name (useful when sweeping horizons).
 	Label string
+
+	lastDeg core.Degradation
 }
 
 // Name implements Policy.
@@ -56,12 +75,21 @@ func (m *MPCPolicy) State() core.State { return m.Ctrl.State() }
 
 // Step implements Policy.
 func (m *MPCPolicy) Step(demand, prices [][]float64) (core.State, core.State, error) {
-	res, err := m.Ctrl.Step(demand, prices)
+	return m.StepCtx(context.Background(), demand, prices)
+}
+
+// StepCtx implements CtxPolicy.
+func (m *MPCPolicy) StepCtx(ctx context.Context, demand, prices [][]float64) (core.State, core.State, error) {
+	res, err := m.Ctrl.StepCtx(ctx, demand, prices)
 	if err != nil {
 		return nil, nil, err
 	}
+	m.lastDeg = res.Degradation
 	return res.Applied, res.NewState, nil
 }
+
+// LastDegradation implements DegradationReporter.
+func (m *MPCPolicy) LastDegradation() core.Degradation { return m.lastDeg }
 
 // Config describes one simulation run.
 type Config struct {
@@ -90,6 +118,15 @@ type Config struct {
 	// violations are still counted against the true, uncushioned SLA.
 	// Nil means judge with Instance itself. Dimensions must match.
 	SLAJudge *core.Instance
+	// Faults, when non-nil, is the fault schedule applied to the run:
+	// demand surges and price spikes rewrite the traces (so both realized
+	// values and forecasts see them, like real-world shocks would), DC
+	// outages and capacity shocks retarget the instance's capacities per
+	// period (restored when the run ends), and forecast noise corrupts
+	// the demand forecast handed to the policy without touching the
+	// realized trace. Fault windows are in the 1-based period index that
+	// StepRecord.Period reports.
+	Faults *faults.Schedule
 }
 
 // StepRecord captures one executed control period.
@@ -113,6 +150,11 @@ type StepRecord struct {
 	// DemandForecast[0] is what the policy believed the period's demand
 	// would be (for forecast-error analysis).
 	DemandForecast []float64
+	// Degradation reports how the policy produced this step (always the
+	// zero value for policies that don't implement DegradationReporter).
+	Degradation core.Degradation
+	// ActiveFaults lists the scheduled faults in effect this period.
+	ActiveFaults []faults.Fault
 }
 
 // Result is a completed run.
@@ -127,6 +169,28 @@ type Result struct {
 	// run (one-step-ahead forecast vs realized demand): the monitoring
 	// signal the analysis module would use to pick horizons (Figs. 9/10).
 	ForecastAccuracy []ForecastAccuracy
+	// DegradedSteps counts the periods whose plan came from a degradation
+	// rung (or needed a cold restart); ShedDemand is the total demand shed
+	// across the run by soft-mode steps.
+	DegradedSteps int
+	ShedDemand    float64
+}
+
+// DegradationSummary renders a one-line robustness report for the run.
+func (r *Result) DegradationSummary() string {
+	if r.DegradedSteps == 0 {
+		return fmt.Sprintf("%s: all %d steps clean", r.PolicyName, len(r.Steps))
+	}
+	counts := map[core.DegradationMode]int{}
+	for _, s := range r.Steps {
+		if s.Degradation.Degraded() {
+			counts[s.Degradation.Mode]++
+		}
+	}
+	return fmt.Sprintf("%s: %d/%d steps degraded (cold-restart=%d soft=%d hold=%d), shed %.1f req/s total",
+		r.PolicyName, r.DegradedSteps, len(r.Steps),
+		counts[core.DegradeColdRestart], counts[core.DegradeSoft], counts[core.DegradeHold],
+		r.ShedDemand)
 }
 
 // ForecastAccuracy is the per-location forecast scorecard.
@@ -177,6 +241,14 @@ func (r *Result) ServersSeries() []float64 {
 
 // Run executes the simulation.
 func Run(cfg Config) (*Result, error) {
+	return RunCtx(context.Background(), cfg)
+}
+
+// RunCtx is Run with cooperative cancellation: the context is checked at
+// the top of every control period and passed through to the policy when it
+// implements CtxPolicy, so a deadline bounds the slowest solve rather than
+// only the gaps between periods.
+func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 	if err := validate(&cfg); err != nil {
 		return nil, err
 	}
@@ -187,6 +259,27 @@ func Run(cfg Config) (*Result, error) {
 	}
 	v := inst.NumLocations()
 	l := inst.NumDataCenters()
+
+	// Fault injection: surges and spikes rewrite the traces up front
+	// (period index == trace row index), capacity faults retarget the
+	// instance per period and are undone before returning.
+	sched := cfg.Faults
+	demandTrace, priceTrace := cfg.DemandTrace, cfg.PriceTrace
+	var baseCaps, liveCaps []float64
+	if !sched.Empty() {
+		demandTrace = faultTrace(demandTrace, sched.Demand)
+		priceTrace = faultTrace(priceTrace, sched.Prices)
+		baseCaps = inst.Capacities()
+		liveCaps = baseCaps
+		defer func() {
+			if &liveCaps[0] != &baseCaps[0] {
+				inst.SetCapacities(baseCaps)
+			}
+		}()
+	}
+
+	ctxPolicy, _ := cfg.Policy.(CtxPolicy)
+	degrader, _ := cfg.Policy.(DegradationReporter)
 	res := &Result{PolicyName: cfg.Policy.Name()}
 	trackers := make([]*monitor.ForecastTracker, v)
 	for i := range trackers {
@@ -198,20 +291,38 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	for k := 0; k < cfg.Periods; k++ {
-		demandFC, err := forecastMatrix(cfg.DemandTrace, k, cfg.Horizon, v, cfg.DemandPredictor)
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("period %d: %w", k, err)
+		}
+		if baseCaps != nil {
+			caps := sched.Capacities(k+1, baseCaps)
+			if &caps[0] != &liveCaps[0] {
+				if err := inst.SetCapacities(caps); err != nil {
+					return nil, fmt.Errorf("period %d fault capacities: %w", k, err)
+				}
+				liveCaps = caps
+			}
+		}
+		demandFC, err := forecastMatrix(demandTrace, k, cfg.Horizon, v, cfg.DemandPredictor)
 		if err != nil {
 			return nil, fmt.Errorf("period %d demand forecast: %w", k, err)
 		}
-		priceFC, err := forecastMatrix(cfg.PriceTrace, k, cfg.Horizon, l, cfg.PricePredictor)
+		priceFC, err := forecastMatrix(priceTrace, k, cfg.Horizon, l, cfg.PricePredictor)
 		if err != nil {
 			return nil, fmt.Errorf("period %d price forecast: %w", k, err)
 		}
-		applied, state, err := cfg.Policy.Step(demandFC, priceFC)
+		sched.PerturbForecast(k+1, demandFC)
+		var applied, state core.State
+		if ctxPolicy != nil {
+			applied, state, err = ctxPolicy.StepCtx(ctx, demandFC, priceFC)
+		} else {
+			applied, state, err = cfg.Policy.Step(demandFC, priceFC)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("period %d policy step: %w", k, err)
 		}
-		realD := cfg.DemandTrace[k+1]
-		realP := cfg.PriceTrace[k+1]
+		realD := demandTrace[k+1]
+		realP := priceTrace[k+1]
 		cost, err := inst.PeriodCost(state, applied, realP)
 		if err != nil {
 			return nil, fmt.Errorf("period %d cost: %w", k, err)
@@ -236,7 +347,7 @@ func Run(cfg Config) (*Result, error) {
 		res.TotalResource += cost.Resource
 		res.TotalReconfig += cost.Reconfig
 		res.TotalCost += cost.Total()
-		res.Steps = append(res.Steps, StepRecord{
+		rec := StepRecord{
 			Period:         k + 1,
 			Demand:         append([]float64(nil), realD...),
 			Prices:         append([]float64(nil), realP...),
@@ -246,7 +357,16 @@ func Run(cfg Config) (*Result, error) {
 			Cost:           cost,
 			SLAMet:         slaOK,
 			DemandForecast: append([]float64(nil), demandFC[0]...),
-		})
+			ActiveFaults:   sched.Active(k + 1),
+		}
+		if degrader != nil {
+			rec.Degradation = degrader.LastDegradation()
+			if rec.Degradation.Degraded() {
+				res.DegradedSteps++
+				res.ShedDemand += rec.Degradation.ShedDemand
+			}
+		}
+		res.Steps = append(res.Steps, rec)
 	}
 	for vi, tr := range trackers {
 		res.ForecastAccuracy = append(res.ForecastAccuracy, ForecastAccuracy{
@@ -297,7 +417,43 @@ func validate(cfg *Config) error {
 		return fmt.Errorf("SLA judge is %dx%d, instance %dx%d: %w",
 			cfg.SLAJudge.NumDataCenters(), cfg.SLAJudge.NumLocations(), l, v, ErrBadConfig)
 	}
+	if !cfg.Faults.Empty() {
+		if err := cfg.Faults.Validate(l, v); err != nil {
+			return fmt.Errorf("fault schedule: %w", err)
+		}
+		// Capacity faults work by rewriting the capacity vector, which
+		// requires the target to be capacitated to begin with (the QP
+		// structure bakes in which DCs have capacity rows).
+		for i, f := range cfg.Faults.Faults {
+			if f.Kind != faults.DCOutage && f.Kind != faults.CapacityShock {
+				continue
+			}
+			if c, err := cfg.Instance.Capacity(f.Target); err == nil && math.IsInf(c, 1) {
+				return fmt.Errorf("fault %d (%v) targets uncapacitated dc %d: %w", i, f.Kind, f.Target, ErrBadConfig)
+			}
+		}
+	}
 	return nil
+}
+
+// faultTrace maps a per-period transform over a trace, sharing rows the
+// transform leaves untouched and copying only the faulted ones.
+func faultTrace(trace [][]float64, f func(k int, row []float64) []float64) [][]float64 {
+	var out [][]float64
+	for k, row := range trace {
+		if faulted := f(k, row); &faulted[0] != &row[0] {
+			if out == nil {
+				out = append(out, trace[:k]...)
+			}
+			out = append(out, faulted)
+		} else if out != nil {
+			out = append(out, row)
+		}
+	}
+	if out == nil {
+		return trace
+	}
+	return out
 }
 
 // forecastMatrix produces the W×width forecast for periods k+1..k+W.

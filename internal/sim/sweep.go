@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"dspp/internal/parallel"
@@ -28,6 +29,14 @@ type SweepResult struct {
 // Configurations must not share mutable state: in particular each item
 // needs its own Policy instance (policies carry allocation state).
 func RunSweep(items []SweepItem, workers int) ([]SweepResult, error) {
+	return RunSweepCtx(context.Background(), items, workers)
+}
+
+// RunSweepCtx is RunSweep with cooperative cancellation: once the context
+// is done no new simulation starts, in-flight ones are cancelled through
+// RunCtx, and the lowest-index error (typically ctx.Err wrapped with its
+// item label) is returned.
+func RunSweepCtx(ctx context.Context, items []SweepItem, workers int) ([]SweepResult, error) {
 	if len(items) == 0 {
 		return nil, fmt.Errorf("no sweep items: %w", ErrBadConfig)
 	}
@@ -40,8 +49,8 @@ func RunSweep(items []SweepItem, workers int) ([]SweepResult, error) {
 	}
 
 	results := make([]SweepResult, len(items))
-	err := parallel.ForEach(len(items), workers, func(idx int) error {
-		res, err := Run(items[idx].Config)
+	err := parallel.ForEachCtx(ctx, len(items), workers, func(idx int) error {
+		res, err := RunCtx(ctx, items[idx].Config)
 		if err != nil {
 			return fmt.Errorf("sweep %q: %w", items[idx].Label, err)
 		}

@@ -18,4 +18,10 @@ go test -race ./...
 echo "== benchmark smoke (1 iteration each) =="
 go test -run XXX -bench . -benchtime 1x .
 
+echo "== fault-injection smoke (robust-outage under -race) =="
+# Drives the outage/recovery experiment end to end — the controller must
+# degrade through the ladder while the DC is down and re-converge after
+# restore — and prints the degradation summary for eyeballing.
+go run -race ./cmd/experiments -fig robust-outage
+
 echo "All checks passed."

@@ -1,9 +1,11 @@
 package dspp
 
 import (
+	"context"
 	"io"
 
 	"dspp/internal/baseline"
+	"dspp/internal/faults"
 	"dspp/internal/predict"
 	"dspp/internal/sim"
 	"dspp/internal/traceio"
@@ -23,6 +25,15 @@ type (
 	// SimStep is one recorded control period.
 	SimStep = sim.StepRecord
 
+	// FaultSchedule is a deterministic set of scheduled adverse events
+	// (outages, capacity shocks, price spikes, demand surges, forecast
+	// noise) the engine injects per period; see SimConfig.Faults.
+	FaultSchedule = faults.Schedule
+	// Fault is one scheduled event of a FaultSchedule.
+	Fault = faults.Fault
+	// FaultKind enumerates the fault types.
+	FaultKind = faults.Kind
+
 	// Predictor forecasts a series' future from its history.
 	Predictor = predict.Predictor
 	// PerfectPredictor is an oracle over a known series.
@@ -40,10 +51,35 @@ type (
 	HoltWintersPredictor = predict.HoltWinters
 )
 
+// Fault kinds for building FaultSchedules programmatically.
+const (
+	FaultDCOutage      = faults.DCOutage
+	FaultCapacityShock = faults.CapacityShock
+	FaultPriceSpike    = faults.PriceSpike
+	FaultDemandSurge   = faults.DemandSurge
+	FaultForecastNoise = faults.ForecastNoise
+)
+
 // Simulate executes a run of the discrete-time engine (Fig. 2's
 // architecture): forecasts feed the policy, realized traces are billed
 // and checked against the SLA, and the full series is recorded.
 func Simulate(cfg SimConfig) (*SimResult, error) { return sim.Run(cfg) }
+
+// SimulateCtx is Simulate with cooperative cancellation: the context is
+// checked every period and threaded into the policy's QP solves.
+func SimulateCtx(ctx context.Context, cfg SimConfig) (*SimResult, error) {
+	return sim.RunCtx(ctx, cfg)
+}
+
+// ParseFault parses one CLI fault spec, e.g. "outage:dc=1,start=10,end=20"
+// or "surge:loc=0,start=5,end=9,factor=2".
+func ParseFault(spec string) (Fault, error) { return faults.ParseFault(spec) }
+
+// ParseFaultSchedule parses a list of fault specs into a schedule whose
+// stochastic faults (forecast noise) draw deterministically from seed.
+func ParseFaultSchedule(specs []string, seed int64) (*FaultSchedule, error) {
+	return faults.ParseSchedule(specs, seed)
+}
 
 // NewMPCPolicy wraps an MPC controller for Simulate.
 func NewMPCPolicy(ctrl *Controller) *MPCPolicy { return &sim.MPCPolicy{Ctrl: ctrl} }
