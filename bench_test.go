@@ -93,6 +93,7 @@ func BenchmarkFig6HorizonSmoothing(b *testing.B) {
 // BenchmarkFig7GameConvergence regenerates Fig. 7: Algorithm 2 iterations
 // versus number of players for bottleneck capacities 100/200/300.
 func BenchmarkFig7GameConvergence(b *testing.B) {
+	b.ReportAllocs()
 	var meanTight float64
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.Fig7GameConvergence(benchSeed, 10)
@@ -133,6 +134,7 @@ func BenchmarkFig8HorizonVsIterations(b *testing.B) {
 // BenchmarkFig9HorizonVsCost regenerates Fig. 9: under volatile demand
 // and AR forecasts, cost is U-shaped in the horizon with a short optimum.
 func BenchmarkFig9HorizonVsCost(b *testing.B) {
+	b.ReportAllocs()
 	var bestW float64
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.Fig9HorizonVsCost(benchSeed)

@@ -222,8 +222,12 @@ func run(args []string, out *os.File) error {
 		return err
 	}
 
-	fmt.Fprintf(out, "dsppsim: %d DCs, %d metros, %d periods, W=%d, predictor=%s\n\n",
+	fmt.Fprintf(out, "dsppsim: %d DCs, %d metros, %d periods, W=%d, predictor=%s\n",
 		*numDCs, len(metros), *periods, *horizon, *predictor)
+	sup := inst.Support()
+	fmt.Fprintf(out, "support: %d/%d (DC, metro) pairs SLA-feasible (%.0f%% pruned), %d–%d DCs per metro\n\n",
+		sup.FeasiblePairs, sup.TotalPairs, 100*sup.PrunedFraction,
+		sup.MinDCsPerLocation, sup.MaxDCsPerLocation)
 	fmt.Fprintf(out, "%-6s %12s", "hour", "demand")
 	for i := 0; i < *numDCs; i++ {
 		fmt.Fprintf(out, " %14s", dcNames[i])

@@ -81,6 +81,13 @@ func registry() []experiment {
 			}
 			return r.Table, r.CheckFig10(), nil
 		}},
+		{"support", func(int64, int) (*experiments.Table, error, error) {
+			r, err := experiments.SupportPruning()
+			if err != nil {
+				return nil, nil, err
+			}
+			return r.Table, r.Check(), nil
+		}},
 		{"pos", func(seed int64, players int) (*experiments.Table, error, error) {
 			r, err := experiments.PriceOfStability(seed, min(players, 6))
 			if err != nil {
@@ -213,7 +220,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
-	fig := fs.String("fig", "", "experiment to run (default: all); one of fig3..fig10, pos, ablation-*, validate-mm1")
+	fig := fs.String("fig", "", "experiment to run (default: all); one of fig3..fig10, support, pos, ablation-*, validate-mm1")
 	seed := fs.Int64("seed", 2012, "random seed")
 	players := fs.Int("players", 10, "max players for the game experiments")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")

@@ -65,6 +65,10 @@ type (
 	Plan = core.Plan
 	// RoundResult is an integer-rounded allocation (§VIII extension).
 	RoundResult = core.RoundResult
+	// SupportStats summarizes the SLA-sparsity pruning of an instance:
+	// how many (location, DC) pairs survive the latency bound and carry
+	// QP variables (see Instance.Support).
+	SupportStats = core.SupportStats
 	// QPOptions tunes the interior-point solver.
 	QPOptions = qp.Options
 )

@@ -33,20 +33,14 @@ func (in *Instance) Assign(x State, demand []float64) (Assignment, error) {
 			continue
 		}
 		var denom float64
-		for l := 0; l < in.l; l++ {
-			if in.pairIdx[l][v] < 0 {
-				continue
-			}
-			denom += x[l][v] / in.a[l][v]
+		for _, pr := range in.locPairs[v] {
+			denom += x[pr.l][v] * pr.aInv
 		}
 		if denom <= 0 {
 			return nil, fmt.Errorf("location %d has demand %g but no serving capacity: %w", v, d, ErrInfeasible)
 		}
-		for l := 0; l < in.l; l++ {
-			if in.pairIdx[l][v] < 0 {
-				continue
-			}
-			out[l][v] = d * (x[l][v] / in.a[l][v]) / denom
+		for _, pr := range in.locPairs[v] {
+			out[pr.l][v] = d * (x[pr.l][v] * pr.aInv) / denom
 		}
 	}
 	return out, nil
@@ -88,11 +82,8 @@ func (in *Instance) DemandSlack(x State, demand []float64) ([]float64, error) {
 	out := make([]float64, in.v)
 	for v := 0; v < in.v; v++ {
 		var cap64 float64
-		for l := 0; l < in.l; l++ {
-			if in.pairIdx[l][v] < 0 {
-				continue
-			}
-			cap64 += x[l][v] / in.a[l][v]
+		for _, pr := range in.locPairs[v] {
+			cap64 += x[pr.l][v] * pr.aInv
 		}
 		out[v] = cap64 - demand[v]
 	}

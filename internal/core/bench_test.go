@@ -77,6 +77,7 @@ func BenchmarkAssign(b *testing.B) {
 		}
 	}
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := inst.Assign(x, demand); err != nil {
 			b.Fatal(err)
@@ -96,6 +97,7 @@ func BenchmarkSolveHorizonVsQPOnly(b *testing.B) {
 	}
 	in := HorizonInput{X0: inst.NewState(), Demand: demand, Prices: prices}
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := inst.SolveHorizon(in, qp.DefaultOptions()); err != nil {
 			b.Fatal(err)

@@ -43,14 +43,15 @@ type HorizonWarm struct {
 // old horizon hold the last cumulative level (controls default to zero);
 // dual blocks repeat the last period's, the best available guess for the
 // newly revealed period.
-func (hw *HorizonWarm) shifted(e, w, rowsPerStep, shift int) *qp.WarmStart {
+func (hw *HorizonWarm) shifted(e, w, rowsPerStep, shift int, out *qp.WarmStart) *qp.WarmStart {
 	if hw == nil || shift < 0 ||
 		hw.pairs != e || hw.horizon != w || hw.rowsPer != rowsPerStep ||
 		len(hw.y) != e*w || len(hw.z) != rowsPerStep*w {
 		return nil
 	}
 	if shift == 0 {
-		return &qp.WarmStart{X: hw.y, Z: hw.z}
+		out.X, out.Z = hw.y, hw.z
+		return out
 	}
 	x := linalg.NewVector(e * w)
 	z := linalg.NewVector(rowsPerStep * w)
@@ -68,7 +69,8 @@ func (hw *HorizonWarm) shifted(e, w, rowsPerStep, shift int) *qp.WarmStart {
 		}
 		copy(z[t*rowsPerStep:(t+1)*rowsPerStep], hw.z[src*rowsPerStep:(src+1)*rowsPerStep])
 	}
-	return &qp.WarmStart{X: x, Z: z}
+	out.X, out.Z = x, z
+	return out
 }
 
 // Plan is the solved horizon: the control sequence, the resulting state
@@ -193,13 +195,13 @@ func (in *Instance) SolveHorizonCtx(ctx context.Context, input HorizonInput, opt
 	hVec := vecs.h
 	row := 0
 	for t := 0; t < w; t++ {
-		// Demand: −Σ_{e∈v} y_t^e / a_e ≤ −D + Σ_{e∈v} x0_e/a_e.
+		// Demand: −Σ_{e∈v} y_t^e / a_e ≤ −D + Σ_{e∈v} x0_e/a_e. The
+		// compressed support lists walk only the feasible pairs instead of
+		// scanning the L×V grid.
 		for v := 0; v < in.v; v++ {
 			rhs := -input.Demand[t][v]
-			for l := 0; l < in.l; l++ {
-				if in.pairIdx[l][v] >= 0 {
-					rhs += input.X0[l][v] / in.a[l][v]
-				}
+			for _, pr := range in.locPairs[v] {
+				rhs += input.X0[pr.l][v] * pr.aInv
 			}
 			hVec[row] = rhs
 			row++
@@ -207,10 +209,8 @@ func (in *Instance) SolveHorizonCtx(ctx context.Context, input HorizonInput, opt
 		// Capacity: Σ_{e∈l} y_t ≤ C_l − Σ_{e∈l} x0.
 		for _, l := range hs.capacitated {
 			rhs := in.capacity[l]
-			for v := 0; v < in.v; v++ {
-				if in.pairIdx[l][v] >= 0 {
-					rhs -= input.X0[l][v]
-				}
+			for _, pr := range in.dcPairs[l] {
+				rhs -= input.X0[l][pr.v]
 			}
 			hVec[row] = rhs
 			row++
@@ -222,8 +222,9 @@ func (in *Instance) SolveHorizonCtx(ctx context.Context, input HorizonInput, opt
 		}
 	}
 
-	prob := &qp.Problem{Q: hs.q, C: cVec, G: hs.g, H: hVec}
-	warm := input.Warm.shifted(e, w, rowsPerStep, input.WarmShift)
+	vecs.prob = qp.Problem{Q: hs.q, C: cVec, G: hs.g, H: hVec, KKTBandHint: hs.kktBandHint}
+	prob := &vecs.prob
+	warm := input.Warm.shifted(e, w, rowsPerStep, input.WarmShift, &vecs.ws)
 	res, err := qp.SolveWarmCtx(ctx, prob, opts, warm)
 	coldRestarts := 0
 	if err != nil && warm != nil && errors.Is(err, qp.ErrNumerical) {
@@ -233,6 +234,7 @@ func (in *Instance) SolveHorizonCtx(ctx context.Context, input HorizonInput, opt
 		coldRestarts = 1
 		res, err = qp.SolveWarmCtx(ctx, prob, opts, nil)
 	}
+	vecs.ws = qp.WarmStart{} // drop the borrowed warm-start slices
 	hs.vecPool.Put(vecs)
 	if err != nil {
 		return nil, fmt.Errorf("horizon QP (W=%d, n=%d, m=%d): %w", w, n, m, err)
@@ -258,7 +260,14 @@ func (in *Instance) SolveHorizonCtx(ctx context.Context, input HorizonInput, opt
 		return s
 	}
 
-	plan := &Plan{
+	// Plan and its warm capsule share one allocation: they have the same
+	// lifetime (the capsule chains into the next solve).
+	pw := &struct {
+		plan Plan
+		warm HorizonWarm
+	}{warm: HorizonWarm{y: res.X, z: res.IneqDuals, pairs: e, horizon: w, rowsPer: rowsPerStep}}
+	plan := &pw.plan
+	*plan = Plan{
 		U:             states[:w:w],
 		X:             states[w:],
 		Objective:     res.Objective + constCost,
@@ -266,7 +275,7 @@ func (in *Instance) SolveHorizonCtx(ctx context.Context, input HorizonInput, opt
 		DemandDuals:   rows[w : 2*w : 2*w],
 		QPIterations:  res.Iterations,
 		ColdRestarts:  coldRestarts,
-		Warm:          &HorizonWarm{y: res.X, z: res.IneqDuals, pairs: e, horizon: w, rowsPer: rowsPerStep},
+		Warm:          &pw.warm,
 	}
 	rows = rows[2*w:]
 	// Trajectory reconstruction: each state starts as a copy of its
@@ -327,14 +336,21 @@ type horizonStruct struct {
 	capacitated []int
 	// rowsPerStep = V demand rows + len(capacitated) + E nonnegativity.
 	rowsPerStep int
+	// kktBandHint caches qp.KKTBandwidth(q, g)+1, computed once at build:
+	// the solver then skips its O(n²) per-solve bandwidth scan.
+	kktBandHint int
 	// vecPool recycles the per-solve cost/rhs vectors (*horizonVecs);
 	// the solver does not retain them past a solve.
 	vecPool sync.Pool
 }
 
-// horizonVecs is the pooled pair of per-solve vectors for one structure.
+// horizonVecs is the pooled per-solve working set for one structure: the
+// cost/rhs vectors plus the Problem and WarmStart shells, which would
+// otherwise escape to the heap on every solve.
 type horizonVecs struct {
 	c, h linalg.Vector
+	prob qp.Problem
+	ws   qp.WarmStart
 }
 
 // horizonStructure returns the cached structure for horizon length w,
@@ -390,11 +406,7 @@ func (in *Instance) horizonStructure(w int) (*horizonStruct, error) {
 	for l := 0; l < in.l; l++ {
 		if !math.IsInf(in.capacity[l], 1) {
 			capacitated = append(capacitated, l)
-			for v := 0; v < in.v; v++ {
-				if in.pairIdx[l][v] >= 0 {
-					capPairs++
-				}
-			}
+			capPairs += len(in.dcPairs[l])
 		}
 	}
 	rowsPerStep := in.v + len(capacitated) + e
@@ -402,18 +414,14 @@ func (in *Instance) horizonStructure(w int) (*horizonStruct, error) {
 	for t := 0; t < w; t++ {
 		for v := 0; v < in.v; v++ {
 			gb.StartRow()
-			for l := 0; l < in.l; l++ {
-				if pi := in.pairIdx[l][v]; pi >= 0 {
-					gb.Add(t*e+pi, -1/in.a[l][v])
-				}
+			for _, pr := range in.locPairs[v] {
+				gb.Add(t*e+pr.idx, -pr.aInv)
 			}
 		}
 		for _, l := range capacitated {
 			gb.StartRow()
-			for v := 0; v < in.v; v++ {
-				if pi := in.pairIdx[l][v]; pi >= 0 {
-					gb.Add(t*e+pi, 1)
-				}
+			for _, pr := range in.dcPairs[l] {
+				gb.Add(t*e+pr.idx, 1)
 			}
 		}
 		for pi := range in.pairs {
@@ -427,6 +435,9 @@ func (in *Instance) horizonStructure(w int) (*horizonStruct, error) {
 	}
 
 	hs := &horizonStruct{q: qMat, g: gMat, capacitated: capacitated, rowsPerStep: rowsPerStep}
+	// One O(n²) bandwidth scan at build time spares every subsequent solve
+	// of this shape the same scan.
+	hs.kktBandHint = qp.KKTBandwidth(&qp.Problem{Q: qMat, G: gMat}) + 1
 	if in.qpCache == nil {
 		in.qpCache = make(map[int]*horizonStruct)
 	}
@@ -474,16 +485,12 @@ func (in *Instance) checkHorizonInput(input HorizonInput, ceiling bool) (int, er
 		}
 		for v := 0; v < in.v; v++ {
 			var ceil float64
-			for l := 0; l < in.l; l++ {
-				pi := in.pairIdx[l][v]
-				if pi < 0 {
-					continue
-				}
-				if math.IsInf(in.capacity[l], 1) {
+			for _, pr := range in.locPairs[v] {
+				if math.IsInf(in.capacity[pr.l], 1) {
 					ceil = math.Inf(1)
 					break
 				}
-				ceil += in.capacity[l] / in.a[l][v]
+				ceil += in.capacity[pr.l] * pr.aInv
 			}
 			if input.Demand[t][v] > ceil {
 				return 0, fmt.Errorf(

@@ -52,6 +52,16 @@ type Instance struct {
 	// dense variable index of the pair or -1.
 	pairs   []pair
 	pairIdx [][]int
+	// Compressed support adjacency, the two directions of the pruned
+	// (location, DC) index map: locPairs[v] lists the feasible DCs of
+	// location v, dcPairs[l] the feasible locations of DC l, each entry
+	// carrying the dense pair index and 1/a^lv. Hot loops (QP
+	// right-hand-side fills, assignment, slack checks) iterate these lists
+	// instead of scanning the full L×V grid testing pairIdx — on
+	// geo-realistic topologies most pairs are SLA-infeasible, so the lists
+	// are a small fraction of the grid.
+	locPairs [][]pairRef
+	dcPairs  [][]pairRef
 
 	// qpCache holds the horizon QP's data-independent structure per
 	// horizon length (see horizonStructure): the repeated solves of an MPC
@@ -65,6 +75,15 @@ type Instance struct {
 }
 
 type pair struct{ l, v int }
+
+// pairRef is one entry of the compressed support adjacency: a feasible
+// (l, v) pair seen from one of its endpoints, with the dense QP variable
+// index and the reciprocal SLA coefficient precomputed (the hot loops
+// always divide by a^lv).
+type pairRef struct {
+	l, v, idx int
+	aInv      float64
+}
 
 // Config assembles an Instance.
 type Config struct {
@@ -126,20 +145,84 @@ func NewInstance(cfg Config) (*Instance, error) {
 			inst.pairs = append(inst.pairs, pair{l: li, v: vi})
 		}
 	}
+	// Compressed adjacency: one pass over the dense pair list fans the
+	// support out to both endpoints. The backing arrays are shared (one
+	// allocation per direction) since the per-endpoint counts are known.
+	inst.locPairs = make([][]pairRef, v)
+	inst.dcPairs = make([][]pairRef, l)
+	locCount := make([]int, v)
+	dcCount := make([]int, l)
+	for _, pr := range inst.pairs {
+		locCount[pr.v]++
+		dcCount[pr.l]++
+	}
+	locBacking := make([]pairRef, len(inst.pairs))
+	dcBacking := make([]pairRef, len(inst.pairs))
+	for vi := 0; vi < v; vi++ {
+		inst.locPairs[vi] = locBacking[:0:locCount[vi]]
+		locBacking = locBacking[locCount[vi]:]
+	}
+	for li := 0; li < l; li++ {
+		inst.dcPairs[li] = dcBacking[:0:dcCount[li]]
+		dcBacking = dcBacking[dcCount[li]:]
+	}
+	for idx, pr := range inst.pairs {
+		ref := pairRef{l: pr.l, v: pr.v, idx: idx, aInv: 1 / inst.a[pr.l][pr.v]}
+		inst.locPairs[pr.v] = append(inst.locPairs[pr.v], ref)
+		inst.dcPairs[pr.l] = append(inst.dcPairs[pr.l], ref)
+	}
 	// Every location must have at least one feasible DC.
 	for vi := 0; vi < v; vi++ {
-		ok := false
-		for li := 0; li < l; li++ {
-			if inst.pairIdx[li][vi] >= 0 {
-				ok = true
-				break
-			}
-		}
-		if !ok {
+		if len(inst.locPairs[vi]) == 0 {
 			return nil, fmt.Errorf("location %d has no feasible data center: %w", vi, ErrInfeasible)
 		}
 	}
 	return inst, nil
+}
+
+// SupportStats summarizes the SLA-sparsity pruning of an instance: how many
+// of the L·V (location, DC) pairs survive the latency + M/M/1 bound and
+// therefore carry QP variables. The horizon QP has FeasiblePairs·W
+// variables, so PrunedFraction is the per-period share of the dense problem
+// the pruning removed.
+type SupportStats struct {
+	// DataCenters and Locations echo the instance dimensions L and V.
+	DataCenters, Locations int
+	// TotalPairs = L·V, the unpruned pair count.
+	TotalPairs int
+	// FeasiblePairs is the number of pairs meeting the SLA bound — the
+	// per-period QP variable count.
+	FeasiblePairs int
+	// PrunedPairs = TotalPairs − FeasiblePairs.
+	PrunedPairs int
+	// PrunedFraction = PrunedPairs / TotalPairs (0 when TotalPairs is 0).
+	PrunedFraction float64
+	// MinDCsPerLocation / MaxDCsPerLocation bound the per-location support
+	// width (the minimum is ≥ 1 by construction).
+	MinDCsPerLocation, MaxDCsPerLocation int
+}
+
+// Support reports the instance's SLA-sparsity statistics.
+func (in *Instance) Support() SupportStats {
+	st := SupportStats{
+		DataCenters:   in.l,
+		Locations:     in.v,
+		TotalPairs:    in.l * in.v,
+		FeasiblePairs: len(in.pairs),
+	}
+	st.PrunedPairs = st.TotalPairs - st.FeasiblePairs
+	if st.TotalPairs > 0 {
+		st.PrunedFraction = float64(st.PrunedPairs) / float64(st.TotalPairs)
+	}
+	for v, refs := range in.locPairs {
+		if n := len(refs); v == 0 || n < st.MinDCsPerLocation {
+			st.MinDCsPerLocation = n
+		}
+		if n := len(refs); n > st.MaxDCsPerLocation {
+			st.MaxDCsPerLocation = n
+		}
+	}
+	return st
 }
 
 // SLAConfig builds the SLA coefficient matrix from a latency matrix and a

@@ -95,10 +95,8 @@ func (in *Instance) SolveHorizonSoftCtx(ctx context.Context, input HorizonInput,
 		// Demand with slack: −Σ y/a − s ≤ −D + Σ x0/a.
 		for v := 0; v < in.v; v++ {
 			rhs := -input.Demand[t][v]
-			for l := 0; l < in.l; l++ {
-				if in.pairIdx[l][v] >= 0 {
-					rhs += input.X0[l][v] / in.a[l][v]
-				}
+			for _, pr := range in.locPairs[v] {
+				rhs += input.X0[pr.l][v] * pr.aInv
 			}
 			hVec[row] = rhs
 			row++
@@ -106,10 +104,8 @@ func (in *Instance) SolveHorizonSoftCtx(ctx context.Context, input HorizonInput,
 		// Capacity (hard): Σ y ≤ C − Σ x0.
 		for _, l := range hs.capacitated {
 			rhs := in.capacity[l]
-			for v := 0; v < in.v; v++ {
-				if in.pairIdx[l][v] >= 0 {
-					rhs -= input.X0[l][v]
-				}
+			for _, pr := range in.dcPairs[l] {
+				rhs -= input.X0[l][pr.v]
 			}
 			hVec[row] = rhs
 			row++
@@ -126,7 +122,7 @@ func (in *Instance) SolveHorizonSoftCtx(ctx context.Context, input HorizonInput,
 		}
 	}
 
-	prob := &qp.Problem{Q: hs.q, C: cVec, G: hs.g, H: hVec}
+	prob := &qp.Problem{Q: hs.q, C: cVec, G: hs.g, H: hVec, KKTBandHint: hs.kktBandHint}
 	res, err := qp.SolveWarmCtx(ctx, prob, opts, nil)
 	hs.vecPool.Put(vecs)
 	if err != nil {
@@ -248,11 +244,7 @@ func (in *Instance) softStructure(w int) (*horizonStruct, error) {
 	for l := 0; l < in.l; l++ {
 		if !math.IsInf(in.capacity[l], 1) {
 			capacitated = append(capacitated, l)
-			for v := 0; v < in.v; v++ {
-				if in.pairIdx[l][v] >= 0 {
-					capPairs++
-				}
-			}
+			capPairs += len(in.dcPairs[l])
 		}
 	}
 	rowsPerStep := in.v + len(capacitated) + e + in.v
@@ -260,19 +252,15 @@ func (in *Instance) softStructure(w int) (*horizonStruct, error) {
 	for t := 0; t < w; t++ {
 		for v := 0; v < in.v; v++ {
 			gb.StartRow()
-			for l := 0; l < in.l; l++ {
-				if pi := in.pairIdx[l][v]; pi >= 0 {
-					gb.Add(t*b+pi, -1/in.a[l][v])
-				}
+			for _, pr := range in.locPairs[v] {
+				gb.Add(t*b+pr.idx, -pr.aInv)
 			}
 			gb.Add(t*b+e+v, -1)
 		}
 		for _, l := range capacitated {
 			gb.StartRow()
-			for v := 0; v < in.v; v++ {
-				if pi := in.pairIdx[l][v]; pi >= 0 {
-					gb.Add(t*b+pi, 1)
-				}
+			for _, pr := range in.dcPairs[l] {
+				gb.Add(t*b+pr.idx, 1)
 			}
 		}
 		for pi := range in.pairs {
@@ -290,6 +278,7 @@ func (in *Instance) softStructure(w int) (*horizonStruct, error) {
 	}
 
 	hs := &horizonStruct{q: qMat, g: gMat, capacitated: capacitated, rowsPerStep: rowsPerStep}
+	hs.kktBandHint = qp.KKTBandwidth(&qp.Problem{Q: qMat, G: gMat}) + 1
 	if in.softCache == nil {
 		in.softCache = make(map[int]*horizonStruct)
 	}

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"dspp/internal/core"
+	"dspp/internal/topology"
+)
+
+// SupportResult tabulates the SLA-sparsity pruning on a geo-realistic US
+// topology as the latency bound d̄ tightens: how many of the L·V
+// (location, DC) pairs survive the network-latency + M/M/1 admission test
+// and therefore carry horizon-QP variables. It is the quantitative backdrop
+// for the pruned problem construction: every per-period variable and
+// constraint the pruning removes is removed from every step of every MPC
+// and best-response solve downstream.
+type SupportResult struct {
+	Table *Table
+	// DelaysMs holds the swept SLA bounds in milliseconds.
+	DelaysMs []float64
+	// Stats[i] is the pruning summary at DelaysMs[i]. Entries where the
+	// bound is so tight that some location has no feasible DC at all carry
+	// Feasible=false (the instance is rejected outright rather than pruned).
+	Stats    []core.SupportStats
+	Feasible []bool
+}
+
+// SupportPruning sweeps the SLA latency bound over a fixed 4-DC, 24-metro
+// great-circle topology and reports the surviving pair support per bound.
+// The geography is deterministic, so the experiment takes no seed.
+func SupportPruning() (*SupportResult, error) {
+	cities := topology.USCities()
+	dcCities := []topology.City{}
+	for _, name := range []string{"San Jose", "Dallas", "Atlanta", "Chicago"} {
+		c, ok := topology.CityByName(name)
+		if !ok {
+			return nil, fmt.Errorf("support: unknown DC city %q", name)
+		}
+		dcCities = append(dcCities, c)
+	}
+	access := make([]topology.City, 0, 24)
+	for _, c := range cities {
+		isDC := false
+		for _, dc := range dcCities {
+			if dc.Name == c.Name {
+				isDC = true
+				break
+			}
+		}
+		if !isDC && len(access) < 24 {
+			access = append(access, c)
+		}
+	}
+	net, err := topology.BuildGeo(dcCities, access, 0.002)
+	if err != nil {
+		return nil, err
+	}
+	latency := net.LatencyMatrix()
+
+	res := &SupportResult{
+		Table: &Table{
+			Title:   "SLA-sparsity pruning: feasible (location, DC) support vs latency bound",
+			Columns: []string{"dbar_ms", "pairs", "feasible", "pruned_%", "min_dcs", "max_dcs", "qp_vars_W4"},
+		},
+	}
+	for _, dbarMs := range []float64{12, 18, 25, 40, 60, 100} {
+		sla, err := core.SLAMatrix(latency, core.SLAConfig{Mu: 30, MaxDelay: dbarMs / 1000})
+		if err != nil {
+			return nil, err
+		}
+		weights := make([]float64, len(dcCities))
+		caps := make([]float64, len(dcCities))
+		for l := range weights {
+			weights[l] = 1e-4
+			caps[l] = math.Inf(1)
+		}
+		res.DelaysMs = append(res.DelaysMs, dbarMs)
+		inst, err := core.NewInstance(core.Config{SLA: sla, ReconfigWeights: weights, Capacities: caps})
+		if err != nil {
+			// Some location lost its last feasible DC: the bound rejects the
+			// whole instance, which the table reports rather than hides.
+			res.Stats = append(res.Stats, core.SupportStats{})
+			res.Feasible = append(res.Feasible, false)
+			res.Table.AddRow(f1(dbarMs), itoa(len(dcCities)*len(access)), "-", "-", "0", "-", "-")
+			continue
+		}
+		st := inst.Support()
+		res.Stats = append(res.Stats, st)
+		res.Feasible = append(res.Feasible, true)
+		res.Table.AddRow(f1(dbarMs), itoa(st.TotalPairs), itoa(st.FeasiblePairs),
+			f1(100*st.PrunedFraction), itoa(st.MinDCsPerLocation), itoa(st.MaxDCsPerLocation),
+			itoa(4*st.FeasiblePairs))
+	}
+	return res, nil
+}
+
+// Check verifies the qualitative shape: the support grows monotonically
+// with the latency bound, the loosest bound admits every pair, and at least
+// one swept bound actually prunes (otherwise the sweep says nothing).
+func (r *SupportResult) Check() error {
+	prev := -1
+	pruned := false
+	for i, st := range r.Stats {
+		if !r.Feasible[i] {
+			if prev > 0 {
+				return fmt.Errorf("bound %.0fms infeasible after a feasible tighter bound: %w", r.DelaysMs[i], ErrShape)
+			}
+			continue
+		}
+		if st.FeasiblePairs < prev {
+			return fmt.Errorf("support shrank from %d to %d pairs as d̄ grew to %.0fms: %w",
+				prev, st.FeasiblePairs, r.DelaysMs[i], ErrShape)
+		}
+		prev = st.FeasiblePairs
+		if st.PrunedPairs > 0 {
+			pruned = true
+		}
+		if st.MinDCsPerLocation < 1 {
+			return fmt.Errorf("feasible instance with an uncovered location at %.0fms: %w", r.DelaysMs[i], ErrShape)
+		}
+	}
+	if len(r.Stats) > 0 {
+		last := r.Stats[len(r.Stats)-1]
+		if !r.Feasible[len(r.Stats)-1] || last.PrunedPairs != 0 {
+			return fmt.Errorf("loosest bound still prunes %d pairs: %w", last.PrunedPairs, ErrShape)
+		}
+	}
+	if !pruned {
+		return fmt.Errorf("no swept bound pruned any pair: %w", ErrShape)
+	}
+	return nil
+}

@@ -7,9 +7,10 @@ import (
 	"testing"
 )
 
-// tripCtx reports Canceled from the (after+1)-th Err() poll onward. Every
-// cancellation consumer in this codebase polls Err() (none selects on
-// Done()), so tripping mid-run is deterministic where a timer is not.
+// tripCtx reports Canceled from the (after+1)-th Err() poll onward
+// (after < 0 never trips and just counts). Every cancellation consumer in
+// this codebase polls Err() (none selects on Done()), so tripping mid-run
+// is deterministic where a timer is not.
 type tripCtx struct {
 	context.Context
 	mu    sync.Mutex
@@ -21,10 +22,16 @@ func (c *tripCtx) Err() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.calls++
-	if c.calls > c.after {
+	if c.after >= 0 && c.calls > c.after {
 		return context.Canceled
 	}
 	return nil
+}
+
+func (c *tripCtx) polls() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.calls
 }
 
 func TestBestResponseCtxPreCancelled(t *testing.T) {
@@ -43,15 +50,27 @@ func TestBestResponseCtxCancelMidRun(t *testing.T) {
 	// Trip the context partway through the run for a spread of poll
 	// budgets: wherever the trip lands — inside a QP solve, inside the
 	// fan-out, or at the top of a round — the loop must stop within one
-	// round and surface the cancellation.
-	for _, after := range []int{1, 5, 50, 500} {
+	// round and surface the cancellation. The run's natural poll count
+	// depends on how fast the QP solver converges, so calibrate first with
+	// a never-tripping context and derive the budgets from the total; a
+	// fixed budget list would silently fall off the end of the run whenever
+	// the solver gets faster.
+	cfg := BestResponseConfig{Epsilon: 1e-15, MaxIterations: 1 << 20}
+	scenario := twoProviderScenario(3, 5)
+	probe := &tripCtx{Context: context.Background(), after: -1}
+	if _, err := BestResponseCtx(probe, scenario, cfg); err != nil {
+		t.Fatalf("calibration run errored: %v", err)
+	}
+	total := probe.polls()
+	if total < 20 {
+		t.Fatalf("calibration run made only %d polls; scenario too small to trip mid-run", total)
+	}
+	late := total - 2
+	for _, after := range []int{1, 5, total / 2, late} {
 		ctx := &tripCtx{Context: context.Background(), after: after}
-		res, err := BestResponseCtx(ctx, twoProviderScenario(3, 5), BestResponseConfig{
-			Epsilon:       1e-15,
-			MaxIterations: 1 << 20,
-		})
+		res, err := BestResponseCtx(ctx, scenario, cfg)
 		if !errors.Is(err, context.Canceled) {
-			t.Fatalf("after=%d: err = %v, want context.Canceled", after, err)
+			t.Fatalf("after=%d (total=%d): err = %v, want context.Canceled", after, total, err)
 		}
 		// Wherever the trip lands, a partial iterate is handed back once a
 		// full round has completed, and the round count reflects completed
@@ -59,7 +78,7 @@ func TestBestResponseCtxCancelMidRun(t *testing.T) {
 		if res != nil && res.Iterations < 1 {
 			t.Errorf("after=%d: partial result with %d rounds", after, res.Iterations)
 		}
-		if res == nil && after >= 500 {
+		if res == nil && after >= late {
 			t.Errorf("after=%d: no partial iterate despite completed rounds", after)
 		}
 	}

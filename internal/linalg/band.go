@@ -1,0 +1,390 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// BandMatrix is a symmetric matrix with half-bandwidth bw stored packed:
+// only the lower band of each row is kept, row-major, bw+1 entries per
+// row. Entry (i, j) with i−bw ≤ j ≤ i lives at data[i·(bw+1) + j−i+bw].
+// Compared to a dense n×n buffer this cuts the KKT working set from
+// O(n²) to O(n·bw) floats, which is what keeps the band factorization
+// and triangular solves in cache for the horizon QP (n = E·W, bw ≈ E).
+type BandMatrix struct {
+	n, bw int
+	data  []float64
+}
+
+// NewBandMatrix returns a zero band matrix of order n with half-bandwidth
+// bw (clamped into [0, n−1]).
+func NewBandMatrix(n, bw int) *BandMatrix {
+	b := &BandMatrix{}
+	b.Reset(n, bw)
+	return b
+}
+
+// Reset re-shapes the matrix for a new (n, bw), reusing the backing
+// storage when it is large enough — the symbolic half of the
+// symbolic/numeric factorization split. The band is NOT cleared; callers
+// that assemble incrementally must ZeroBand first.
+func (b *BandMatrix) Reset(n, bw int) {
+	if n < 0 {
+		n = 0
+	}
+	if bw < 0 {
+		bw = 0
+	}
+	if bw > n-1 {
+		bw = n - 1
+	}
+	if n == 0 {
+		bw = 0
+	}
+	need := n * (bw + 1)
+	if cap(b.data) < need {
+		b.data = make([]float64, need)
+	}
+	b.n, b.bw = n, bw
+	b.data = b.data[:need]
+}
+
+// N returns the order of the matrix.
+func (b *BandMatrix) N() int { return b.n }
+
+// Bandwidth returns the half-bandwidth.
+func (b *BandMatrix) Bandwidth() int { return b.bw }
+
+// ZeroBand clears every stored entry.
+func (b *BandMatrix) ZeroBand() {
+	for i := range b.data {
+		b.data[i] = 0
+	}
+}
+
+// Row returns the packed storage of row i: bw+1 entries ending at the
+// diagonal. Index j of row i (for i−bw ≤ j ≤ i) is at position j−i+bw.
+func (b *BandMatrix) Row(i int) []float64 {
+	w1 := b.bw + 1
+	return b.data[i*w1 : (i+1)*w1 : (i+1)*w1]
+}
+
+// At returns entry (i, j), using symmetry for the upper triangle and
+// zero outside the band.
+func (b *BandMatrix) At(i, j int) float64 {
+	if j > i {
+		i, j = j, i
+	}
+	if i-j > b.bw {
+		return 0
+	}
+	return b.data[i*(b.bw+1)+j-i+b.bw]
+}
+
+// Set stores v at (i, j) (and, by symmetry, (j, i)). Entries outside the
+// band are rejected.
+func (b *BandMatrix) Set(i, j int, v float64) error {
+	if j > i {
+		i, j = j, i
+	}
+	if i < 0 || i >= b.n || i-j > b.bw {
+		return fmt.Errorf("band set (%d,%d) n=%d bw=%d: %w", i, j, b.n, b.bw, ErrDimensionMismatch)
+	}
+	b.data[i*(b.bw+1)+j-i+b.bw] = v
+	return nil
+}
+
+// Inc adds v at (i, j) (and, by symmetry, (j, i)).
+func (b *BandMatrix) Inc(i, j int, v float64) error {
+	if j > i {
+		i, j = j, i
+	}
+	if i < 0 || i >= b.n || i-j > b.bw {
+		return fmt.Errorf("band inc (%d,%d) n=%d bw=%d: %w", i, j, b.n, b.bw, ErrDimensionMismatch)
+	}
+	b.data[i*(b.bw+1)+j-i+b.bw] += v
+	return nil
+}
+
+// AddDiag adds v to every diagonal entry.
+func (b *BandMatrix) AddDiag(v float64) {
+	w1 := b.bw + 1
+	for i := 0; i < b.n; i++ {
+		b.data[i*w1+b.bw] += v
+	}
+}
+
+// CopyLowerBand overwrites the band with the lower-band entries of the
+// dense symmetric matrix a (entries of a outside the band are ignored —
+// the caller guarantees they are zero, as kktBandwidth does for the KKT
+// assembly).
+func (b *BandMatrix) CopyLowerBand(a *Matrix) error {
+	if a.Rows() != b.n || a.Cols() != b.n {
+		return fmt.Errorf("band copy from (%dx%d), n=%d: %w", a.Rows(), a.Cols(), b.n, ErrDimensionMismatch)
+	}
+	w1 := b.bw + 1
+	for i := 0; i < b.n; i++ {
+		lo := i - b.bw
+		k := 0
+		if lo < 0 {
+			for ; k < -lo; k++ {
+				b.data[i*w1+k] = 0
+			}
+			lo = 0
+		}
+		copy(b.data[i*w1+k:(i+1)*w1], a.Row(i)[lo:i+1])
+	}
+	return nil
+}
+
+// CopyFrom overwrites the band with src's band. Shapes must match.
+func (b *BandMatrix) CopyFrom(src *BandMatrix) error {
+	if src.n != b.n || src.bw != b.bw {
+		return fmt.Errorf("band copy from n=%d bw=%d into n=%d bw=%d: %w", src.n, src.bw, b.n, b.bw, ErrDimensionMismatch)
+	}
+	copy(b.data, src.data)
+	return nil
+}
+
+// MulVecSym computes y = A·x for the symmetric band matrix, walking only
+// the packed lower band (each off-diagonal entry is applied to both its
+// row and its mirrored column). Per element of y the terms accumulate in
+// ascending column order — the same association a dense band-limited
+// row-times-vector product uses — so results are bit-identical to
+// Matrix.MulVecBand on the materialized matrix.
+func (b *BandMatrix) MulVecSym(x, y Vector) error {
+	if len(x) != b.n || len(y) != b.n {
+		return fmt.Errorf("band mulvec x=%d y=%d n=%d: %w", len(x), len(y), b.n, ErrDimensionMismatch)
+	}
+	w1 := b.bw + 1
+	for i := range y {
+		y[i] = 0
+	}
+	for i := 0; i < b.n; i++ {
+		lo := i - b.bw
+		if lo < 0 {
+			lo = 0
+		}
+		row := b.data[i*w1+lo-i+b.bw : i*w1+w1]
+		xi := x[i]
+		var s float64
+		off := row[:len(row)-1]
+		xv := x[lo : lo+len(off)]
+		for k, v := range off {
+			s += v * xv[k]
+			y[lo+k] += v * xi
+		}
+		s += row[len(row)-1] * xi
+		y[i] += s
+	}
+	return nil
+}
+
+// ToDense materializes the full symmetric matrix (tests and debugging).
+func (b *BandMatrix) ToDense() *Matrix {
+	d := NewMatrix(b.n, b.n)
+	for i := 0; i < b.n; i++ {
+		lo := i - b.bw
+		if lo < 0 {
+			lo = 0
+		}
+		for j := lo; j <= i; j++ {
+			v := b.At(i, j)
+			d.Set(i, j, v)
+			d.Set(j, i, v)
+		}
+	}
+	return d
+}
+
+// BandCholesky factorizes symmetric positive-definite band matrices into
+// packed storage, split into a symbolic phase (Symbolic: size the packed
+// layout, allocate once) and a numeric phase (Factorize: refactorize
+// in place with zero allocations). Interior-point loops call Symbolic
+// once per problem shape and Factorize once per iteration.
+type BandCholesky struct {
+	n, bw int
+	l     []float64 // packed lower factor, bw+1 entries per row
+	// lt mirrors the factor transposed (packed columns of L) so back
+	// substitution walks memory contiguously; rebuilt by each Factorize.
+	lt   []float64
+	dinv []float64 // 1/L[i][i]: substitution multiplies instead of divides
+	// useLT records whether Factorize built the transposed copy: below
+	// ltThreshold floats the factor fits comfortably in L1, strided reads
+	// are free, and the copy pass is pure overhead (the interior-point
+	// workloads factorize tiny bands hundreds of thousands of times).
+	useLT bool
+}
+
+// ltThreshold is the packed-factor size (floats) above which Factorize
+// maintains the transposed copy for cache-friendly back substitution.
+const ltThreshold = 2048
+
+// Symbolic prepares the factorization for matrices of order n with
+// half-bandwidth bw: it sizes the packed factor storage, growing the
+// buffers only when the shape outgrows them. It performs no numeric work.
+func (c *BandCholesky) Symbolic(n, bw int) {
+	if n < 0 {
+		n = 0
+	}
+	if bw < 0 {
+		bw = 0
+	}
+	if bw > n-1 {
+		bw = n - 1
+	}
+	if n == 0 {
+		bw = 0
+	}
+	need := n * (bw + 1)
+	c.useLT = need > ltThreshold
+	if cap(c.l) < need {
+		c.l = make([]float64, need)
+	}
+	if c.useLT && cap(c.lt) < need {
+		c.lt = make([]float64, need)
+	}
+	if cap(c.dinv) < n {
+		c.dinv = make([]float64, n)
+	}
+	c.n, c.bw = n, bw
+	c.l = c.l[:need]
+	if c.useLT {
+		c.lt = c.lt[:need]
+	}
+	c.dinv = c.dinv[:n]
+}
+
+// N returns the order the factorization is prepared for.
+func (c *BandCholesky) N() int { return c.n }
+
+// Factorize runs the numeric phase on a, which must match the shape given
+// to Symbolic (Factorize re-runs Symbolic when it does not, so a bare
+// Factorize is always correct — just not guaranteed allocation-free).
+// On error the factor is invalid until the next successful call.
+func (c *BandCholesky) Factorize(a *BandMatrix) error {
+	if a.n != c.n || a.bw != c.bw {
+		c.Symbolic(a.n, a.bw)
+	}
+	n, bw := c.n, c.bw
+	w1 := bw + 1
+	l := c.l
+	ad := a.data
+	for i := 0; i < n; i++ {
+		lo := i - bw
+		if lo < 0 {
+			lo = 0
+		}
+		ri := l[i*w1 : (i+1)*w1]
+		for j := lo; j < i; j++ {
+			// s = a(i,j) − Σ_k L[i][k]·L[j][k], k ∈ [max(lo, j−bw), j).
+			kmin := j - bw
+			if kmin < lo {
+				kmin = lo
+			}
+			s := ad[i*w1+j-i+bw]
+			// The horizon QP's bands are narrow (bw = E, single digits), so
+			// these inner products are a handful of terms: plain loops beat
+			// a DotProd call, whose overhead would exceed the work.
+			if cnt := j - kmin; cnt > 0 {
+				la := ri[kmin-i+bw : j-i+bw]
+				lb := l[j*w1+kmin-j+bw : j*w1+bw]
+				lb = lb[:len(la)]
+				for k, v := range la {
+					s -= v * lb[k]
+				}
+			}
+			ri[j-i+bw] = s * c.dinv[j]
+		}
+		// Diagonal pivot.
+		s := ad[i*w1+bw]
+		for _, v := range ri[lo-i+bw : bw] {
+			s -= v * v
+		}
+		if s <= 0 || math.IsNaN(s) {
+			return fmt.Errorf("pivot %d = %g: %w", i, s, ErrNotPositiveDefinite)
+		}
+		d := math.Sqrt(s)
+		ri[bw] = d
+		c.dinv[i] = 1 / d
+	}
+	// Packed transposed copy: lt row i holds column i of L from the
+	// diagonal down, i.e. lt[i·w1+k] = L[i+k][i]. Skipped for factors
+	// small enough to sit in L1, where back substitution reads l directly.
+	if c.useLT {
+		lt := c.lt
+		for i := 0; i < n; i++ {
+			hi := bw
+			if i+hi > n-1 {
+				hi = n - 1 - i
+			}
+			for k := 0; k <= hi; k++ {
+				lt[i*w1+k] = l[(i+k)*w1+bw-k]
+			}
+		}
+	}
+	return nil
+}
+
+// Solve solves A x = b using the factorization, writing into x. x and b
+// may alias. It allocates nothing.
+func (c *BandCholesky) Solve(b Vector, x Vector) error {
+	n, bw := c.n, c.bw
+	if len(b) != n || len(x) != n {
+		return fmt.Errorf("band solve b=%d x=%d n=%d: %w", len(b), len(x), n, ErrDimensionMismatch)
+	}
+	w1 := bw + 1
+	l := c.l
+	// Forward substitution: L y = b. Narrow bands make the inner products
+	// a few terms each; inline loops avoid per-row call overhead.
+	for i := 0; i < n; i++ {
+		lo := i - bw
+		if lo < 0 {
+			lo = 0
+		}
+		s := b[i]
+		if lo < i {
+			lv := l[i*w1+lo-i+bw : i*w1+bw]
+			xv := x[lo:i]
+			xv = xv[:len(lv)]
+			for k, v := range lv {
+				s -= v * xv[k]
+			}
+		}
+		x[i] = s * c.dinv[i]
+	}
+	// Back substitution: Lᵀ x = y, off the packed transposed copy when one
+	// was built, else straight off l (small factors live in L1 anyway).
+	if c.useLT {
+		lt := c.lt
+		for i := n - 1; i >= 0; i-- {
+			hi := i + bw
+			if hi > n-1 {
+				hi = n - 1
+			}
+			s := x[i]
+			if i < hi {
+				lv := lt[i*w1+1 : i*w1+hi-i+1]
+				xv := x[i+1 : hi+1]
+				xv = xv[:len(lv)]
+				for k, v := range lv {
+					s -= v * xv[k]
+				}
+			}
+			x[i] = s * c.dinv[i]
+		}
+		return nil
+	}
+	for i := n - 1; i >= 0; i-- {
+		hi := i + bw
+		if hi > n-1 {
+			hi = n - 1
+		}
+		s := x[i]
+		for k := i + 1; k <= hi; k++ {
+			s -= l[k*w1+i-k+bw] * x[k]
+		}
+		x[i] = s * c.dinv[i]
+	}
+	return nil
+}

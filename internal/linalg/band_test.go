@@ -1,0 +1,320 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randBandSPD builds a random symmetric positive-definite matrix with the
+// given half-bandwidth, returned both dense and packed.
+func randBandSPD(rng *rand.Rand, n, bw int) (*Matrix, *BandMatrix) {
+	d := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		lo := i - bw
+		if lo < 0 {
+			lo = 0
+		}
+		for j := lo; j < i; j++ {
+			v := rng.NormFloat64()
+			d.Set(i, j, v)
+			d.Set(j, i, v)
+		}
+		// Diagonal dominance keeps it SPD for any band content.
+		d.Set(i, i, float64(2*bw+2)+rng.Float64())
+	}
+	b := NewBandMatrix(n, bw)
+	for i := 0; i < n; i++ {
+		lo := i - bw
+		if lo < 0 {
+			lo = 0
+		}
+		for j := lo; j <= i; j++ {
+			if err := b.Set(i, j, d.At(i, j)); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return d, b
+}
+
+func TestBandMatrixAccessors(t *testing.T) {
+	b := NewBandMatrix(5, 2)
+	if err := b.Set(3, 1, 7); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.At(3, 1); got != 7 {
+		t.Fatalf("At(3,1) = %g, want 7", got)
+	}
+	if got := b.At(1, 3); got != 7 {
+		t.Fatalf("symmetric At(1,3) = %g, want 7", got)
+	}
+	if got := b.At(0, 4); got != 0 {
+		t.Fatalf("out-of-band At(0,4) = %g, want 0", got)
+	}
+	if err := b.Set(0, 4, 1); err == nil {
+		t.Fatal("Set outside the band should fail")
+	}
+	if err := b.Inc(3, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.At(3, 1); got != 8 {
+		t.Fatalf("after Inc At(3,1) = %g, want 8", got)
+	}
+	b.AddDiag(2)
+	if got := b.At(2, 2); got != 2 {
+		t.Fatalf("after AddDiag At(2,2) = %g, want 2", got)
+	}
+}
+
+// TestBandCholeskyMatchesDense cross-checks the packed band factorization
+// against the dense Cholesky across shapes, including bw=0 (diagonal),
+// bw=n−1 (effectively dense), and rectangular-ish tall bands.
+func TestBandCholeskyMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, sz := range []struct{ n, bw int }{
+		{1, 0}, {2, 1}, {5, 0}, {5, 2}, {8, 7}, {17, 3}, {40, 6}, {60, 59},
+	} {
+		t.Run(fmt.Sprintf("n%d_bw%d", sz.n, sz.bw), func(t *testing.T) {
+			d, b := randBandSPD(rng, sz.n, sz.bw)
+			dense, err := NewCholesky(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var band BandCholesky
+			band.Symbolic(sz.n, sz.bw)
+			if err := band.Factorize(b); err != nil {
+				t.Fatal(err)
+			}
+			rhs := NewVector(sz.n)
+			for i := range rhs {
+				rhs[i] = rng.NormFloat64()
+			}
+			want := NewVector(sz.n)
+			if err := dense.Solve(rhs, want); err != nil {
+				t.Fatal(err)
+			}
+			got := NewVector(sz.n)
+			if err := band.Solve(rhs, got); err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if math.Abs(want[i]-got[i]) > 1e-9*(1+math.Abs(want[i])) {
+					t.Fatalf("x[%d]: band %g vs dense %g", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestBandCholeskyReuse refactorizes the same BandCholesky across shapes
+// and values: the symbolic/numeric split must stay correct when the shape
+// shrinks (buffers are reused) and when values change in place.
+func TestBandCholeskyReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	var c BandCholesky
+	for _, sz := range []struct{ n, bw int }{{30, 5}, {12, 2}, {30, 5}, {7, 6}} {
+		d, b := randBandSPD(rng, sz.n, sz.bw)
+		c.Symbolic(sz.n, sz.bw)
+		if err := c.Factorize(b); err != nil {
+			t.Fatal(err)
+		}
+		rhs := NewVector(sz.n)
+		for i := range rhs {
+			rhs[i] = rng.NormFloat64()
+		}
+		x := NewVector(sz.n)
+		if err := c.Solve(rhs, x); err != nil {
+			t.Fatal(err)
+		}
+		// Verify A x = rhs directly.
+		ax := NewVector(sz.n)
+		if err := d.MulVec(x, ax); err != nil {
+			t.Fatal(err)
+		}
+		for i := range ax {
+			if math.Abs(ax[i]-rhs[i]) > 1e-8*(1+math.Abs(rhs[i])) {
+				t.Fatalf("n=%d bw=%d: (Ax)[%d] = %g, want %g", sz.n, sz.bw, i, ax[i], rhs[i])
+			}
+		}
+	}
+}
+
+func TestBandCholeskyNotPositiveDefinite(t *testing.T) {
+	b := NewBandMatrix(3, 1)
+	_ = b.Set(0, 0, 1)
+	_ = b.Set(1, 1, -2)
+	_ = b.Set(2, 2, 1)
+	var c BandCholesky
+	c.Symbolic(3, 1)
+	if err := c.Factorize(b); err == nil {
+		t.Fatal("factorizing an indefinite matrix should fail")
+	}
+}
+
+// TestBandFactorizeNoAlloc proves the numeric phase and the solves are
+// allocation-free after Symbolic.
+func TestBandFactorizeNoAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	_, b := randBandSPD(rng, 64, 8)
+	var c BandCholesky
+	c.Symbolic(64, 8)
+	rhs := NewVector(64)
+	x := NewVector(64)
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := c.Factorize(b); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Solve(rhs, x); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("numeric factorize+solve allocates %g objects per run, want 0", allocs)
+	}
+}
+
+func TestBandMatrixCopyLowerBand(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	d, _ := randBandSPD(rng, 12, 3)
+	b := NewBandMatrix(12, 3)
+	// Poison the packed storage so stale entries would be caught.
+	for i := range b.data {
+		b.data[i] = math.NaN()
+	}
+	if err := b.CopyLowerBand(d); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		lo := i - 3
+		if lo < 0 {
+			lo = 0
+		}
+		for j := lo; j <= i; j++ {
+			if b.At(i, j) != d.At(i, j) {
+				t.Fatalf("(%d,%d): packed %g, dense %g", i, j, b.At(i, j), d.At(i, j))
+			}
+		}
+	}
+	got := b.ToDense()
+	for i := 0; i < 12; i++ {
+		for j := 0; j < 12; j++ {
+			if got.At(i, j) != d.At(i, j) {
+				t.Fatalf("ToDense(%d,%d): %g, want %g", i, j, got.At(i, j), d.At(i, j))
+			}
+		}
+	}
+}
+
+func TestKernels(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, n := range []int{0, 1, 3, 4, 7, 16, 33} {
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+		}
+		var want float64
+		for i := range x {
+			want += x[i] * y[i]
+		}
+		if got := DotProd(x, y); math.Abs(got-want) > 1e-12*(1+math.Abs(want)) {
+			t.Fatalf("DotProd n=%d: %g, want %g", n, got, want)
+		}
+
+		alpha := 0.37
+		wantY := append([]float64(nil), y...)
+		for i := range wantY {
+			wantY[i] += alpha * x[i]
+		}
+		gotY := append([]float64(nil), y...)
+		Axpy(alpha, x, gotY)
+		for i := range wantY {
+			if math.Abs(gotY[i]-wantY[i]) > 1e-12 {
+				t.Fatalf("Axpy n=%d i=%d: %g, want %g", n, i, gotY[i], wantY[i])
+			}
+		}
+
+		dst := make([]float64, n)
+		ScaledAdd(dst, y, alpha, x)
+		for i := range dst {
+			if math.Abs(dst[i]-wantY[i]) > 1e-12 {
+				t.Fatalf("ScaledAdd n=%d i=%d: %g, want %g", n, i, dst[i], wantY[i])
+			}
+		}
+		// Aliased forms.
+		alias := append([]float64(nil), y...)
+		ScaledAdd(alias, alias, alpha, x)
+		for i := range alias {
+			if math.Abs(alias[i]-wantY[i]) > 1e-12 {
+				t.Fatalf("aliased ScaledAdd n=%d i=%d: %g, want %g", n, i, alias[i], wantY[i])
+			}
+		}
+	}
+}
+
+// BenchmarkKernels covers the fused kernels with allocation reporting:
+// the hot loops of the solver must not allocate.
+func BenchmarkKernels(b *testing.B) {
+	const n = 256
+	x := make([]float64, n)
+	y := make([]float64, n)
+	dst := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i%7) - 3
+		y[i] = float64(i%5) - 2
+	}
+	b.Run("DotProd", func(b *testing.B) {
+		b.ReportAllocs()
+		var s float64
+		for i := 0; i < b.N; i++ {
+			s += DotProd(x, y)
+		}
+		_ = s
+	})
+	b.Run("Axpy", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			Axpy(1e-9, x, y)
+		}
+	})
+	b.Run("ScaledAdd", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ScaledAdd(dst, x, 0.5, y)
+		}
+	})
+}
+
+// BenchmarkBandCholesky measures the numeric refactorization + solve at
+// horizon-QP-like shapes, with allocation reporting (must be zero).
+func BenchmarkBandCholesky(b *testing.B) {
+	rng := rand.New(rand.NewSource(29))
+	for _, sz := range []struct{ n, bw int }{{48, 4}, {96, 8}, {240, 16}} {
+		_, bm := randBandSPD(rng, sz.n, sz.bw)
+		var c BandCholesky
+		c.Symbolic(sz.n, sz.bw)
+		rhs := NewVector(sz.n)
+		x := NewVector(sz.n)
+		for i := range rhs {
+			rhs[i] = rng.NormFloat64()
+		}
+		b.Run(fmt.Sprintf("n%d_bw%d", sz.n, sz.bw), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := c.Factorize(bm); err != nil {
+					b.Fatal(err)
+				}
+				if err := c.Solve(rhs, x); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

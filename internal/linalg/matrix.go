@@ -249,6 +249,47 @@ func (m *Matrix) AtATWeighted(w Vector, dst *Matrix) error {
 	return nil
 }
 
+// AtATWeightedBand accumulates Gᵀ·diag(w)·G into packed band storage. A
+// dense G generally fills the whole triangle, so dst's band must be full
+// (n−1) unless the caller knows the product is narrower; entries falling
+// outside the band are an error, surfaced per offending pair.
+func (m *Matrix) AtATWeightedBand(w Vector, dst *BandMatrix) error {
+	if len(w) != m.rows || dst.N() != m.cols {
+		return fmt.Errorf("gtwg band (%dx%d), w=%d, dst n=%d: %w",
+			m.rows, m.cols, len(w), dst.N(), ErrDimensionMismatch)
+	}
+	n := m.cols
+	bw := dst.Bandwidth()
+	for r := 0; r < m.rows; r++ {
+		wr := w[r]
+		if wr == 0 {
+			continue
+		}
+		row := m.data[r*n : (r+1)*n]
+		for i := 0; i < n; i++ {
+			f := wr * row[i]
+			if f == 0 {
+				continue
+			}
+			lo := i - bw
+			if lo < 0 {
+				lo = 0
+			}
+			for j := 0; j < lo; j++ {
+				if row[j] != 0 {
+					return fmt.Errorf("gtwg band: entry (%d,%d) outside band %d: %w",
+						i, j, bw, ErrDimensionMismatch)
+				}
+			}
+			di := dst.Row(i)
+			for j := lo; j <= i; j++ {
+				di[j-i+bw] += f * row[j]
+			}
+		}
+	}
+	return nil
+}
+
 // String renders the matrix for debugging.
 func (m *Matrix) String() string {
 	var b strings.Builder

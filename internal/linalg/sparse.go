@@ -17,6 +17,11 @@ type Operator interface {
 	MulVec(x Vector, y Vector) error
 	MulVecT(x Vector, y Vector) error
 	AtATWeighted(w Vector, dst *Matrix) error
+	// AtATWeightedBand accumulates AᵀDA directly into packed band storage,
+	// the zero-allocation KKT assembly path of the QP solver. The product
+	// must fit the band: dst.Bandwidth() ≥ GramBandwidth (callers size dst
+	// from the structure cache, so this holds by construction).
+	AtATWeightedBand(w Vector, dst *BandMatrix) error
 }
 
 var (
@@ -297,6 +302,45 @@ func (m *SparseMatrix) AtATWeighted(w Vector, dst *Matrix) error {
 		}
 		for j := i + 1; j <= hi; j++ {
 			dst.data[j*n+i] = dst.data[i*n+j]
+		}
+	}
+	return nil
+}
+
+// AtATWeightedBand accumulates Gᵀ·diag(w)·G into the packed band matrix
+// dst in O(Σᵢ nnzᵢ²), writing only the lower band (dst is symmetric by
+// representation, so no mirroring pass is needed). Every product entry
+// lands within GramBandwidth of the diagonal; dst's band must cover it.
+func (m *SparseMatrix) AtATWeightedBand(w Vector, dst *BandMatrix) error {
+	if len(w) != m.rows || dst.N() != m.cols {
+		return fmt.Errorf("sparse gtwg band (%dx%d), w=%d, dst n=%d: %w",
+			m.rows, m.cols, len(w), dst.N(), ErrDimensionMismatch)
+	}
+	bw := dst.Bandwidth()
+	if m.gramBW > bw {
+		return fmt.Errorf("sparse gtwg band: gram bandwidth %d exceeds dst band %d: %w",
+			m.gramBW, bw, ErrDimensionMismatch)
+	}
+	for r := 0; r < m.rows; r++ {
+		wr := w[r]
+		if wr == 0 {
+			continue
+		}
+		lo, hi := m.rowPtr[r], m.rowPtr[r+1]
+		cols := m.colIdx[lo:hi]
+		vals := m.vals[lo:hi]
+		// Columns are sorted: fix the larger index cj = cols[b] (the band
+		// row) and sweep the smaller ones, so each inner loop writes one
+		// contiguous run of the packed row.
+		for b, cj := range cols {
+			f := wr * vals[b]
+			if f == 0 {
+				continue
+			}
+			row := dst.Row(cj)
+			for a := 0; a <= b; a++ {
+				row[cols[a]-cj+bw] += f * vals[a]
+			}
 		}
 	}
 	return nil

@@ -16,9 +16,43 @@ func BenchmarkSolve(b *testing.B) {
 		p := randomFeasibleQP(rng, size.n, size.m)
 		b.Run(fmt.Sprintf("n%d_m%d", size.n, size.m), func(b *testing.B) {
 			b.ReportAllocs()
+			b.ResetTimer()
 			var iters int
 			for i := 0; i < b.N; i++ {
 				res, err := Solve(p, DefaultOptions())
+				if err != nil {
+					b.Fatal(err)
+				}
+				iters = res.Iterations
+			}
+			b.ReportMetric(float64(iters), "ipm_iters")
+		})
+	}
+}
+
+// BenchmarkSolveWarm measures the warm-started predictor-corrector solve —
+// the shape every MPC step and best-response round after the first takes.
+// With the symbolic/numeric factorization split and pooled iteration state,
+// allocs/op must stay a small constant independent of the iteration count
+// (see TestAllocsIndependentOfIterationCount for the hard assertion); the
+// reported ipm_iters shows how few iterations the warm path needs.
+func BenchmarkSolveWarm(b *testing.B) {
+	for _, size := range []struct{ n, m int }{
+		{10, 20}, {50, 100}, {150, 300},
+	} {
+		rng := rand.New(rand.NewSource(42))
+		p := randomFeasibleQP(rng, size.n, size.m)
+		cold, err := Solve(p, DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		warm := &WarmStart{X: cold.X, Z: cold.IneqDuals}
+		b.Run(fmt.Sprintf("n%d_m%d", size.n, size.m), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			var iters int
+			for i := 0; i < b.N; i++ {
+				res, err := SolveWarm(p, DefaultOptions(), warm)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -37,6 +71,7 @@ func BenchmarkSolveEqualityOnly(b *testing.B) {
 	p := randomFeasibleQP(rng, n, 1)
 	p.G, p.H = nil, nil
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Solve(p, DefaultOptions()); err != nil {
 			b.Fatal(err)

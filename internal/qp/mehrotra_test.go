@@ -1,0 +1,141 @@
+package qp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"dspp/internal/linalg"
+)
+
+// TestSolutionMatchesBruteForceX cross-checks the predictor–corrector
+// solution vector (not just the objective) against the active-set brute
+// force on randomized strictly convex problems: strict convexity makes the
+// minimizer unique, so the two independent methods must agree within the
+// solver tolerance.
+func TestSolutionMatchesBruteForceX(t *testing.T) {
+	rng := rand.New(rand.NewSource(90125))
+	checked := 0
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(3)
+		m := 1 + rng.Intn(5)
+		p := randomFeasibleQP(rng, n, m)
+		res, err := Solve(p, DefaultOptions())
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		bestX, _, ok := bruteForceQP(p)
+		if !ok {
+			continue
+		}
+		checked++
+		for i := range res.X {
+			if d := math.Abs(res.X[i] - bestX[i]); d > 1e-6*(1+math.Abs(bestX[i])) {
+				t.Errorf("trial %d: x[%d] = %.12g, brute force %.12g (Δ=%.3g)",
+					trial, i, res.X[i], bestX[i], d)
+			}
+		}
+	}
+	if checked < 20 {
+		t.Fatalf("only %d/40 trials produced a brute-force reference", checked)
+	}
+}
+
+// TestCorpusSolutionsIndependentOfWarmStart runs the randomized corpus
+// twice — cold and warm-started from the cold solution — and demands the
+// two solves land on the same point within 1e-6. The warm path exercises
+// the predictor-corrector's skip-corrector and adaptive step-length
+// branches that cold solves rarely reach.
+func TestCorpusSolutionsIndependentOfWarmStart(t *testing.T) {
+	rng := rand.New(rand.NewSource(555))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(10)
+		m := 1 + rng.Intn(2*n)
+		p := randomFeasibleQP(rng, n, m)
+		cold, err := Solve(p, DefaultOptions())
+		if err != nil {
+			t.Fatalf("trial %d cold: %v", trial, err)
+		}
+		warm, err := SolveWarm(p, DefaultOptions(), &WarmStart{X: cold.X, Z: cold.IneqDuals})
+		if err != nil {
+			t.Fatalf("trial %d warm: %v", trial, err)
+		}
+		if warm.Iterations > cold.Iterations {
+			t.Errorf("trial %d: warm solve took %d iters vs cold %d",
+				trial, warm.Iterations, cold.Iterations)
+		}
+		for i := range cold.X {
+			if d := math.Abs(cold.X[i] - warm.X[i]); d > 1e-6*(1+math.Abs(cold.X[i])) {
+				t.Errorf("trial %d: warm x[%d] = %.12g vs cold %.12g",
+					trial, i, warm.X[i], cold.X[i])
+			}
+		}
+	}
+}
+
+// TestPoisonedWarmStartReturnsErrNumerical pins the error contract the
+// degradation ladder depends on: when a warm start wrecks the iteration
+// numerically (NaN primal guess), the predictor-corrector path must
+// surface ErrNumerical so core.SolveHorizon retries from a cold start
+// instead of propagating an opaque failure.
+func TestPoisonedWarmStartReturnsErrNumerical(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	p := randomFeasibleQP(rng, 6, 12)
+	warm := &WarmStart{X: linalg.NewVector(6), Z: linalg.NewVector(12)}
+	for i := range warm.X {
+		warm.X[i] = math.NaN()
+	}
+	for i := range warm.Z {
+		warm.Z[i] = 0.1
+	}
+	_, err := SolveWarm(p, DefaultOptions(), warm)
+	if err == nil {
+		t.Fatal("poisoned warm start solved cleanly")
+	}
+	if !errors.Is(err, ErrNumerical) {
+		t.Fatalf("err = %v, want ErrNumerical", err)
+	}
+}
+
+// TestAllocsIndependentOfIterationCount proves the zero-allocation
+// property of the iteration loop: a solve that runs ~3× more interior-point
+// iterations must allocate exactly as much as a short one, because all
+// per-iteration storage (KKT band, factorization, residuals, directions)
+// is preallocated by the symbolic phase and pooled across solves.
+func TestAllocsIndependentOfIterationCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	p := randomFeasibleQP(rng, 30, 60)
+	loose := DefaultOptions()
+	loose.Tolerance = 1e-2
+	tight := DefaultOptions()
+	tight.Tolerance = 1e-11
+
+	resLoose, err := Solve(p, loose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resTight, err := Solve(p, tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resTight.Iterations < resLoose.Iterations+3 {
+		t.Skipf("iteration spread too small to discriminate (%d vs %d)",
+			resLoose.Iterations, resTight.Iterations)
+	}
+
+	allocsLoose := testing.AllocsPerRun(50, func() {
+		if _, err := Solve(p, loose); err != nil {
+			t.Fatal(err)
+		}
+	})
+	allocsTight := testing.AllocsPerRun(50, func() {
+		if _, err := Solve(p, tight); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocsTight != allocsLoose {
+		t.Errorf("allocations scale with iterations: %v allocs at %d iters vs %v at %d",
+			allocsTight, resTight.Iterations, allocsLoose, resLoose.Iterations)
+	}
+}

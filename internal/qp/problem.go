@@ -47,6 +47,16 @@ type Problem struct {
 	H linalg.Vector   // m or nil
 	A *linalg.Matrix  // p×n or nil
 	B linalg.Vector   // p or nil
+
+	// KKTBandHint, when positive, declares the KKT half-bandwidth as
+	// KKTBandHint−1: the solver then skips the O(n²) Q-band scan it would
+	// otherwise run per solve. Callers that solve the same problem shape
+	// thousands of times (the horizon QP structure cache) compute it once
+	// with KKTBandwidth and pass it here. Zero means "unknown, compute".
+	// A hint narrower than the true band silently corrupts the KKT system;
+	// it is the caller's contract that every nonzero of Q and of GᵀDG lies
+	// within the declared band.
+	KKTBandHint int
 }
 
 // Validate checks dimensional consistency.

@@ -30,6 +30,18 @@ func SolveWarm(p *Problem, opts Options, warm *WarmStart) (*Result, error) {
 // terminates within one iteration of ctx expiring. The returned error wraps
 // ctx.Err() (not ErrNumerical/ErrMaxIterations), letting callers tell an
 // abandoned solve from a failed one.
+//
+// Each iteration runs one Mehrotra predictor–corrector round: a single
+// numeric refactorization of the KKT matrix (into packed band storage,
+// laid out once per shape by the symbolic phase), an affine predictor
+// solve, the σ = (μ_aff/μ)³ centering heuristic, and a corrector solve
+// against the same factorization. Primal and dual step lengths are chosen
+// separately — the standard Mehrotra refinement, worth a few iterations on
+// most problems because a short slack step no longer truncates the dual
+// step. Between iterations the residuals are updated incrementally from
+// the Newton identities (an O(n·bw + m) pass instead of fresh matvecs);
+// any convergence verdict reached on incremental residuals is confirmed
+// against fully recomputed ones before it is accepted.
 func SolveWarmCtx(ctx context.Context, p *Problem, opts Options, warm *WarmStart) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -50,15 +62,24 @@ func SolveWarmCtx(ctx context.Context, p *Problem, opts Options, warm *WarmStart
 	st := newIPMState(p, n, m, pe)
 	defer st.release()
 	st.initPoint(warm)
+	st.szDot = linalg.DotProd(st.s[:m], st.z[:m])
 
+	st.computeResiduals()
 	for iter := 0; iter < opts.MaxIterations; iter++ {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("qp: iteration %d: %w", iter, err)
 		}
-		st.computeResiduals()
 		mu := st.gap()
 		if st.converged(opts.Tolerance, mu) {
-			return st.result(p, iter, mu)
+			// Incremental residuals drift by rounding; never declare
+			// victory off them without an exact recomputation.
+			if st.fresh {
+				return st.result(p, iter, mu)
+			}
+			st.computeResiduals()
+			if st.converged(opts.Tolerance, mu) {
+				return st.result(p, iter, mu)
+			}
 		}
 
 		if err := st.factorKKT(opts.Regularize); err != nil {
@@ -71,11 +92,11 @@ func SolveWarmCtx(ctx context.Context, p *Problem, opts Options, warm *WarmStart
 		for i := range rcv {
 			rcv[i] = sv[i] * zv[i]
 		}
-		if err := st.solveDirection(); err != nil {
+		affP, affD, err := st.solveDirection()
+		if err != nil {
 			return nil, fmt.Errorf("iteration %d (affine): %w", iter, err)
 		}
-		alphaAff := st.maxStep()
-		muAff := st.gapAfter(alphaAff)
+		muAff := st.gapAfter(affP, affD)
 
 		// Centering parameter (Mehrotra heuristic).
 		sigma := 0.0
@@ -84,20 +105,55 @@ func SolveWarmCtx(ctx context.Context, p *Problem, opts Options, warm *WarmStart
 			sigma = r * r * r
 		}
 
-		// Corrector direction: rc = s∘z + Δs_aff∘Δz_aff − σμ·1.
-		dsv, dzv := st.ds[:m], st.dz[:m]
-		for i := range rcv {
-			rcv[i] = sv[i]*zv[i] + dsv[i]*dzv[i] - sigma*mu
+		// Corrector direction: rc = s∘z + Δs_aff∘Δz_aff − σμ·1, solved
+		// against the predictor's factorization. When the affine direction
+		// already takes the full step and drops the gap below tolerance —
+		// the common tail of warm-started MPC and best-response solves —
+		// the correction cannot improve an already-accepted step, so the
+		// extra back-solve is skipped.
+		alphaP, alphaD := affP, affD
+		if muAff >= opts.Tolerance || affP < 1 || affD < 1 {
+			dsv, dzv := st.ds[:m], st.dz[:m]
+			for i := range rcv {
+				rcv[i] = sv[i]*zv[i] + dsv[i]*dzv[i] - sigma*mu
+			}
+			if alphaP, alphaD, err = st.solveDirection(); err != nil {
+				return nil, fmt.Errorf("iteration %d (corrector): %w", iter, err)
+			}
 		}
-		if err := st.solveDirection(); err != nil {
-			return nil, fmt.Errorf("iteration %d (corrector): %w", iter, err)
+		// Adaptive fraction-to-boundary (Mehrotra): back off by StepScale
+		// while far from the solution, but let η → 1 as the relative gap
+		// closes — the conservative margin is pure slowdown in the tail,
+		// where the affine direction is nearly exact.
+		eta := opts.StepScale
+		if g := 1 - mu/(1+math.Abs(st.obj)); g > eta {
+			eta = g
+			if eta > 0.9999 {
+				eta = 0.9999
+			}
 		}
-
-		alpha := opts.StepScale * st.maxStep()
-		if alpha > 1 {
-			alpha = 1
+		alphaP *= eta
+		alphaD *= eta
+		if alphaP > 1 {
+			alphaP = 1
 		}
-		st.step(alpha)
+		if alphaD > 1 {
+			alphaD = 1
+		}
+		floored := st.step(alphaP, alphaD)
+		// The Newton identities give the next residuals in O(n·bw + m):
+		//   rd⁺ = (1−αd)·rd + (αp−αd)·Q·dx − αd·reg·dx
+		//   rp⁺ = (1−αp)·rp,  re⁺ = (1−αp)·re
+		// They only hold for the system actually solved: recompute in full
+		// when the boundary floor clipped s or z (a nonlinear update), when
+		// the factorization needed a regularization bump (reg no longer the
+		// static value), with equalities present (the Schur regularization
+		// perturbs the re identity), and periodically to flush rounding.
+		if st.q > 0 || floored || st.bumped || iter&0xf == 0xf {
+			st.computeResiduals()
+		} else {
+			st.updateResiduals(alphaP, alphaD, opts.Regularize)
+		}
 	}
 
 	st.computeResiduals()
@@ -125,17 +181,39 @@ type ipmState struct {
 	rd, rp, re, rc linalg.Vector // residuals
 	dx, ds, dz, dy linalg.Vector // search direction
 
+	qx   linalg.Vector // Q·x at the current iterate (objective + rd)
 	w    linalg.Vector // z/s weights
 	sInv linalg.Vector // 1/s, refreshed by factorKKT for the direction solves
-	hMat *linalg.Matrix
-	hBW  int // half-bandwidth of H = Q + GᵀDG (n−1 when dense)
+	// hBand is the KKT matrix H = Q + GᵀDG in packed band storage: the
+	// symbolic phase (newIPMState) shapes it once per solve, the numeric
+	// phase (factorKKT) refills it in place every iteration.
+	hBand *linalg.BandMatrix
+	// qBand caches Q's band in packed storage, copied from the dense Q
+	// once per solve: the per-iteration KKT refill becomes one contiguous
+	// copy and the residual products walk packed rows instead of striding
+	// across dense ones.
+	qBand *linalg.BandMatrix
+	hBW   int // half-bandwidth of H (n−1 when dense)
 	// Constant per problem, hoisted out of the per-iteration convergence
 	// test: ‖c‖∞ and ‖h‖∞.
 	cNorm, hNorm float64
-	// obj is the objective at the current iterate, computed as a by-product
-	// of computeResiduals.
-	obj  float64
-	chol *linalg.Cholesky
+	// obj is the objective at the current iterate, maintained alongside the
+	// residuals.
+	obj float64
+	// szDot caches sᵀz, maintained by initPoint and step so gap() costs
+	// nothing per iteration.
+	szDot float64
+	// rdNorm/rpNorm/reNorm cache the ∞-norms of the residuals, tracked in
+	// the same passes that write them; converged() and result() read the
+	// cached values instead of rescanning.
+	rdNorm, rpNorm, reNorm float64
+	// fresh marks the residuals as exactly recomputed at the current
+	// iterate (vs. incrementally updated).
+	fresh bool
+	// bumped records that the last factorization needed the emergency
+	// regularization bump, invalidating the incremental residual identity.
+	bumped bool
+	bchol  *linalg.BandCholesky
 	// Schur complement pieces for equality constraints.
 	hInvAt *linalg.Matrix
 	schur  *linalg.Cholesky
@@ -165,53 +243,82 @@ func kktBandwidth(p *Problem, n int) int {
 	return bw
 }
 
+// KKTBandwidth computes the half-bandwidth of the KKT matrix
+// H = Q + Gᵀdiag(w)G, the value Problem.KKTBandHint caches (as hint−1).
+// The scan costs O(n²) on Q; callers that rebuild the same problem
+// structure repeatedly run it once and pass the hint ever after.
+func KKTBandwidth(p *Problem) int {
+	return kktBandwidth(p, p.NumVars())
+}
+
 // statePool recycles ipmStates across solves: MPC and best-response loops
-// solve tens of thousands of same-shaped QPs, and the working vectors plus
-// the n×n KKT buffer dominate the solver's allocation profile.
+// solve tens of thousands of QPs, and the working vectors plus the packed
+// KKT band dominate the solver's allocation profile. Buffers grow to the
+// largest shape seen and are resliced for smaller ones, so interleaving
+// different problem sizes (the horizon sweep) stops allocating once every
+// shape has been visited.
 var statePool = sync.Pool{New: func() any {
-	return &ipmState{chol: &linalg.Cholesky{}, schur: &linalg.Cholesky{}}
+	return &ipmState{hBand: &linalg.BandMatrix{}, qBand: &linalg.BandMatrix{}, bchol: &linalg.BandCholesky{}, schur: &linalg.Cholesky{}}
 }}
+
+// growVec reslices v to length n, reallocating only when the capacity is
+// insufficient. Contents are unspecified; every user overwrites before
+// reading.
+func growVec(v linalg.Vector, n int) linalg.Vector {
+	if cap(v) < n {
+		return linalg.NewVector(n)
+	}
+	return v[:n]
+}
 
 func newIPMState(p *Problem, n, m, q int) *ipmState {
 	st := statePool.Get().(*ipmState)
 	st.p = p
-	st.hBW = kktBandwidth(p, n)
+	if p.KKTBandHint > 0 {
+		st.hBW = p.KKTBandHint - 1
+		if st.hBW > n-1 {
+			st.hBW = n - 1
+		}
+	} else {
+		st.hBW = kktBandwidth(p, n)
+	}
 	st.cNorm = p.C.NormInf()
 	st.hNorm = 0
 	if m > 0 {
 		st.hNorm = p.H.NormInf()
 	}
-	if st.n != n {
-		st.x = linalg.NewVector(n)
-		st.rd = linalg.NewVector(n)
-		st.dx = linalg.NewVector(n)
-		st.scratchN = linalg.NewVector(n)
-		st.scratchN2 = linalg.NewVector(n)
-		st.hMat = linalg.NewMatrix(n, n)
-	}
-	if st.m != m {
-		st.s = linalg.NewVector(m)
-		st.z = linalg.NewVector(m)
-		st.rp = linalg.NewVector(m)
-		st.rc = linalg.NewVector(m)
-		st.ds = linalg.NewVector(m)
-		st.dz = linalg.NewVector(m)
-		st.w = linalg.NewVector(m)
-		st.sInv = linalg.NewVector(m)
-		st.scratchM = linalg.NewVector(m)
-	}
-	if st.q != q {
-		st.y = linalg.NewVector(q)
-		st.re = linalg.NewVector(q)
-		st.dy = linalg.NewVector(q)
-		st.scratchQ = linalg.NewVector(q)
-	}
+	st.x = growVec(st.x, n)
+	st.rd = growVec(st.rd, n)
+	st.dx = growVec(st.dx, n)
+	st.qx = growVec(st.qx, n)
+	st.scratchN = growVec(st.scratchN, n)
+	st.scratchN2 = growVec(st.scratchN2, n)
+	st.s = growVec(st.s, m)
+	st.z = growVec(st.z, m)
+	st.rp = growVec(st.rp, m)
+	st.rc = growVec(st.rc, m)
+	st.ds = growVec(st.ds, m)
+	st.dz = growVec(st.dz, m)
+	st.w = growVec(st.w, m)
+	st.sInv = growVec(st.sInv, m)
+	st.scratchM = growVec(st.scratchM, m)
+	st.y = growVec(st.y, q)
+	st.re = growVec(st.re, q)
+	st.dy = growVec(st.dy, q)
+	st.scratchQ = growVec(st.scratchQ, q)
 	st.n, st.m, st.q = n, m, q
+	// Symbolic phase: shape the packed band and the factor layout once; the
+	// per-iteration numeric phase then refills and refactorizes in place
+	// with zero allocations.
+	st.hBand.Reset(n, st.hBW)
+	st.bchol.Symbolic(n, st.hBW)
+	st.qBand.Reset(n, st.hBW)
+	_ = st.qBand.CopyLowerBand(p.Q)
 	return st
 }
 
 // release returns the state to the pool. Every iterate the caller keeps is
-// cloned by result(), so the buffers are free to be reused. The stale hMat
+// cloned by result(), so the buffers are free to be reused. Stale band
 // content is harmless: factorKKT rewrites the full working band before the
 // factorization reads it.
 func (st *ipmState) release() {
@@ -246,11 +353,13 @@ func (st *ipmState) initPoint(warm *WarmStart) {
 		// Keep a modest distance from the boundary: a warm point sitting
 		// exactly on an active constraint would start the iteration with a
 		// near-singular scaling matrix.
-		// The 1e-4 floor balances two failure modes measured on the MPC
+		// The 1e-7 floor balances two failure modes measured on the MPC
 		// and best-response workloads: larger floors discard most of the
-		// warm point's centering information, smaller ones start so close
-		// to the boundary that the first steps collapse.
-		floor := 1e-4 * (1 + math.Abs(st.p.H[i]))
+		// warm point's centering information (1e-4 costs ~2 extra
+		// iterations per warm solve under the adaptive fraction-to-boundary
+		// rule), while smaller ones start so close to the boundary that the
+		// first steps collapse on cold or badly shifted warm points.
+		floor := 1e-7 * (1 + math.Abs(st.p.H[i]))
 		slack := st.p.H[i] - gx[i]
 		if slack < floor {
 			slack = floor
@@ -268,63 +377,131 @@ func (st *ipmState) initPoint(warm *WarmStart) {
 	st.y.Zero()
 }
 
+// computeResiduals evaluates rd, rp, re, the objective, and Q·x exactly at
+// the current iterate.
 func (st *ipmState) computeResiduals() {
 	p := st.p
-	// rd = Qx + c + Gᵀz + Aᵀy (Q's band is inside the KKT band)
-	_ = p.Q.MulVecBand(st.hBW, st.x, st.rd)
+	// qx = Qx (Q's band is inside the KKT band); rd = Qx + c + Gᵀz + Aᵀy.
+	_ = st.qBand.MulVecSym(st.x, st.qx)
 	// The product Qx in hand, the objective ½xᵀQx + cᵀx falls out of the
 	// same pass; converged() and result() reuse it instead of redoing the
 	// banded product. The value matches Problem.Objective exactly: the
 	// entries the band skips are exact zeros, which cannot change an IEEE
 	// accumulation.
 	var obj float64
-	rd, c, x := st.rd[:st.n], p.C[:st.n], st.x[:st.n]
+	rd, qxv, c, x := st.rd[:st.n], st.qx[:st.n], p.C[:st.n], st.x[:st.n]
 	for i := range rd {
-		obj += x[i] * (0.5*rd[i] + c[i])
-		rd[i] += c[i]
+		obj += x[i] * (0.5*qxv[i] + c[i])
+		rd[i] = qxv[i] + c[i]
 	}
 	st.obj = obj
 	_ = p.G.MulVecT(st.z, st.scratchN)
 	sn := st.scratchN[:st.n]
+	var rdN float64
 	for i := range rd {
-		rd[i] += sn[i]
+		v := rd[i] + sn[i]
+		rd[i] = v
+		if v < 0 {
+			v = -v
+		}
+		if v > rdN {
+			rdN = v
+		}
 	}
 	if st.q > 0 {
 		_ = p.A.MulVecT(st.y, st.scratchN)
+		rdN = 0
 		for i := range rd {
-			rd[i] += sn[i]
+			v := rd[i] + sn[i]
+			rd[i] = v
+			if v < 0 {
+				v = -v
+			}
+			if v > rdN {
+				rdN = v
+			}
 		}
 	}
+	st.rdNorm = rdN
 	// rp = Gx + s − h
 	_ = p.G.MulVec(st.x, st.rp)
 	rp, s, h := st.rp[:st.m], st.s[:st.m], p.H[:st.m]
+	var rpN float64
 	for i := range rp {
-		rp[i] += s[i] - h[i]
+		v := rp[i] + (s[i] - h[i])
+		rp[i] = v
+		if v < 0 {
+			v = -v
+		}
+		if v > rpN {
+			rpN = v
+		}
 	}
+	st.rpNorm = rpN
 	// re = Ax − b
+	st.reNorm = 0
 	if st.q > 0 {
 		_ = p.A.MulVec(st.x, st.re)
 		for i := range st.re {
 			st.re[i] -= p.B[i]
 		}
+		st.reNorm = st.re.NormInf()
 	}
+	st.fresh = true
+}
+
+// updateResiduals advances rd, rp, the objective, and Q·x across the step
+// (αp, αd) from the Newton identities of the direction just taken: one
+// banded matvec with dx instead of the four matvecs of a full evaluation.
+// Only valid when q == 0, the step did not clip at the positivity floor,
+// and the factorization used the static regularization (callers check).
+func (st *ipmState) updateResiduals(alphaP, alphaD, reg float64) {
+	_ = st.qBand.MulVecSym(st.dx, st.scratchN)
+	qdx := st.scratchN[:st.n]
+	rd, qxv, dx := st.rd[:st.n], st.qx[:st.n], st.dx[:st.n]
+	pd := alphaP - alphaD
+	omd := 1 - alphaD
+	var rdN float64
+	for i := range rd {
+		v := omd*rd[i] + pd*qdx[i] - alphaD*reg*dx[i]
+		rd[i] = v
+		qxv[i] += alphaP * qdx[i]
+		if v < 0 {
+			v = -v
+		}
+		if v > rdN {
+			rdN = v
+		}
+	}
+	st.rdNorm = rdN
+	var obj float64
+	c, x := st.p.C[:st.n], st.x[:st.n]
+	for i := range x {
+		obj += x[i] * (0.5*qxv[i] + c[i])
+	}
+	st.obj = obj
+	omp := 1 - alphaP
+	rp := st.rp[:st.m]
+	for i := range rp {
+		rp[i] *= omp
+	}
+	if omp < 0 {
+		omp = -omp
+	}
+	st.rpNorm *= omp
+	st.fresh = false
 }
 
 func (st *ipmState) gap() float64 {
-	var g float64
-	s, z := st.s[:st.m], st.z[:st.m]
-	for i := range s {
-		g += s[i] * z[i]
-	}
-	return g / float64(st.m)
+	return st.szDot / float64(st.m)
 }
 
-func (st *ipmState) gapAfter(alpha float64) float64 {
+func (st *ipmState) gapAfter(alphaP, alphaD float64) float64 {
 	var g float64
 	s, ds := st.s[:st.m], st.ds[:st.m]
 	z, dz := st.z[:st.m], st.dz[:st.m]
 	for i := range s {
-		g += (s[i] + alpha*ds[i]) * (z[i] + alpha*dz[i])
+		g += (s[i] + alphaP*ds[i]) * (z[i] + alphaD*dz[i])
 	}
 	return g / float64(st.m)
 }
@@ -342,66 +519,67 @@ func (st *ipmState) converged(tol, mu float64) bool {
 		eqScale += st.p.B.NormInf()
 	}
 	return mu < tol*objScale &&
-		st.rd.NormInf() < tol*dualScale*objScale &&
-		st.rp.NormInf() < tol*priScale &&
-		st.re.NormInf() < tol*eqScale
+		st.rdNorm < tol*dualScale*objScale &&
+		st.rpNorm < tol*priScale &&
+		st.reNorm < tol*eqScale
 }
 
-// factorKKT forms H = Q + Gᵀdiag(z/s)G (+ regularization) and factorizes
-// it, plus the Schur complement A H⁻¹ Aᵀ when equalities are present.
+// factorKKT runs the numeric factorization phase: refill the packed band
+// with H = Q + Gᵀdiag(z/s)G (+ regularization) and refactorize in place,
+// plus the Schur complement A H⁻¹ Aᵀ when equalities are present. The
+// symbolic phase (layout and storage) happened once in newIPMState, so no
+// allocation occurs here on the q == 0 path.
 func (st *ipmState) factorKKT(reg float64) error {
+	st.bumped = false
 	sInv, wv := st.sInv[:st.m], st.w[:st.m]
 	sv, zv := st.s[:st.m], st.z[:st.m]
 	for i := range sv {
 		sInv[i] = 1 / sv[i]
 		wv[i] = zv[i] * sInv[i]
 	}
-	// Assemble only the working band |i−j| ≤ hBW: H = Q (+ reg·I) copied in,
-	// then Gᵀdiag(w)G accumulated on top. kktBandwidth guarantees both terms
-	// live inside the band, and the banded factorization below never reads
-	// outside it, so stale out-of-band entries need no clearing.
+	// Refill the working band: Q's packed band (cached once per solve by
+	// newIPMState) lands in one contiguous copy, reg goes on the diagonal,
+	// then Gᵀdiag(w)G is accumulated on top. kktBandwidth (or the caller's
+	// hint) guarantees both terms live inside the band.
 	n, bw := st.n, st.hBW
-	for i := 0; i < n; i++ {
-		lo, hi := i-bw, i+bw
-		if lo < 0 {
-			lo = 0
-		}
-		if hi > n-1 {
-			hi = n - 1
-		}
-		row := st.hMat.Row(i)
-		qrow := st.p.Q.Row(i)
-		copy(row[lo:hi+1], qrow[lo:hi+1])
-		row[i] += reg
-	}
-	if err := st.p.G.AtATWeighted(st.w, st.hMat); err != nil {
+	_ = st.hBand.CopyFrom(st.qBand)
+	st.hBand.AddDiag(reg)
+	if err := st.p.G.AtATWeightedBand(st.w, st.hBand); err != nil {
 		return err
 	}
-	if err := st.chol.FactorizeBand(st.hMat, st.hBW); err != nil {
+	if err := st.bchol.Factorize(st.hBand); err != nil {
 		// Retry once with heavier regularization, scaled to the matrix
 		// magnitude: near-complementary iterates blow the z/s weights up
 		// to ~1e14, where an absolute 1e-8 shift is lost in rounding.
 		var maxDiag float64
-		for i := 0; i < st.n; i++ {
-			if d := st.hMat.At(i, i); d > maxDiag {
+		for i := 0; i < n; i++ {
+			if d := st.hBand.Row(i)[bw]; d > maxDiag {
 				maxDiag = d
 			}
 		}
-		bump := 1e-8 * (1 + maxDiag)
-		for i := 0; i < st.n; i++ {
-			st.hMat.Inc(i, i, bump)
-		}
-		if err := st.chol.FactorizeBand(st.hMat, st.hBW); err != nil {
+		st.bumped = true
+		st.hBand.AddDiag(1e-8 * (1 + maxDiag))
+		if err := st.bchol.Factorize(st.hBand); err != nil {
 			return fmt.Errorf("%v: %w", err, ErrNumerical)
 		}
 	}
 
 	if st.q > 0 {
+		// Equality constraints sit off the experiment hot paths, so the
+		// Schur pieces keep their straightforward dense implementation.
 		at := st.p.A.T()
-		var err error
-		st.hInvAt, err = st.chol.SolveMatrix(at)
-		if err != nil {
-			return fmt.Errorf("%v: %w", err, ErrNumerical)
+		st.hInvAt = linalg.NewMatrix(st.n, st.q)
+		col := st.scratchN2
+		for j := 0; j < st.q; j++ {
+			for i := 0; i < st.n; i++ {
+				col[i] = at.At(i, j)
+			}
+			if err := st.bchol.Solve(col, col); err != nil {
+				return fmt.Errorf("%v: %w", err, ErrNumerical)
+			}
+			for i := 0; i < st.n; i++ {
+				st.hInvAt.Set(i, j, col[i])
+			}
 		}
 		sc, err := linalg.Mul(st.p.A, st.hInvAt)
 		if err != nil {
@@ -420,7 +598,10 @@ func (st *ipmState) factorKKT(reg float64) error {
 // solveDirection solves the reduced Newton system for the current
 // residuals (rd, rp, re, rc), storing the direction in dx/ds/dz/dy.
 // factorKKT must have been called for the current (s, z).
-func (st *ipmState) solveDirection() error {
+// solveDirection computes the search direction for the current rc and, in
+// the same pass that forms (ds, dz), the largest steps keeping s and z
+// positive, each in (0, 1].
+func (st *ipmState) solveDirection() (alphaP, alphaD float64, err error) {
 	// r1 = −rd − Gᵀ S⁻¹ (Z·rp − rc)
 	scr := st.scratchM[:st.m]
 	z, rp, rc, sInv := st.z[:st.m], st.rp[:st.m], st.rc[:st.m], st.sInv[:st.m]
@@ -428,7 +609,7 @@ func (st *ipmState) solveDirection() error {
 		scr[i] = (z[i]*rp[i] - rc[i]) * sInv[i]
 	}
 	if err := st.p.G.MulVecT(st.scratchM, st.scratchN); err != nil {
-		return err
+		return 0, 0, err
 	}
 	r1 := st.dx[:st.n] // reuse storage
 	rd, sn := st.rd[:st.n], st.scratchN[:st.n]
@@ -437,83 +618,95 @@ func (st *ipmState) solveDirection() error {
 	}
 
 	if st.q == 0 {
-		if err := st.chol.Solve(r1, st.dx); err != nil {
-			return fmt.Errorf("%v: %w", err, ErrNumerical)
+		if err := st.bchol.Solve(r1, st.dx); err != nil {
+			return 0, 0, fmt.Errorf("%v: %w", err, ErrNumerical)
 		}
 	} else {
 		// Schur: (A H⁻¹ Aᵀ) dy = A H⁻¹ r1 + re, dx = H⁻¹ (r1 − Aᵀ dy).
 		hr := st.scratchN2
-		if err := st.chol.Solve(r1, hr); err != nil {
-			return fmt.Errorf("%v: %w", err, ErrNumerical)
+		if err := st.bchol.Solve(r1, hr); err != nil {
+			return 0, 0, fmt.Errorf("%v: %w", err, ErrNumerical)
 		}
 		rhs := st.scratchQ
 		if err := st.p.A.MulVec(hr, rhs); err != nil {
-			return err
+			return 0, 0, err
 		}
 		for i := 0; i < st.q; i++ {
 			rhs[i] += st.re[i]
 		}
 		if err := st.schur.Solve(rhs, st.dy); err != nil {
-			return fmt.Errorf("%v: %w", err, ErrNumerical)
+			return 0, 0, fmt.Errorf("%v: %w", err, ErrNumerical)
 		}
 		if err := st.p.A.MulVecT(st.dy, st.scratchN); err != nil {
-			return err
+			return 0, 0, err
 		}
 		for i := 0; i < st.n; i++ {
 			r1[i] -= st.scratchN[i]
 		}
-		if err := st.chol.Solve(r1, st.dx); err != nil {
-			return fmt.Errorf("%v: %w", err, ErrNumerical)
+		if err := st.bchol.Solve(r1, st.dx); err != nil {
+			return 0, 0, fmt.Errorf("%v: %w", err, ErrNumerical)
 		}
 	}
 
-	// ds = −rp − G dx ; dz = S⁻¹(−rc − Z ds).
+	// ds = −rp − G dx ; dz = S⁻¹(−rc − Z ds). The boundary step lengths
+	// fall out of the same pass: since s, z > 0 the guard −v > alpha·d can
+	// only fire for d < 0, where it is exactly −v/d < alpha, so the common
+	// non-tightening case costs a multiply instead of a divide. Decoupled
+	// primal/dual steps are the standard Mehrotra refinement: a slack
+	// pinned at its boundary no longer truncates the dual step (and vice
+	// versa), which shortens the tail of the iteration.
 	if err := st.p.G.MulVec(st.dx, st.scratchM); err != nil {
-		return err
+		return 0, 0, err
 	}
-	ds, dz := st.ds[:st.m], st.dz[:st.m]
+	alphaP, alphaD = 1.0, 1.0
+	ds, dz, s := st.ds[:st.m], st.dz[:st.m], st.s[:st.m]
 	for i := range ds {
 		d := -rp[i] - scr[i]
 		ds[i] = d
-		dz[i] = (-rc[i] - z[i]*d) * sInv[i]
+		dzi := (-rc[i] - z[i]*d) * sInv[i]
+		dz[i] = dzi
+		if -s[i] > alphaP*d {
+			alphaP = -s[i] / d
+		}
+		if -z[i] > alphaD*dzi {
+			alphaD = -z[i] / dzi
+		}
 	}
-	return nil
+	return alphaP, alphaD, nil
 }
 
-// maxStep returns the largest alpha in (0, 1] keeping s and z positive.
-// Since s, z > 0, the guard −v > alpha·d can only fire for d < 0, where it
-// is exactly −v/d < alpha: the common non-tightening case costs a multiply
-// instead of a divide.
-func (st *ipmState) maxStep() float64 {
-	alpha := 1.0
+// step advances the iterate by αp along (dx, ds) and αd along (dz, dy),
+// flooring s and z away from zero. It reports whether any floor fired —
+// a nonlinear correction that invalidates the incremental residual
+// identities.
+func (st *ipmState) step(alphaP, alphaD float64) bool {
+	linalg.Axpy(alphaP, st.dx[:st.n], st.x[:st.n])
+	linalg.Axpy(alphaD, st.dy[:st.q], st.y[:st.q])
+	// s and z advance, floor, and accumulate the complementarity product
+	// sᵀz in a single pass; gap() reads the cached product instead of
+	// rescanning both vectors every iteration.
+	const floor = 1e-14
+	floored := false
+	var dot float64
 	s, ds := st.s[:st.m], st.ds[:st.m]
 	z, dz := st.z[:st.m], st.dz[:st.m]
 	for i := range s {
-		if -s[i] > alpha*ds[i] {
-			alpha = -s[i] / ds[i]
+		si := s[i] + alphaP*ds[i]
+		if si < floor {
+			si = floor
+			floored = true
 		}
-		if -z[i] > alpha*dz[i] {
-			alpha = -z[i] / dz[i]
+		s[i] = si
+		zi := z[i] + alphaD*dz[i]
+		if zi < floor {
+			zi = floor
+			floored = true
 		}
+		z[i] = zi
+		dot += si * zi
 	}
-	return alpha
-}
-
-func (st *ipmState) step(alpha float64) {
-	_ = st.x.AXPY(alpha, st.dx)
-	_ = st.s.AXPY(alpha, st.ds)
-	_ = st.z.AXPY(alpha, st.dz)
-	_ = st.y.AXPY(alpha, st.dy)
-	const floor = 1e-14
-	s, z := st.s[:st.m], st.z[:st.m]
-	for i := range s {
-		if s[i] < floor {
-			s[i] = floor
-		}
-		if z[i] < floor {
-			z[i] = floor
-		}
-	}
+	st.szDot = dot
+	return floored
 }
 
 func (st *ipmState) result(p *Problem, iters int, mu float64) (*Result, error) {
@@ -531,8 +724,8 @@ func (st *ipmState) result(p *Problem, iters int, mu float64) (*Result, error) {
 		Objective:  st.obj,
 		Iterations: iters,
 		Gap:        mu,
-		PrimalRes:  math.Max(st.rp.NormInf(), st.re.NormInf()),
-		DualRes:    st.rd.NormInf(),
+		PrimalRes:  math.Max(st.rpNorm, st.reNorm),
+		DualRes:    st.rdNorm,
 	}
 	if st.q > 0 {
 		y := buf[st.n+st.m:]

@@ -17,6 +17,21 @@ go test -race ./...
 
 echo "== benchmark smoke (1 iteration each) =="
 go test -run XXX -bench . -benchtime 1x .
+go test -run XXX -bench . -benchtime 1x ./internal/qp ./internal/core
+
+echo "== BENCH_2.json guard =="
+# The perf record must exist and its experiment metrics must agree with
+# the BENCH_1 baseline: a faster solver that changes mean_iters_cap100 or
+# best_horizon changed the experiments' answers, not just their speed.
+[ -f BENCH_2.json ] || { echo "BENCH_2.json missing (run scripts/bench.sh)"; exit 1; }
+for metric in mean_iters_cap100 best_horizon; do
+	v1=$(grep -o "\"$metric\": [0-9.]*" BENCH_1.json | tail -1 | sed 's/.*: //')
+	v2=$(grep -o "\"$metric\": [0-9.]*" BENCH_2.json | tail -1 | sed 's/.*: //')
+	[ -n "$v1" ] && [ -n "$v2" ] || { echo "metric $metric missing from a BENCH json"; exit 1; }
+	awk "BEGIN { exit !($v1 == $v2) }" || {
+		echo "metric $metric drifted: BENCH_1=$v1 BENCH_2=$v2"; exit 1; }
+done
+echo "BENCH_2.json present, experiment metrics match BENCH_1"
 
 echo "== fault-injection smoke (robust-outage under -race) =="
 # Drives the outage/recovery experiment end to end — the controller must
