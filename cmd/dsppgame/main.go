@@ -8,10 +8,16 @@
 //
 //	dsppgame [-players 4] [-bottleneck 150] [-window 3]
 //	         [-alpha 100] [-epsilon 0.05] [-seed 11] [-timeout 30s]
+//	         [-telemetry-addr :8080] [-trace-out game.jsonl]
 //
 // With -timeout, the best-response loop runs under a deadline: on expiry
 // it stops within one round and reports the last (non-equilibrium)
 // iterate instead of hanging on slow scenarios.
+//
+// With -telemetry-addr, a live ops endpoint serves /metrics,
+// /debug/vars and /debug/pprof/* during the run; -trace-out streams the
+// best_response/round/qp_solve span hierarchy as JSONL (replayable with
+// `dsppsim trace-summary`).
 package main
 
 import (
@@ -42,8 +48,35 @@ func run(args []string, out *os.File) error {
 	epsilon := fs.Float64("epsilon", 0.01, "relative stability threshold (paper uses 0.05; tighter tracks the optimum closer)")
 	seed := fs.Int64("seed", 11, "random seed")
 	timeout := fs.Duration("timeout", 0, "wall-clock budget for Algorithm 2 (0 = none)")
+	telemetryAddr := fs.String("telemetry-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address during the run")
+	traceOut := fs.String("trace-out", "", "stream the span trace as JSONL to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var tel *dspp.Telemetry
+	if *telemetryAddr != "" || *traceOut != "" {
+		var opts []dspp.TelemetryOption
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				return fmt.Errorf("create trace: %w", err)
+			}
+			defer f.Close()
+			opts = append(opts, dspp.WithTraceWriter(f))
+		}
+		tel = dspp.NewTelemetry(opts...)
+		if *telemetryAddr != "" {
+			addr, stopServe, err := dspp.ServeTelemetry(*telemetryAddr, tel)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "dsppgame: telemetry on http://%s/metrics\n", addr)
+			defer func() {
+				if serr := stopServe(); serr != nil {
+					fmt.Fprintln(os.Stderr, "dsppgame:", serr)
+				}
+			}()
+		}
 	}
 	if *players < 1 || *players > 64 {
 		return fmt.Errorf("players %d out of range 1-64", *players)
@@ -76,6 +109,7 @@ func run(args []string, out *os.File) error {
 		Alpha:     *alpha,
 		Epsilon:   *epsilon,
 		StepDecay: 0.3,
+		Telemetry: tel,
 	})
 	if err != nil {
 		// A deadline expiry with a partial iterate is reported, not fatal.
@@ -102,6 +136,9 @@ func run(args []string, out *os.File) error {
 	fmt.Fprintf(out, "total cost: NE %.4f vs social optimum %.4f (ratio %.4f)\n",
 		ne.Total, swp.Total, ratio)
 	fmt.Fprintf(out, "Theorem 1 predicts ratio -> 1 for the best equilibrium\n")
+	if tel != nil {
+		fmt.Fprintf(out, "\ntelemetry:\n%s", dspp.MetricsTable(tel))
+	}
 	return nil
 }
 

@@ -2,6 +2,7 @@ package main
 
 import (
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -29,6 +30,31 @@ func TestRunGameBasic(t *testing.T) {
 	for _, want := range []string{"Algorithm 2", "social optimum", "sp1", "sp2", "ratio"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunGameTelemetry(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "game.jsonl")
+	out, err := runToString(t, []string{
+		"-players", "2", "-bottleneck", "100",
+		"-telemetry-addr", "127.0.0.1:0", "-trace-out", tracePath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"telemetry:", "dspp_game_rounds_total", "dspp_qp_solves_total"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, span := range []string{`"span":"best_response"`, `"span":"best_response_round"`, `"span":"qp_solve"`} {
+		if !strings.Contains(string(data), span) {
+			t.Errorf("trace missing %s", span)
 		}
 	}
 }

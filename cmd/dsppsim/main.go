@@ -14,11 +14,19 @@
 //	        [-predictor perfect|persistence|seasonal|ar] [-seed 7]
 //	        [-fault outage:dc=1,start=10,end=20] [-fault noise:start=0,end=47,factor=0.3]
 //	        [-cpuprofile cpu.out] [-memprofile mem.out]
+//	        [-telemetry-addr :8080] [-serve-after 30s] [-trace-out run.jsonl]
+//	dsppsim trace-summary run.jsonl
 //
 // Each -fault flag adds one event to the run's fault schedule
 // (outage | shock | spike | surge | noise); the controller degrades
 // gracefully instead of aborting, and the per-period table reports the
 // degradation mode and shed demand.
+//
+// With -telemetry-addr, a live ops endpoint serves /metrics (Prometheus
+// text format), /debug/vars and /debug/pprof/* while the run executes
+// (-serve-after keeps it up afterwards for scraping); -trace-out streams
+// the span hierarchy as JSONL, which `dsppsim trace-summary` replays
+// into the same aggregates offline.
 package main
 
 import (
@@ -27,6 +35,7 @@ import (
 	"math/rand"
 	"os"
 	"strings"
+	"time"
 
 	"dspp"
 	"dspp/internal/profiling"
@@ -54,6 +63,9 @@ func main() {
 }
 
 func run(args []string, out *os.File) error {
+	if len(args) > 0 && args[0] == "trace-summary" {
+		return traceSummary(args[1:], out)
+	}
 	fs := flag.NewFlagSet("dsppsim", flag.ContinueOnError)
 	numDCs := fs.Int("dcs", 4, "number of data centers (1-4: San Jose, Houston, Atlanta, Chicago)")
 	numMetros := fs.Int("metros", 8, "number of demand metros")
@@ -66,6 +78,9 @@ func run(args []string, out *os.File) error {
 	fs.Var(&faultFlags, "fault", "fault spec (repeatable), e.g. outage:dc=1,start=10,end=20")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	telemetryAddr := fs.String("telemetry-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address during the run")
+	serveAfter := fs.Duration("serve-after", 0, "keep the telemetry endpoint up this long after the run (needs -telemetry-addr)")
+	traceOut := fs.String("trace-out", "", "stream the span trace as JSONL to this file (replay with `dsppsim trace-summary`)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -78,6 +93,36 @@ func run(args []string, out *os.File) error {
 			fmt.Fprintln(os.Stderr, "dsppsim:", perr)
 		}
 	}()
+	var tel *dspp.Telemetry
+	var traceFile *os.File
+	if *telemetryAddr != "" || *traceOut != "" {
+		var opts []dspp.TelemetryOption
+		if *traceOut != "" {
+			traceFile, err = os.Create(*traceOut)
+			if err != nil {
+				return fmt.Errorf("create trace: %w", err)
+			}
+			defer traceFile.Close()
+			opts = append(opts, dspp.WithTraceWriter(traceFile))
+		}
+		tel = dspp.NewTelemetry(opts...)
+		if *telemetryAddr != "" {
+			addr, stopServe, err := dspp.ServeTelemetry(*telemetryAddr, tel)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "dsppsim: telemetry on http://%s/metrics\n", addr)
+			defer func() {
+				if *serveAfter > 0 {
+					fmt.Fprintf(os.Stderr, "dsppsim: serving telemetry for another %s\n", *serveAfter)
+					time.Sleep(*serveAfter)
+				}
+				if serr := stopServe(); serr != nil {
+					fmt.Fprintln(os.Stderr, "dsppsim:", serr)
+				}
+			}()
+		}
+	}
 	if *numDCs < 1 || *numDCs > 4 {
 		return fmt.Errorf("dcs %d out of range 1-4", *numDCs)
 	}
@@ -204,7 +249,7 @@ func run(args []string, out *os.File) error {
 	if err != nil {
 		return err
 	}
-	ctrl, err := dspp.NewController(inst, *horizon)
+	ctrl, err := dspp.NewController(inst, *horizon, dspp.WithTelemetry(tel))
 	if err != nil {
 		return err
 	}
@@ -217,6 +262,7 @@ func run(args []string, out *os.File) error {
 		Horizon:         *horizon,
 		DemandPredictor: demandPred,
 		Faults:          sched,
+		Telemetry:       tel,
 	})
 	if err != nil {
 		return err
@@ -263,6 +309,10 @@ func run(args []string, out *os.File) error {
 		fmt.Fprintln(out, res.DegradationSummary())
 	}
 
+	if tel != nil {
+		fmt.Fprintf(out, "\ntelemetry:\n%s", dspp.MetricsTable(tel))
+	}
+
 	if *csvOut != "" {
 		f, err := os.Create(*csvOut)
 		if err != nil {
@@ -273,6 +323,34 @@ func run(args []string, out *os.File) error {
 			return fmt.Errorf("write csv: %w", err)
 		}
 		fmt.Fprintf(out, "wrote %s\n", *csvOut)
+	}
+	return nil
+}
+
+// traceSummary replays a JSONL span trace (written by -trace-out) into
+// the per-span aggregate table and, when the trace covers a simulation
+// run, the same degradation summary line the live run printed.
+func traceSummary(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("dsppsim trace-summary", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: dsppsim trace-summary <trace.jsonl>")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	events, err := dspp.ReadTrace(f)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%d spans\n\n", len(events))
+	fmt.Fprint(out, dspp.SummarizeTrace(events).Table())
+	if line, ok := dspp.DegradationFromTrace(events); ok {
+		fmt.Fprintf(out, "\n%s\n", line)
 	}
 	return nil
 }

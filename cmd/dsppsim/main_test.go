@@ -63,6 +63,53 @@ func TestRunCSVExport(t *testing.T) {
 	}
 }
 
+func TestRunTelemetryAndTraceSummary(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "run.jsonl")
+	out := runToString(t, []string{
+		"-periods", "4", "-metros", "3", "-horizon", "2",
+		"-telemetry-addr", "127.0.0.1:0", "-trace-out", tracePath,
+		"-fault", "outage:dc=1,start=2,end=3",
+	})
+	if !strings.Contains(out, "telemetry:") || !strings.Contains(out, "dspp_qp_solves_total") {
+		t.Errorf("missing telemetry table:\n%s", out)
+	}
+	// The replayed trace must reproduce the run's degradation summary
+	// line verbatim.
+	var wantLine string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "steps degraded") || strings.Contains(line, "steps clean") {
+			wantLine = line
+			break
+		}
+	}
+	if wantLine == "" {
+		t.Fatalf("run printed no degradation summary:\n%s", out)
+	}
+	summary := runToString(t, []string{"trace-summary", tracePath})
+	if !strings.Contains(summary, wantLine) {
+		t.Errorf("trace-summary missing %q:\n%s", wantLine, summary)
+	}
+	for _, span := range []string{"run", "period", "mpc_step", "qp_solve"} {
+		if !strings.Contains(summary, span) {
+			t.Errorf("trace-summary missing span %q:\n%s", span, summary)
+		}
+	}
+}
+
+func TestTraceSummaryErrors(t *testing.T) {
+	f, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := run([]string{"trace-summary"}, f); err == nil {
+		t.Error("trace-summary without a file accepted")
+	}
+	if err := run([]string{"trace-summary", filepath.Join(t.TempDir(), "absent.jsonl")}, f); err == nil {
+		t.Error("trace-summary on a missing file accepted")
+	}
+}
+
 func TestRunFlagErrors(t *testing.T) {
 	f, err := os.CreateTemp(t.TempDir(), "out")
 	if err != nil {

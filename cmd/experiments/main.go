@@ -7,8 +7,11 @@
 //
 //	experiments [-fig name] [-seed n] [-players n]
 //	            [-cpuprofile cpu.out] [-memprofile mem.out]
+//	            [-telemetry-addr :8080]
 //
-// With no -fig, all experiments run in order.
+// With no -fig, all experiments run in order. -telemetry-addr serves the
+// shared ops mux (/metrics, /debug/vars, /debug/pprof/*) while the
+// suite runs — handy for profiling the long experiments live.
 package main
 
 import (
@@ -17,6 +20,7 @@ import (
 	"os"
 	"strings"
 
+	"dspp"
 	"dspp/internal/experiments"
 	"dspp/internal/profiling"
 )
@@ -225,6 +229,7 @@ func run(args []string) error {
 	players := fs.Int("players", 10, "max players for the game experiments")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	telemetryAddr := fs.String("telemetry-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while the suite runs")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -237,6 +242,18 @@ func run(args []string) error {
 			fmt.Fprintln(os.Stderr, "experiments:", perr)
 		}
 	}()
+	if *telemetryAddr != "" {
+		addr, stopServe, err := dspp.ServeTelemetry(*telemetryAddr, dspp.NewTelemetry())
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "experiments: telemetry on http://%s/debug/pprof/\n", addr)
+		defer func() {
+			if serr := stopServe(); serr != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", serr)
+			}
+		}()
+	}
 	ran := 0
 	for _, e := range registry() {
 		if *fig != "" && !strings.EqualFold(*fig, e.name) {

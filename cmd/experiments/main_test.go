@@ -10,7 +10,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig3": false, "fig4": false, "fig5": false, "fig6": false,
 		"fig7": false, "fig8": false, "fig9": false, "fig10": false,
 		"support": false,
-		"pos": false, "ablation-reconfig": false, "ablation-baselines": false,
+		"pos":     false, "ablation-reconfig": false, "ablation-baselines": false,
 		"ablation-percentile": false, "ablation-reservation": false,
 		"ablation-stepsize": false, "ablation-ffd": false,
 		"validate-mm1": false, "ablation-soft": false,

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"dspp/internal/qp"
+	"dspp/internal/telemetry"
 )
 
 // Controller is the paper's MPC resource controller (Algorithm 1): at each
@@ -28,6 +29,9 @@ type Controller struct {
 	// prices shed demand in the soft rung (≤ 0 means DefaultShedPenalty).
 	degrade     bool
 	shedPenalty float64
+	// tel, when non-nil, receives an mpc_step span per StepCtx and wires
+	// the QP solver's counters through opts.Hooks.
+	tel *telemetry.Hub
 }
 
 // ControllerOption customizes a Controller.
@@ -56,6 +60,14 @@ func WithShedPenalty(penalty float64) ControllerOption {
 	return func(c *Controller) { c.shedPenalty = penalty }
 }
 
+// WithTelemetry attaches a telemetry hub: every StepCtx emits an
+// mpc_step span (carrying the degradation outcome) and the underlying QP
+// solves report their iteration/factorization counters through the hub.
+// A nil hub leaves telemetry disabled.
+func WithTelemetry(h *telemetry.Hub) ControllerOption {
+	return func(c *Controller) { c.tel = h }
+}
+
 // NewController creates an MPC controller with prediction horizon W ≥ 1.
 func NewController(inst *Instance, horizon int, opts ...ControllerOption) (*Controller, error) {
 	if inst == nil {
@@ -73,6 +85,9 @@ func NewController(inst *Instance, horizon int, opts ...ControllerOption) (*Cont
 	}
 	for _, o := range opts {
 		o(c)
+	}
+	if c.tel != nil {
+		c.opts.Hooks = c.tel.QPHooks()
 	}
 	if err := inst.CheckState(c.state); err != nil {
 		return nil, err
@@ -139,6 +154,27 @@ func (c *Controller) Step(demand, prices [][]float64) (*StepResult, error) {
 // numerical breakdown, iteration exhaustion). The returned StepResult's
 // Degradation field says which rung produced the plan.
 func (c *Controller) StepCtx(ctx context.Context, demand, prices [][]float64) (*StepResult, error) {
+	if c.tel == nil {
+		return c.stepCtx(ctx, demand, prices)
+	}
+	sp := c.tel.Tracer().Start(telemetry.SpanMPCStep, telemetry.SpanIDFromContext(ctx))
+	res, err := c.stepCtx(telemetry.ContextWithSpan(ctx, sp), demand, prices)
+	if res != nil {
+		d := res.Degradation
+		sp.SetAttr(
+			telemetry.Str("mode", d.Mode.String()),
+			telemetry.Num("cold_restarts", float64(d.ColdRestarts)),
+			telemetry.Num("shed", d.ShedDemand),
+			telemetry.Num("qp_iterations", float64(res.Plan.QPIterations)),
+		)
+	} else {
+		sp.SetAttr(telemetry.Str("outcome", "error"))
+	}
+	sp.End()
+	return res, err
+}
+
+func (c *Controller) stepCtx(ctx context.Context, demand, prices [][]float64) (*StepResult, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("step: %w", err)
 	}

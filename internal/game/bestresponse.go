@@ -9,6 +9,7 @@ import (
 	"dspp/internal/core"
 	"dspp/internal/parallel"
 	"dspp/internal/qp"
+	"dspp/internal/telemetry"
 )
 
 // BestResponseConfig tunes Algorithm 2.
@@ -40,6 +41,12 @@ type BestResponseConfig struct {
 	// runtime.GOMAXPROCS(0). Results are collected by provider index, so
 	// the outcome is identical at any worker count.
 	Parallel int
+	// Telemetry, when non-nil, records the game's convergence behaviour:
+	// best_response/best_response_round spans, round and quota-re-division
+	// counters, the per-SP relative cost-delta histogram, and the QP
+	// solver's own counters (wired through QP.Hooks unless the caller set
+	// hooks explicitly). Nil disables instrumentation.
+	Telemetry *telemetry.Hub
 
 	// initialWarms optionally seeds round 0 of each provider's solve
 	// (shifted by initialWarmShift periods); used by the receding-horizon
@@ -150,7 +157,35 @@ func BestResponseCtx(ctx context.Context, s *Scenario, cfg BestResponseConfig) (
 		}
 	}
 
+	// All telemetry handles are nil-safe: with no hub every call below is
+	// a no-op on a nil receiver.
+	hub := cfg.Telemetry
+	if hub != nil && cfg.QP.Hooks == nil {
+		cfg.QP.Hooks = hub.QPHooks()
+	}
+	reg := hub.Registry()
+	mRounds := reg.Counter(telemetry.MetricGameRounds)
+	mRediv := reg.Counter(telemetry.MetricGameQuotaRedivision)
+	costHist := hub.GameCostDeltaHist()
+	reg.Counter(telemetry.MetricGameRuns).Inc()
+
 	res := &BestResponseResult{Quotas: quotas}
+	brSpan := hub.Tracer().Start(telemetry.SpanBestResponse, telemetry.SpanIDFromContext(ctx),
+		telemetry.Num("providers", float64(n)))
+	ctx = telemetry.ContextWithSpan(ctx, brSpan)
+	defer func() {
+		conv := 0.0
+		if res.Converged {
+			conv = 1
+		}
+		brSpan.SetAttr(
+			telemetry.Num("rounds", float64(res.Iterations)),
+			telemetry.Num("converged", conv),
+			telemetry.Num("total_cost", res.Total),
+		)
+		brSpan.End()
+	}()
+
 	prev := make([]float64, n)
 	havePrev := false
 	duals := make([][]float64, n)
@@ -173,13 +208,17 @@ func BestResponseCtx(ctx context.Context, s *Scenario, cfg BestResponseConfig) (
 			}
 			return nil, wrapped
 		}
+		mRounds.Inc()
+		roundSpan := hub.Tracer().Start(telemetry.SpanBestResponseRound, brSpan.ID(),
+			telemetry.Num("round", float64(iter)))
+		roundCtx := telemetry.ContextWithSpan(ctx, roundSpan)
 		outcomes := make([]Outcome, n)
 		totals := make([]float64, n)
 		// Per-SP best responses are independent given the quotas: fan out
 		// on a bounded pool, collect by index (determinism contract).
-		err := parallel.ForEachCtx(ctx, n, cfg.Parallel, func(i int) error {
+		err := parallel.ForEachCtx(roundCtx, n, cfg.Parallel, func(i int) error {
 			p := s.Providers[i]
-			plan, err := solveProvider(ctx, p, quotas[i], cfg.QP, warms[i], warmShift)
+			plan, err := solveProvider(roundCtx, p, quotas[i], cfg.QP, warms[i], warmShift)
 			if err != nil {
 				return fmt.Errorf("round %d provider %d (%s): %w", iter, i, p.Name, err)
 			}
@@ -196,6 +235,8 @@ func BestResponseCtx(ctx context.Context, s *Scenario, cfg BestResponseConfig) (
 			return nil
 		})
 		if err != nil {
+			roundSpan.SetAttr(telemetry.Str("outcome", "error"))
+			roundSpan.End()
 			// A cancellation that lands mid-round still hands back the
 			// last completed round's iterate; a genuine solve failure
 			// (which the lowest-index rule ranks above any cancelled
@@ -215,6 +256,19 @@ func BestResponseCtx(ctx context.Context, s *Scenario, cfg BestResponseConfig) (
 		res.Iterations = iter + 1
 		res.CostHistory = append(res.CostHistory, total)
 		res.finalWarms = warms
+		if havePrev {
+			// Per-SP relative cost movement this round — the contraction
+			// the ε-stability test watches.
+			for i, oc := range outcomes {
+				denom := math.Abs(prev[i])
+				if denom == 0 {
+					denom = 1
+				}
+				costHist.Observe(math.Abs(oc.Cost-prev[i]) / denom)
+			}
+		}
+		roundSpan.SetAttr(telemetry.Num("total_cost", total))
+		roundSpan.End()
 
 		// "This process repeats until no SP can significantly improve its
 		// total cost" (§VI): every provider's cost must be ε-stable.
@@ -228,6 +282,7 @@ func BestResponseCtx(ctx context.Context, s *Scenario, cfg BestResponseConfig) (
 			}
 			if stable {
 				res.Converged = true
+				reg.Counter(telemetry.MetricGameConverged).Inc()
 				return res, nil
 			}
 		}
@@ -237,6 +292,7 @@ func BestResponseCtx(ctx context.Context, s *Scenario, cfg BestResponseConfig) (
 		havePrev = true
 
 		// Quota update: C̄ᵢ = Cᵢ + α·λᵢ, floored, then renormalized per DC.
+		mRediv.Inc()
 		alpha := cfg.Alpha
 		if cfg.StepDecay > 0 {
 			alpha /= math.Sqrt(1 + cfg.StepDecay*float64(iter))

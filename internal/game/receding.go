@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"dspp/internal/core"
+	"dspp/internal/telemetry"
 )
 
 // DynamicProvider is a provider with full demand and price traces over a
@@ -100,6 +101,18 @@ func RunRecedingCtx(ctx context.Context, capacity []float64, providers []*Dynami
 		States: make([][]core.State, n),
 		Costs:  make([]float64, n),
 	}
+	// One game_run span wraps the closed loop; the per-period Algorithm 2
+	// invocations parent their best_response spans to it via the context.
+	// Nil-safe throughout when no hub is configured.
+	runSpan := cfg.BestResponse.Telemetry.Tracer().Start(telemetry.SpanGameRun,
+		telemetry.SpanIDFromContext(ctx),
+		telemetry.Num("periods", float64(cfg.Periods)),
+		telemetry.Num("providers", float64(n)))
+	ctx = telemetry.ContextWithSpan(ctx, runSpan)
+	defer func() {
+		runSpan.SetAttr(telemetry.Num("total_cost", res.Total))
+		runSpan.End()
+	}()
 	// Each period's round 0 warm-starts from the previous period's final
 	// plans shifted by one period (the horizon recedes by exactly one).
 	brCfg := cfg.BestResponse

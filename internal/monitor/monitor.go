@@ -106,9 +106,15 @@ func NewP2Quantile(q float64) (*P2Quantile, error) {
 func (p *P2Quantile) Add(x float64) {
 	p.n++
 	if len(p.initial) < 5 {
-		p.initial = append(p.initial, x)
+		// Insert in sorted order: the bootstrap prefix doubles as the
+		// exact order statistics Value() reads before the P² markers
+		// exist, so keeping it sorted here makes small-sample reads
+		// allocation-free.
+		i := sort.SearchFloat64s(p.initial, x)
+		p.initial = append(p.initial, 0)
+		copy(p.initial[i+1:], p.initial[i:])
+		p.initial[i] = x
 		if len(p.initial) == 5 {
-			sort.Float64s(p.initial)
 			for i := range p.heights {
 				p.heights[i] = p.initial[i]
 				p.pos[i] = float64(i + 1)
@@ -155,20 +161,22 @@ func (p *P2Quantile) Add(x float64) {
 	}
 }
 
-// Value returns the current quantile estimate. With fewer than 5 samples
-// it falls back to the exact small-sample quantile.
+// Value returns the current quantile estimate. The P² markers need 5
+// observations to exist; with fewer the estimator still returns a
+// defined partial estimate — the exact nearest-rank quantile of the
+// samples seen so far (⌈q·n⌉-th order statistic), 0 with no samples.
+// The small-sample path reads the sorted bootstrap prefix directly, so
+// it neither allocates nor perturbs later streaming estimates.
 func (p *P2Quantile) Value() float64 {
 	if len(p.initial) < 5 {
 		if len(p.initial) == 0 {
 			return 0
 		}
-		tmp := append([]float64(nil), p.initial...)
-		sort.Float64s(tmp)
-		idx := int(p.q * float64(len(tmp)))
-		if idx >= len(tmp) {
-			idx = len(tmp) - 1
+		idx := int(math.Ceil(p.q*float64(len(p.initial)))) - 1
+		if idx < 0 {
+			idx = 0
 		}
-		return tmp[idx]
+		return p.initial[idx]
 	}
 	return p.heights[2]
 }

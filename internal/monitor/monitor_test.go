@@ -124,6 +124,52 @@ func TestP2QuantileSmallSamples(t *testing.T) {
 	}
 }
 
+// TestP2QuantileSmallSampleContract pins the partial-estimate behavior
+// with fewer than 5 observations (too few for the P² markers): Value
+// returns the exact nearest-rank quantile — the ⌈q·n⌉-th order
+// statistic — of the samples seen so far, allocation-free, and the
+// estimator transitions seamlessly into streaming mode at sample 5.
+func TestP2QuantileSmallSampleContract(t *testing.T) {
+	for _, tc := range []struct {
+		q    float64
+		xs   []float64
+		want float64
+	}{
+		{0.5, []float64{7}, 7},                   // single sample is every quantile
+		{0.95, []float64{7}, 7},                  //
+		{0.25, []float64{4, 1, 3, 2}, 1},         // ⌈0.25·4⌉ = 1st order statistic
+		{0.5, []float64{4, 1, 3, 2}, 2},          // ⌈0.5·4⌉ = 2nd
+		{0.75, []float64{4, 1, 3, 2}, 3},         // ⌈0.75·4⌉ = 3rd
+		{0.95, []float64{4, 1, 3, 2}, 4},         // ⌈0.95·4⌉ = 4th (max)
+		{0.05, []float64{10, -2}, -2},            // low quantile → min
+		{0.9, []float64{5, 5, 5}, 5},             // ties
+		{0.5, []float64{2, 1, 3, 5, 4, 6, 0}, 3}, // ≥5 samples: P² markers
+	} {
+		p, err := NewP2Quantile(tc.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, x := range tc.xs {
+			p.Add(x)
+		}
+		if v := p.Value(); v != tc.want {
+			t.Errorf("q=%g after %v: Value = %g, want %g", tc.q, tc.xs, v, tc.want)
+		}
+	}
+
+	// The small-sample read path must not allocate (it runs inside
+	// per-period telemetry gauges).
+	p, err := NewP2Quantile(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Add(3)
+	p.Add(1)
+	if allocs := testing.AllocsPerRun(100, func() { _ = p.Value() }); allocs != 0 {
+		t.Errorf("small-sample Value allocated %v per call, want 0", allocs)
+	}
+}
+
 func TestP2QuantileAgainstExact(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	for _, q := range []float64{0.5, 0.9, 0.95} {

@@ -1,0 +1,47 @@
+package profiling
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"dspp/internal/telemetry"
+)
+
+// Serve starts the shared ops endpoint on addr: the telemetry registry in
+// Prometheus text format on /metrics, the expvar JSON dump (including the
+// registry snapshot as dspp_metrics) on /debug/vars, and the full
+// net/http/pprof suite under /debug/pprof/ — one mux, one flag, for both
+// CLIs. addr may use port 0 to pick a free port; the actual listen
+// address is returned. The server runs until stop is called.
+func Serve(addr string, reg *telemetry.Registry) (listenAddr string, stop func() error, err error) {
+	telemetry.PublishExpvar(reg)
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", telemetry.MetricsHandler(reg))
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("telemetry listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	return ln.Addr().String(), func() error {
+		if err := srv.Close(); err != nil {
+			return err
+		}
+		if err := <-done; err != nil && err != http.ErrServerClosed {
+			return err
+		}
+		return nil
+	}, nil
+}

@@ -104,6 +104,9 @@ func TestPoisonedWarmStartReturnsErrNumerical(t *testing.T) {
 // per-iteration storage (KKT band, factorization, residuals, directions)
 // is preallocated by the symbolic phase and pooled across solves.
 func TestAllocsIndependentOfIterationCount(t *testing.T) {
+	if raceDetectorEnabled {
+		t.Skip("race-detector bookkeeping allocates nondeterministically; exact counts are checked by the non-race run and the check.sh bench guard")
+	}
 	rng := rand.New(rand.NewSource(77))
 	p := randomFeasibleQP(rng, 30, 60)
 	loose := DefaultOptions()

@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"dspp/internal/linalg"
+	"dspp/internal/telemetry"
 )
 
 // Sentinel errors reported by Solve.
@@ -165,6 +166,14 @@ type Options struct {
 	Tolerance     float64 // residual/gap tolerance, default 1e-8
 	StepScale     float64 // fraction-to-boundary, default 0.99
 	Regularize    float64 // static diagonal regularization, default 1e-12
+
+	// Hooks, when non-nil, receives solver telemetry: per-solve counters
+	// (iterations, factorizations, regularization bumps, corrector skips,
+	// warm vs. cold starts, failure modes) and a qp_solve span per call.
+	// Nil disables instrumentation entirely — the solve path then pays one
+	// pointer test and keeps its exact allocation count (see
+	// TestAllocsIndependentOfIterationCount).
+	Hooks *telemetry.QPHooks
 }
 
 // DefaultOptions returns the recommended solver settings.

@@ -2,11 +2,13 @@ package qp
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sync"
 
 	"dspp/internal/linalg"
+	"dspp/internal/telemetry"
 )
 
 // Solve minimizes the given convex QP with a primal–dual interior-point
@@ -43,6 +45,76 @@ func SolveWarm(p *Problem, opts Options, warm *WarmStart) (*Result, error) {
 // any convergence verdict reached on incremental residuals is confirmed
 // against fully recomputed ones before it is accepted.
 func SolveWarmCtx(ctx context.Context, p *Problem, opts Options, warm *WarmStart) (*Result, error) {
+	if opts.Hooks == nil {
+		// Disabled telemetry takes the direct path: a nil stats pointer,
+		// no span, no time reads — the hot loop is bit-identical to the
+		// uninstrumented solver.
+		return solveWarmCtx(ctx, p, opts, warm, nil)
+	}
+	hooks := opts.Hooks
+	sp := hooks.Tracer.Start(telemetry.SpanQPSolve, telemetry.SpanIDFromContext(ctx))
+	var stats solveStats
+	res, err := solveWarmCtx(ctx, p, opts, warm, &stats)
+	flushQPTelemetry(hooks, sp, warm, res, err, &stats)
+	return res, err
+}
+
+// solveStats accumulates per-solve counts the instrumented wrapper flushes
+// into the telemetry hooks after the solve returns. The iteration loop
+// touches it through a nil-guarded pointer, so the disabled path costs a
+// predictable branch per site and nothing else.
+type solveStats struct {
+	correctorSkips int
+	factorizations int
+	bumps          int
+}
+
+// flushQPTelemetry publishes one finished solve into the hooks' counters
+// and closes its qp_solve span with outcome attributes.
+func flushQPTelemetry(h *telemetry.QPHooks, sp *telemetry.Span, warm *WarmStart, res *Result, err error, stats *solveStats) {
+	h.Solves.Inc()
+	wasWarm := 0.0
+	if warm != nil {
+		wasWarm = 1
+		h.WarmStarts.Inc()
+	} else {
+		h.ColdStarts.Inc()
+	}
+	iters := 0
+	if res != nil {
+		iters = res.Iterations
+		h.Iterations.Add(float64(iters))
+		h.IterationsHist.Observe(float64(iters))
+	}
+	h.CorrectorSkips.Add(float64(stats.correctorSkips))
+	h.Factorizations.Add(float64(stats.factorizations))
+	h.FactorBumps.Add(float64(stats.bumps))
+	outcome := "ok"
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrNumerical):
+		h.NumericalFailures.Inc()
+		outcome = "numerical"
+	case errors.Is(err, ErrMaxIterations):
+		h.MaxIter.Inc()
+		outcome = "maxiter"
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		outcome = "canceled"
+	default:
+		outcome = "error"
+	}
+	sp.SetAttr(
+		telemetry.Num("iterations", float64(iters)),
+		telemetry.Num("factorizations", float64(stats.factorizations)),
+		telemetry.Num("corrector_skips", float64(stats.correctorSkips)),
+		telemetry.Num("bumps", float64(stats.bumps)),
+		telemetry.Num("warm", wasWarm),
+		telemetry.Str("outcome", outcome),
+	)
+	sp.End()
+}
+
+func solveWarmCtx(ctx context.Context, p *Problem, opts Options, warm *WarmStart, stats *solveStats) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -85,6 +157,12 @@ func SolveWarmCtx(ctx context.Context, p *Problem, opts Options, warm *WarmStart
 		if err := st.factorKKT(opts.Regularize); err != nil {
 			return nil, fmt.Errorf("iteration %d: %w", iter, err)
 		}
+		if stats != nil {
+			stats.factorizations++
+			if st.bumped {
+				stats.bumps++
+			}
+		}
 
 		// Affine (predictor) direction: pure Newton on the residuals with
 		// rc = s∘z (no centering).
@@ -120,6 +198,8 @@ func SolveWarmCtx(ctx context.Context, p *Problem, opts Options, warm *WarmStart
 			if alphaP, alphaD, err = st.solveDirection(); err != nil {
 				return nil, fmt.Errorf("iteration %d (corrector): %w", iter, err)
 			}
+		} else if stats != nil {
+			stats.correctorSkips++
 		}
 		// Adaptive fraction-to-boundary (Mehrotra): back off by StepScale
 		// while far from the solution, but let η → 1 as the relative gap

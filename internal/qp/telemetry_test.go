@@ -1,0 +1,115 @@
+package qp
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"dspp/internal/telemetry"
+)
+
+// TestTelemetryCounters drives warm and cold solves through an enabled
+// hub and checks the counters agree with the returned results: the
+// registry is an exact ledger, not a sampling.
+func TestTelemetryCounters(t *testing.T) {
+	var buf bytes.Buffer
+	hub := telemetry.New(telemetry.WithTraceWriter(&buf))
+	rng := rand.New(rand.NewSource(3))
+	p := randomFeasibleQP(rng, 20, 40)
+
+	opts := DefaultOptions()
+	opts.Hooks = hub.QPHooks()
+	cold, err := Solve(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmRes, err := SolveWarm(p, opts, &WarmStart{X: cold.X, Z: cold.IneqDuals})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snap := hub.Registry().Snapshot()
+	if got := snap[telemetry.MetricQPSolves]; got != 2 {
+		t.Fatalf("solves = %v, want 2", got)
+	}
+	if got := snap[telemetry.MetricQPWarmStarts]; got != 1 {
+		t.Fatalf("warm starts = %v, want 1", got)
+	}
+	if got := snap[telemetry.MetricQPColdStarts]; got != 1 {
+		t.Fatalf("cold starts = %v, want 1", got)
+	}
+	wantIters := float64(cold.Iterations + warmRes.Iterations)
+	if got := snap[telemetry.MetricQPIterations]; got != wantIters {
+		t.Fatalf("iterations = %v, want %v", got, wantIters)
+	}
+	// Every IPM iteration factorizes exactly once (the bump retry refills
+	// the same factorization slot), so the two ledgers must agree.
+	if got := snap[telemetry.MetricQPFactorizations]; got > wantIters || got <= 0 {
+		t.Fatalf("factorizations = %v, want in (0, %v]", got, wantIters)
+	}
+	if got := snap[telemetry.MetricQPSolveIterations+"_count"]; got != 2 {
+		t.Fatalf("iteration histogram count = %v, want 2", got)
+	}
+	if got := snap[telemetry.MetricQPNumericalFailures]; got != 0 {
+		t.Fatalf("numerical failures = %v, want 0", got)
+	}
+
+	// The JSONL stream must carry one qp_solve span per solve whose
+	// iteration attributes replay to the registry totals.
+	events, err := telemetry.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := telemetry.Summarize(events)
+	if got := sum.Count(telemetry.SpanQPSolve); got != 2 {
+		t.Fatalf("qp_solve spans = %d, want 2", got)
+	}
+	if got := sum.AttrSum(telemetry.SpanQPSolve, "iterations"); got != wantIters {
+		t.Fatalf("span iterations = %v, registry %v", got, wantIters)
+	}
+}
+
+// TestTelemetryMaxIterOutcome checks the failure-mode counters: a solve
+// starved of iterations must land in dspp_qp_maxiter_total.
+func TestTelemetryMaxIterOutcome(t *testing.T) {
+	hub := telemetry.New()
+	rng := rand.New(rand.NewSource(5))
+	p := randomFeasibleQP(rng, 30, 60)
+	opts := DefaultOptions()
+	opts.MaxIterations = 1
+	opts.Tolerance = 1e-12
+	opts.Hooks = hub.QPHooks()
+	if _, err := Solve(p, opts); err == nil {
+		t.Skip("1-iteration solve unexpectedly converged")
+	}
+	if got := hub.Registry().Snapshot()[telemetry.MetricQPMaxIter]; got != 1 {
+		t.Fatalf("maxiter counter = %v, want 1", got)
+	}
+}
+
+// TestTelemetryDoesNotPerturbSolve pins that instrumentation is purely
+// observational: identical problems solved with and without hooks walk
+// the same iterates to the same answer.
+func TestTelemetryDoesNotPerturbSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	p := randomFeasibleQP(rng, 25, 50)
+	plain, err := Solve(p, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.Hooks = telemetry.New().QPHooks()
+	hooked, err := Solve(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Iterations != hooked.Iterations || plain.Objective != hooked.Objective {
+		t.Fatalf("telemetry changed the solve: %d/%v vs %d/%v",
+			plain.Iterations, plain.Objective, hooked.Iterations, hooked.Objective)
+	}
+	for i := range plain.X {
+		if plain.X[i] != hooked.X[i] {
+			t.Fatalf("x[%d] differs: %v vs %v", i, plain.X[i], hooked.X[i])
+		}
+	}
+}

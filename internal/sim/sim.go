@@ -18,6 +18,7 @@ import (
 	"dspp/internal/faults"
 	"dspp/internal/monitor"
 	"dspp/internal/predict"
+	"dspp/internal/telemetry"
 )
 
 // Sentinel errors.
@@ -127,6 +128,14 @@ type Config struct {
 	// realized trace. Fault windows are in the 1-based period index that
 	// StepRecord.Period reports.
 	Faults *faults.Schedule
+	// Telemetry, when non-nil, receives the run's metrics and spans: a
+	// run span wrapping one period span per control step (parenting the
+	// controller's mpc_step/qp_solve spans via the context), period/SLA/
+	// degradation counters, and SLA-headroom gauges fed by the monitor
+	// estimators. Nil disables telemetry; the run's own degradation
+	// accounting still flows through (unregistered) telemetry counters,
+	// so Result numbers are identical either way.
+	Telemetry *telemetry.Hub
 }
 
 // StepRecord captures one executed control period.
@@ -171,26 +180,26 @@ type Result struct {
 	ForecastAccuracy []ForecastAccuracy
 	// DegradedSteps counts the periods whose plan came from a degradation
 	// rung (or needed a cold restart); ShedDemand is the total demand shed
-	// across the run by soft-mode steps.
+	// across the run by soft-mode steps. Both are read back from the
+	// telemetry counters at the end of the run (as per-run deltas, so a
+	// shared hub across runs stays cumulative while each Result stays
+	// self-contained), as are the per-rung counts below.
 	DegradedSteps int
 	ShedDemand    float64
+	// ColdRestartSteps/SoftSteps/HoldSteps split DegradedSteps by ladder
+	// rung — the dspp_degradation_steps_total{mode=...} deltas.
+	ColdRestartSteps int
+	SoftSteps        int
+	HoldSteps        int
 }
 
 // DegradationSummary renders a one-line robustness report for the run.
+// It is a pure view over the telemetry-counter deltas captured at the
+// end of the run; replaying the run's JSONL trace through
+// telemetry.DegradationFromTrace reproduces it byte for byte.
 func (r *Result) DegradationSummary() string {
-	if r.DegradedSteps == 0 {
-		return fmt.Sprintf("%s: all %d steps clean", r.PolicyName, len(r.Steps))
-	}
-	counts := map[core.DegradationMode]int{}
-	for _, s := range r.Steps {
-		if s.Degradation.Degraded() {
-			counts[s.Degradation.Mode]++
-		}
-	}
-	return fmt.Sprintf("%s: %d/%d steps degraded (cold-restart=%d soft=%d hold=%d), shed %.1f req/s total",
-		r.PolicyName, r.DegradedSteps, len(r.Steps),
-		counts[core.DegradeColdRestart], counts[core.DegradeSoft], counts[core.DegradeHold],
-		r.ShedDemand)
+	return telemetry.FormatDegradationSummary(r.PolicyName, len(r.Steps),
+		r.DegradedSteps, r.ColdRestartSteps, r.SoftSteps, r.HoldSteps, r.ShedDemand)
 }
 
 // ForecastAccuracy is the per-location forecast scorecard.
@@ -281,6 +290,63 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 	ctxPolicy, _ := cfg.Policy.(CtxPolicy)
 	degrader, _ := cfg.Policy.(DegradationReporter)
 	res := &Result{PolicyName: cfg.Policy.Name()}
+
+	// Degradation/SLA accounting runs through telemetry counters whether
+	// or not a hub is attached: with one, the counters are the hub's
+	// registered metrics (live on /metrics, cumulative across runs) and
+	// the Result captures this run's deltas; without one they are
+	// throwaway standalone counters starting at zero. Either way there is
+	// exactly one accounting path.
+	hub := cfg.Telemetry
+	var mPeriods, mViol, mShed *telemetry.Counter
+	var mDeg *telemetry.CounterVec
+	if reg := hub.Registry(); reg != nil {
+		mPeriods = reg.Counter(telemetry.MetricPeriods)
+		mViol = reg.Counter(telemetry.MetricSLAViolations)
+		mShed = reg.Counter(telemetry.MetricShedDemand)
+		mDeg = reg.CounterVec(telemetry.MetricDegradationSteps, "mode")
+	} else {
+		mPeriods = telemetry.NewCounter()
+		mViol = telemetry.NewCounter()
+		mShed = telemetry.NewCounter()
+		mDeg = telemetry.NewCounterVec(telemetry.MetricDegradationSteps, "mode")
+	}
+	modeLabels := []string{
+		core.DegradeColdRestart.String(), core.DegradeSoft.String(),
+		core.DegradeHold.String(), core.DegradeNone.String(),
+	}
+	baseViol := mViol.Value()
+	baseShed := mShed.Value()
+	baseMode := make(map[string]float64, len(modeLabels))
+	for _, m := range modeLabels {
+		baseMode[m] = mDeg.With(m).Value()
+	}
+
+	// SLA headroom per period (the min demand slack under the judging
+	// SLA) feeds the monitor estimators; gauges expose the latest value,
+	// the running mean, and the streaming 5th percentile.
+	var headroomGauge, headroomMean, headroomP5 *telemetry.Gauge
+	var headroomQ *monitor.P2Quantile
+	var headroomW monitor.Welford
+	if reg := hub.Registry(); reg != nil {
+		headroomGauge = reg.Gauge(telemetry.MetricSLAHeadroom)
+		headroomMean = reg.Gauge(telemetry.MetricSLAHeadroomMean)
+		headroomP5 = reg.Gauge(telemetry.MetricSLAHeadroomP5)
+		var err error
+		if headroomQ, err = monitor.NewP2Quantile(0.05); err != nil {
+			return nil, err
+		}
+	}
+
+	tr := hub.Tracer()
+	runSpan := tr.Start(telemetry.SpanRun, telemetry.SpanIDFromContext(ctx),
+		telemetry.Str("policy", res.PolicyName))
+	ctx = telemetry.ContextWithSpan(ctx, runSpan)
+	defer func() {
+		runSpan.SetAttr(telemetry.Num("steps", float64(len(res.Steps))))
+		runSpan.End()
+	}()
+
 	trackers := make([]*monitor.ForecastTracker, v)
 	for i := range trackers {
 		tr, err := monitor.NewForecastTracker()
@@ -294,52 +360,71 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("period %d: %w", k, err)
 		}
+		pSpan := tr.Start(telemetry.SpanPeriod, runSpan.ID(),
+			telemetry.Num("period", float64(k+1)))
+		stepCtx := telemetry.ContextWithSpan(ctx, pSpan)
+		// perr closes the period span with an error outcome before the
+		// run aborts, so a failed period still appears in the trace.
+		perr := func(err error) error {
+			pSpan.SetAttr(telemetry.Str("outcome", "error"))
+			pSpan.End()
+			return err
+		}
 		if baseCaps != nil {
 			caps := sched.Capacities(k+1, baseCaps)
 			if &caps[0] != &liveCaps[0] {
 				if err := inst.SetCapacities(caps); err != nil {
-					return nil, fmt.Errorf("period %d fault capacities: %w", k, err)
+					return nil, perr(fmt.Errorf("period %d fault capacities: %w", k, err))
 				}
 				liveCaps = caps
 			}
 		}
 		demandFC, err := forecastMatrix(demandTrace, k, cfg.Horizon, v, cfg.DemandPredictor)
 		if err != nil {
-			return nil, fmt.Errorf("period %d demand forecast: %w", k, err)
+			return nil, perr(fmt.Errorf("period %d demand forecast: %w", k, err))
 		}
 		priceFC, err := forecastMatrix(priceTrace, k, cfg.Horizon, l, cfg.PricePredictor)
 		if err != nil {
-			return nil, fmt.Errorf("period %d price forecast: %w", k, err)
+			return nil, perr(fmt.Errorf("period %d price forecast: %w", k, err))
 		}
 		sched.PerturbForecast(k+1, demandFC)
 		var applied, state core.State
 		if ctxPolicy != nil {
-			applied, state, err = ctxPolicy.StepCtx(ctx, demandFC, priceFC)
+			applied, state, err = ctxPolicy.StepCtx(stepCtx, demandFC, priceFC)
 		} else {
 			applied, state, err = cfg.Policy.Step(demandFC, priceFC)
 		}
 		if err != nil {
-			return nil, fmt.Errorf("period %d policy step: %w", k, err)
+			return nil, perr(fmt.Errorf("period %d policy step: %w", k, err))
 		}
 		realD := demandTrace[k+1]
 		realP := priceTrace[k+1]
 		cost, err := inst.PeriodCost(state, applied, realP)
 		if err != nil {
-			return nil, fmt.Errorf("period %d cost: %w", k, err)
+			return nil, perr(fmt.Errorf("period %d cost: %w", k, err))
 		}
-		slaOK := true
 		slack, err := judge.DemandSlack(state, realD)
 		if err != nil {
-			return nil, fmt.Errorf("period %d sla: %w", k, err)
+			return nil, perr(fmt.Errorf("period %d sla: %w", k, err))
 		}
+		// The full scan (no early break) yields the period's SLA headroom
+		// — the minimum slack — alongside the violation verdict.
+		minSlack := math.Inf(1)
 		for _, s := range slack {
-			if s < -1e-6 {
-				slaOK = false
-				break
+			if s < minSlack {
+				minSlack = s
 			}
 		}
+		slaOK := !(minSlack < -1e-6)
 		if !slaOK {
-			res.SLAViolations++
+			mViol.Inc()
+		}
+		if headroomQ != nil && !math.IsInf(minSlack, 1) {
+			headroomQ.Add(minSlack)
+			headroomW.Add(minSlack)
+			headroomGauge.Set(minSlack)
+			headroomMean.Set(headroomW.Mean())
+			headroomP5.Set(headroomQ.Value())
 		}
 		for vi := 0; vi < v; vi++ {
 			trackers[vi].Observe(demandFC[0][vi], realD[vi])
@@ -361,13 +446,31 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 		}
 		if degrader != nil {
 			rec.Degradation = degrader.LastDegradation()
-			if rec.Degradation.Degraded() {
-				res.DegradedSteps++
-				res.ShedDemand += rec.Degradation.ShedDemand
-			}
 		}
+		if rec.Degradation.Degraded() {
+			mDeg.With(rec.Degradation.Mode.String()).Inc()
+			mShed.Add(rec.Degradation.ShedDemand)
+		}
+		mPeriods.Inc()
+		pSpan.SetAttr(
+			telemetry.Str("mode", rec.Degradation.Mode.String()),
+			telemetry.Num("cold_restarts", float64(rec.Degradation.ColdRestarts)),
+			telemetry.Num("shed", rec.Degradation.ShedDemand),
+			telemetry.Num("min_slack", minSlack),
+			telemetry.Num("cost", cost.Total()),
+		)
+		pSpan.End()
 		res.Steps = append(res.Steps, rec)
 	}
+	// Fold this run's counter deltas back into the Result: the summary
+	// numbers are a view over telemetry, not a second ledger.
+	res.ShedDemand = mShed.Value() - baseShed
+	res.ColdRestartSteps = int(mDeg.With(core.DegradeColdRestart.String()).Value() - baseMode[core.DegradeColdRestart.String()])
+	res.SoftSteps = int(mDeg.With(core.DegradeSoft.String()).Value() - baseMode[core.DegradeSoft.String()])
+	res.HoldSteps = int(mDeg.With(core.DegradeHold.String()).Value() - baseMode[core.DegradeHold.String()])
+	res.DegradedSteps = res.ColdRestartSteps + res.SoftSteps + res.HoldSteps +
+		int(mDeg.With(core.DegradeNone.String()).Value()-baseMode[core.DegradeNone.String()])
+	res.SLAViolations = int(mViol.Value() - baseViol)
 	for vi, tr := range trackers {
 		res.ForecastAccuracy = append(res.ForecastAccuracy, ForecastAccuracy{
 			Location:            vi,

@@ -1,0 +1,38 @@
+package telemetry
+
+import (
+	"expvar"
+	"net/http"
+	"sync"
+	"sync/atomic"
+)
+
+// MetricsHandler serves the registry in Prometheus text exposition
+// format (suitable for `curl <addr>/metrics` or a Prometheus scrape).
+func MetricsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// expvar can only Publish a name once per process, so the dspp_metrics
+// var is registered lazily on first use and reads whichever registry is
+// currently installed.
+var (
+	expvarOnce sync.Once
+	expvarReg  atomic.Pointer[Registry]
+)
+
+// PublishExpvar exposes the registry's Snapshot as the expvar variable
+// "dspp_metrics" (visible on /debug/vars alongside the runtime's
+// memstats). Calling it again swaps the backing registry; it never
+// double-publishes.
+func PublishExpvar(r *Registry) {
+	expvarReg.Store(r)
+	expvarOnce.Do(func() {
+		expvar.Publish("dspp_metrics", expvar.Func(func() any {
+			return expvarReg.Load().Snapshot()
+		}))
+	})
+}

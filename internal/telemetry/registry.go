@@ -1,0 +1,424 @@
+// Package telemetry is the observability layer of the reproduction: a
+// dependency-light, allocation-conscious metrics registry (atomic
+// counters, gauges and fixed-bucket histograms, exportable as Prometheus
+// text and expvar JSON) plus hierarchical span tracing (run → period →
+// QP solve / best-response round) with a structured JSONL event stream
+// that can be replayed post hoc.
+//
+// Everything is nil-safe by design: every method on a nil *Registry,
+// *Counter, *Gauge, *Histogram, *CounterVec, *Tracer or *Span is a no-op
+// (or returns a nil child), so instrumented code pays a pointer test and
+// nothing else when telemetry is disabled. The hot-path contract — the
+// interior-point solver keeps its exact allocation count with telemetry
+// off — is enforced by tests in this package and in internal/qp.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing float64 metric. The zero value is
+// ready to use; a nil *Counter ignores all writes.
+type Counter struct {
+	bits atomic.Uint64
+}
+
+// NewCounter returns a standalone counter (one not owned by a Registry),
+// for run-local accounting that shares the metric code path.
+func NewCounter() *Counter { return &Counter{} }
+
+// Add increments the counter by d (negative deltas are ignored: counters
+// only go up).
+func (c *Counter) Add(d float64) {
+	if c == nil || d <= 0 {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + d)
+		if c.bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return math.Float64frombits(c.bits.Load())
+}
+
+// Gauge is a float64 metric that can move both ways (last-write-wins).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add shifts the gauge by d.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket cumulative histogram. The bucket layout is
+// chosen at creation and never changes, so Observe is a bounded scan over
+// a short slice plus two atomic updates — safe for per-solve hot paths.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; an implicit +Inf bucket follows
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    Counter
+}
+
+// NewHistogram returns a standalone histogram with the given ascending
+// upper bucket bounds.
+func NewHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Value()
+}
+
+// CounterVec is a family of counters keyed by one label value (e.g. the
+// degradation mode). Children are created on first use and live forever.
+type CounterVec struct {
+	name  string
+	label string
+
+	mu   sync.RWMutex
+	m    map[string]*Counter
+	keys []string // insertion order, for stable export
+}
+
+// NewCounterVec returns a standalone labeled counter family.
+func NewCounterVec(name, label string) *CounterVec {
+	return &CounterVec{name: name, label: label, m: make(map[string]*Counter)}
+}
+
+// With returns the child counter for the given label value, creating it
+// at zero on first use (so it exports as an explicit 0). Nil-safe.
+func (v *CounterVec) With(value string) *Counter {
+	if v == nil {
+		return nil
+	}
+	v.mu.RLock()
+	c := v.m[value]
+	v.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c := v.m[value]; c != nil {
+		return c
+	}
+	c = &Counter{}
+	v.m[value] = c
+	v.keys = append(v.keys, value)
+	return c
+}
+
+// Sum returns the total across all children.
+func (v *CounterVec) Sum() float64 {
+	if v == nil {
+		return 0
+	}
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	var s float64
+	for _, c := range v.m {
+		s += c.Value()
+	}
+	return s
+}
+
+// metric is the registry's tagged union of the four metric kinds.
+type metric struct {
+	name string
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+	vec  *CounterVec
+}
+
+// Registry owns a namespace of metrics. Get-or-create accessors make the
+// instrumentation sites declarative: the first caller shapes the metric,
+// later callers share it. A nil *Registry hands out nil metrics, which
+// swallow all writes — the disabled-telemetry path.
+type Registry struct {
+	mu      sync.Mutex
+	byName  map[string]*metric
+	ordered []*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*metric)}
+}
+
+func (r *Registry) lookup(name string) *metric {
+	m := r.byName[name]
+	if m == nil {
+		m = &metric{name: name}
+		r.byName[name] = m
+		r.ordered = append(r.ordered, m)
+	}
+	return m
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.lookup(name)
+	if m.c == nil {
+		m.c = &Counter{}
+	}
+	return m.c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.lookup(name)
+	if m.g == nil {
+		m.g = &Gauge{}
+	}
+	return m.g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket bounds on first use (later callers share the original layout).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.lookup(name)
+	if m.h == nil {
+		m.h = NewHistogram(bounds)
+	}
+	return m.h
+}
+
+// CounterVec returns the named labeled counter family, creating it on
+// first use (later callers share it; the label name is fixed by the
+// first call).
+func (r *Registry) CounterVec(name, label string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.lookup(name)
+	if m.vec == nil {
+		m.vec = NewCounterVec(name, label)
+	}
+	return m.vec
+}
+
+// snapshot returns the metrics in name order under the lock.
+func (r *Registry) snapshot() []*metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := append([]*metric(nil), r.ordered...)
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4), metrics sorted by name.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	var b strings.Builder
+	for _, m := range r.snapshot() {
+		switch {
+		case m.c != nil:
+			fmt.Fprintf(&b, "# TYPE %s counter\n%s %s\n", m.name, m.name, formatFloat(m.c.Value()))
+		case m.g != nil:
+			fmt.Fprintf(&b, "# TYPE %s gauge\n%s %s\n", m.name, m.name, formatFloat(m.g.Value()))
+		case m.vec != nil:
+			fmt.Fprintf(&b, "# TYPE %s counter\n", m.name)
+			m.vec.mu.RLock()
+			keys := append([]string(nil), m.vec.keys...)
+			m.vec.mu.RUnlock()
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Fprintf(&b, "%s{%s=%q} %s\n", m.name, m.vec.label, k, formatFloat(m.vec.With(k).Value()))
+			}
+		case m.h != nil:
+			fmt.Fprintf(&b, "# TYPE %s histogram\n", m.name)
+			var cum uint64
+			for i, bound := range m.h.bounds {
+				cum += m.h.counts[i].Load()
+				fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", m.name, formatFloat(bound), cum)
+			}
+			cum += m.h.counts[len(m.h.bounds)].Load()
+			fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", m.name, cum)
+			fmt.Fprintf(&b, "%s_sum %s\n", m.name, formatFloat(m.h.Sum()))
+			fmt.Fprintf(&b, "%s_count %d\n", m.name, m.h.Count())
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Snapshot flattens every metric to name → value: plain "name" for
+// counters and gauges, "name{label=\"value\"}" for vec children, and
+// "name_count"/"name_sum" for histograms. Used by the expvar export and
+// by tests asserting exact registry/trace agreement.
+func (r *Registry) Snapshot() map[string]float64 {
+	out := make(map[string]float64)
+	if r == nil {
+		return out
+	}
+	for _, m := range r.snapshot() {
+		switch {
+		case m.c != nil:
+			out[m.name] = m.c.Value()
+		case m.g != nil:
+			out[m.name] = m.g.Value()
+		case m.vec != nil:
+			m.vec.mu.RLock()
+			keys := append([]string(nil), m.vec.keys...)
+			m.vec.mu.RUnlock()
+			for _, k := range keys {
+				out[fmt.Sprintf("%s{%s=%q}", m.name, m.vec.label, k)] = m.vec.With(k).Value()
+			}
+		case m.h != nil:
+			out[m.name+"_count"] = float64(m.h.Count())
+			out[m.name+"_sum"] = m.h.Sum()
+		}
+	}
+	return out
+}
+
+// Table renders the end-of-run operator summary: every metric and its
+// value, one aligned line each, sorted by name. Histograms report count
+// and mean.
+func (r *Registry) Table() string {
+	if r == nil {
+		return ""
+	}
+	type row struct{ name, value string }
+	var rows []row
+	for _, m := range r.snapshot() {
+		switch {
+		case m.c != nil:
+			rows = append(rows, row{m.name, formatFloat(m.c.Value())})
+		case m.g != nil:
+			rows = append(rows, row{m.name, formatFloat(m.g.Value())})
+		case m.vec != nil:
+			m.vec.mu.RLock()
+			keys := append([]string(nil), m.vec.keys...)
+			m.vec.mu.RUnlock()
+			sort.Strings(keys)
+			for _, k := range keys {
+				rows = append(rows, row{fmt.Sprintf("%s{%s=%q}", m.name, m.vec.label, k),
+					formatFloat(m.vec.With(k).Value())})
+			}
+		case m.h != nil:
+			mean := 0.0
+			if n := m.h.Count(); n > 0 {
+				mean = m.h.Sum() / float64(n)
+			}
+			rows = append(rows, row{m.name,
+				fmt.Sprintf("count=%d mean=%.3g", m.h.Count(), mean)})
+		}
+	}
+	width := 0
+	for _, r := range rows {
+		if len(r.name) > width {
+			width = len(r.name)
+		}
+	}
+	var b strings.Builder
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-*s  %s\n", width, r.name, r.value)
+	}
+	return b.String()
+}

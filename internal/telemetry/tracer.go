@@ -1,0 +1,181 @@
+package telemetry
+
+import (
+	"context"
+	"io"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one span attribute. Exactly one of F/S is meaningful, chosen by
+// IsStr; numeric attributes stay float64 so JSONL round-trips losslessly
+// with strconv 'g'/-1 formatting.
+type Attr struct {
+	Key   string
+	F     float64
+	S     string
+	IsStr bool
+}
+
+// Num returns a numeric attribute.
+func Num(key string, v float64) Attr { return Attr{Key: key, F: v} }
+
+// Str returns a string attribute.
+func Str(key, v string) Attr { return Attr{Key: key, S: v, IsStr: true} }
+
+// Span is one timed unit of work in the run → period → qp_solve /
+// best_response_round hierarchy. Spans are pooled: after End the struct
+// is recycled, so callers must not retain a *Span past End. Child spans
+// therefore capture the parent's ID (a plain uint64), never the pointer.
+// All methods are nil-safe no-ops.
+type Span struct {
+	tr     *Tracer
+	name   string
+	id     uint64
+	parent uint64
+	start  time.Time
+	attrs  []Attr
+}
+
+// Tracer issues spans and streams them as JSONL events on End. A nil
+// *Tracer hands out nil spans. The writer is guarded by a mutex; the
+// encode path builds each line into a pooled buffer with hand-rolled
+// strconv appends (no encoding/json, no reflection).
+type Tracer struct {
+	mu     sync.Mutex
+	w      io.Writer
+	nextID atomic.Uint64
+	spans  sync.Pool
+	bufs   sync.Pool
+	counts *CounterVec // optional: dspp_spans_total{span=...}
+	epoch  time.Time   // wall-clock origin for start_us timestamps
+}
+
+// NewTracer returns a tracer streaming JSONL span events to w.
+func NewTracer(w io.Writer) *Tracer {
+	t := &Tracer{w: w, epoch: time.Now()}
+	t.spans.New = func() any { return &Span{} }
+	t.bufs.New = func() any { b := make([]byte, 0, 256); return &b }
+	return t
+}
+
+// setCounts wires the per-span-name counter family (owned by the Hub).
+func (t *Tracer) setCounts(v *CounterVec) {
+	if t != nil {
+		t.counts = v
+	}
+}
+
+// Start opens a span as a child of parent (0 = root), recording the wall
+// clock now. Returns nil when the tracer is nil.
+func (t *Tracer) Start(name string, parent uint64, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	sp := t.spans.Get().(*Span)
+	sp.tr = t
+	sp.name = name
+	sp.id = t.nextID.Add(1)
+	sp.parent = parent
+	sp.start = time.Now()
+	sp.attrs = append(sp.attrs[:0], attrs...)
+	return sp
+}
+
+// ID returns the span's identifier for parenting children (0 on nil).
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// SetAttr appends attributes to the span.
+func (s *Span) SetAttr(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, attrs...)
+}
+
+// End closes the span: its JSONL event is written and the struct is
+// recycled. Safe on nil.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	t := s.tr
+	dur := time.Since(s.start)
+	t.counts.With(s.name).Inc()
+	if t.w != nil {
+		t.emit(s, dur)
+	}
+	s.tr, s.attrs = nil, s.attrs[:0]
+	t.spans.Put(s)
+}
+
+// emit encodes and writes one span event line.
+func (t *Tracer) emit(s *Span, dur time.Duration) {
+	bp := t.bufs.Get().(*[]byte)
+	b := (*bp)[:0]
+	b = append(b, `{"span":`...)
+	b = strconv.AppendQuote(b, s.name)
+	b = append(b, `,"id":`...)
+	b = strconv.AppendUint(b, s.id, 10)
+	b = append(b, `,"parent":`...)
+	b = strconv.AppendUint(b, s.parent, 10)
+	b = append(b, `,"start_us":`...)
+	b = strconv.AppendInt(b, s.start.Sub(t.epoch).Microseconds(), 10)
+	b = append(b, `,"dur_us":`...)
+	b = strconv.AppendInt(b, dur.Microseconds(), 10)
+	if len(s.attrs) > 0 {
+		b = append(b, `,"attrs":{`...)
+		for i, a := range s.attrs {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = strconv.AppendQuote(b, a.Key)
+			b = append(b, ':')
+			if a.IsStr {
+				b = strconv.AppendQuote(b, a.S)
+			} else {
+				b = strconv.AppendFloat(b, a.F, 'g', -1, 64)
+			}
+		}
+		b = append(b, '}')
+	}
+	b = append(b, '}', '\n')
+	t.mu.Lock()
+	t.w.Write(b)
+	t.mu.Unlock()
+	*bp = b
+	t.bufs.Put(bp)
+}
+
+// spanKey is the context key carrying the current span ID (not the span
+// pointer — spans are pooled and may be recycled while a context lives).
+type spanKey struct{}
+
+// ContextWithSpan returns ctx annotated with sp as the current span, so
+// downstream layers can parent their spans correctly. Nil-safe: a nil
+// span leaves ctx unchanged.
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, sp.id)
+}
+
+// SpanIDFromContext returns the current span ID in ctx (0 when absent),
+// for use as the parent of a new span.
+func SpanIDFromContext(ctx context.Context) uint64 {
+	if ctx == nil {
+		return 0
+	}
+	if id, ok := ctx.Value(spanKey{}).(uint64); ok {
+		return id
+	}
+	return 0
+}

@@ -33,6 +33,25 @@ for metric in mean_iters_cap100 best_horizon; do
 done
 echo "BENCH_2.json present, experiment metrics match BENCH_1"
 
+echo "== telemetry overhead guard =="
+# The disabled-telemetry path must stay free: BenchmarkSolveWarm holds
+# the warm-solve contract at exactly 2 allocs/op with hooks off, so any
+# instrumentation leaking into the hot path fails here. The telemetry
+# package itself must also stay vet-clean.
+go vet ./internal/telemetry
+bench_out=$(go test -run XXX -bench BenchmarkSolveWarm -benchtime 10x ./internal/qp)
+echo "$bench_out"
+echo "$bench_out" | awk '
+	/BenchmarkSolveWarm/ {
+		seen++
+		for (i = 1; i <= NF; i++) if ($i == "allocs/op" && $(i-1) != 2) bad = 1
+	}
+	END {
+		if (!seen) { print "BenchmarkSolveWarm missing from bench output"; exit 1 }
+		if (bad)   { print "warm solve no longer 2 allocs/op with telemetry disabled"; exit 1 }
+		print "warm solve holds 2 allocs/op with telemetry disabled"
+	}'
+
 echo "== fault-injection smoke (robust-outage under -race) =="
 # Drives the outage/recovery experiment end to end — the controller must
 # degrade through the ladder while the DC is down and re-converge after

@@ -1,0 +1,144 @@
+package dspp_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"dspp"
+)
+
+// telemetrySim runs a short traced simulation through the public API and
+// returns the hub, the result, and the JSONL trace stream.
+func telemetrySim(t *testing.T) (*dspp.Telemetry, *dspp.SimResult, *bytes.Buffer) {
+	t.Helper()
+	var buf bytes.Buffer
+	tel := dspp.NewTelemetry(dspp.WithTraceWriter(&buf))
+	inst := buildInstance(t)
+	ctrl, err := dspp.NewController(inst, 3, dspp.WithTelemetry(tel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := func(vals []float64) [][]float64 {
+		out := make([][]float64, 10)
+		for i := range out {
+			out[i] = append([]float64(nil), vals...)
+		}
+		return out
+	}
+	res, err := dspp.Simulate(dspp.SimConfig{
+		Instance:    inst,
+		Policy:      dspp.NewMPCPolicy(ctrl),
+		DemandTrace: trace([]float64{1000, 2000}),
+		PriceTrace:  trace([]float64{0.05, 0.08}),
+		Periods:     6,
+		Horizon:     3,
+		Telemetry:   tel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tel, res, &buf
+}
+
+// TestServeTelemetryLiveEndpoint is the ops-endpoint acceptance check:
+// after a traced run, /metrics serves nonzero pipeline counters in
+// Prometheus text format, /debug/vars carries the registry snapshot, and
+// the pprof index answers — all on one mux.
+func TestServeTelemetryLiveEndpoint(t *testing.T) {
+	tel, res, _ := telemetrySim(t)
+	addr, stop, err := dspp.ServeTelemetry("127.0.0.1:0", tel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := stop(); err != nil {
+			t.Errorf("stop: %v", err)
+		}
+	}()
+
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	metrics, ctype := get("/metrics")
+	if !strings.HasPrefix(ctype, "text/plain; version=0.0.4") {
+		t.Errorf("metrics content type %q", ctype)
+	}
+	for _, want := range []string{
+		"dspp_qp_iterations_total",
+		"dspp_qp_solves_total",
+		fmt.Sprintf("dspp_periods_total %d", len(res.Steps)),
+		`dspp_spans_total{span="qp_solve"}`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+	// The counters must be live, not merely declared.
+	for _, line := range strings.Split(metrics, "\n") {
+		if strings.HasPrefix(line, "dspp_qp_iterations_total ") {
+			var v float64
+			if _, err := fmt.Sscanf(line, "dspp_qp_iterations_total %g", &v); err != nil || v <= 0 {
+				t.Errorf("qp iterations not live: %q (err %v)", line, err)
+			}
+		}
+	}
+
+	vars, _ := get("/debug/vars")
+	var dump struct {
+		Metrics map[string]float64 `json:"dspp_metrics"`
+	}
+	if err := json.Unmarshal([]byte(vars), &dump); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v", err)
+	}
+	if dump.Metrics["dspp_periods_total"] != float64(len(res.Steps)) {
+		t.Errorf("expvar periods = %g, want %d", dump.Metrics["dspp_periods_total"], len(res.Steps))
+	}
+
+	if body, _ := get("/debug/pprof/"); !strings.Contains(body, "profile") {
+		t.Errorf("pprof index unexpected:\n%.200s", body)
+	}
+}
+
+// TestTraceReplayPublicAPI closes the loop through the facade: the JSONL
+// stream replays into the exact degradation summary and span aggregates
+// of the live run.
+func TestTraceReplayPublicAPI(t *testing.T) {
+	tel, res, buf := telemetrySim(t)
+	events, err := dspp.ReadTrace(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if line, ok := dspp.DegradationFromTrace(events); !ok || line != res.DegradationSummary() {
+		t.Errorf("replay %q (ok=%v), want %q", line, ok, res.DegradationSummary())
+	}
+	sum := dspp.SummarizeTrace(events)
+	if got := sum.Count("period"); got != len(res.Steps) {
+		t.Errorf("period spans = %d, want %d", got, len(res.Steps))
+	}
+	table := sum.Table()
+	if !strings.Contains(table, "qp_solve") || !strings.Contains(table, "run") {
+		t.Errorf("summary table missing spans:\n%s", table)
+	}
+	if mt := dspp.MetricsTable(tel); !strings.Contains(mt, "dspp_qp_solves_total") {
+		t.Errorf("metrics table missing counters:\n%s", mt)
+	}
+}
