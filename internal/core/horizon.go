@@ -127,12 +127,22 @@ func (p *Plan) TotalCapacityDuals() []float64 {
 		return nil
 	}
 	out := make([]float64, len(p.CapacityDuals[0]))
+	p.TotalCapacityDualsInto(out)
+	return out
+}
+
+// TotalCapacityDualsInto is TotalCapacityDuals into caller storage: dst
+// is zeroed and accumulated in place, so per-round game loops reuse one
+// buffer instead of allocating. dst must have one entry per DC.
+func (p *Plan) TotalCapacityDualsInto(dst []float64) {
+	for i := range dst {
+		dst[i] = 0
+	}
 	for _, row := range p.CapacityDuals {
 		for l, d := range row {
-			out[l] += d
+			dst[l] += d
 		}
 	}
-	return out
 }
 
 // SolveHorizon builds and solves the horizon QP (the DSPP of §IV-D
@@ -174,9 +184,36 @@ func (in *Instance) SolveHorizonCtx(ctx context.Context, input HorizonInput, opt
 		vecs = &horizonVecs{c: linalg.NewVector(n), h: linalg.NewVector(m)}
 	}
 
+	constCost := in.fillHorizonVectors(hs, input, w, e, vecs.c, vecs.h)
+
+	vecs.prob = qp.Problem{Q: hs.q, C: vecs.c, G: hs.g, H: vecs.h, KKTBandHint: hs.kktBandHint}
+	prob := &vecs.prob
+	warm := input.Warm.shifted(e, w, rowsPerStep, input.WarmShift, &vecs.ws)
+	res, err := qp.SolveWarmCtx(ctx, prob, opts, warm)
+	coldRestarts := 0
+	if err != nil && warm != nil && errors.Is(err, qp.ErrNumerical) {
+		// A warm point can sit badly for the new data (e.g. after a capacity
+		// shock) and wreck the KKT conditioning; the cold start costs extra
+		// iterations but starts well centered. Retry once before failing.
+		coldRestarts = 1
+		res, err = qp.SolveWarmCtx(ctx, prob, opts, nil)
+	}
+	vecs.ws = qp.WarmStart{} // drop the borrowed warm-start slices
+	hs.vecPool.Put(vecs)
+	if err != nil {
+		return nil, fmt.Errorf("horizon QP (W=%d, n=%d, m=%d): %w", w, n, m, err)
+	}
+
+	return in.buildPlan(hs, input, res, w, e, coldRestarts, constCost, nil), nil
+}
+
+// fillHorizonVectors writes the horizon QP's cost and right-hand-side
+// vectors for the given input and returns the constant holding cost of
+// x0. Shared by the one-shot path and HorizonSession, so both solve the
+// bitwise-identical problem.
+func (in *Instance) fillHorizonVectors(hs *horizonStruct, input HorizonInput, w, e int, cVec, hVec linalg.Vector) float64 {
 	// Linear term: the holding cost p_t·x_t is simply Prices[t][l] per
 	// cumulative variable (no suffix sums needed in y-space).
-	cVec := vecs.c
 	for pi, pr := range in.pairs {
 		for t := 0; t < w; t++ {
 			cVec[t*e+pi] = input.Prices[t][pr.l]
@@ -192,7 +229,6 @@ func (in *Instance) SolveHorizonCtx(ctx context.Context, input HorizonInput, opt
 
 	// Right-hand sides, in the fixed row order of the cached G (per step:
 	// demand, capacity, nonnegativity — see horizonStructure).
-	hVec := vecs.h
 	row := 0
 	for t := 0; t < w; t++ {
 		// Demand: −Σ_{e∈v} y_t^e / a_e ≤ −D + Σ_{e∈v} x0_e/a_e. The
@@ -221,31 +257,65 @@ func (in *Instance) SolveHorizonCtx(ctx context.Context, input HorizonInput, opt
 			row++
 		}
 	}
+	return constCost
+}
 
-	vecs.prob = qp.Problem{Q: hs.q, C: cVec, G: hs.g, H: hVec, KKTBandHint: hs.kktBandHint}
-	prob := &vecs.prob
-	warm := input.Warm.shifted(e, w, rowsPerStep, input.WarmShift, &vecs.ws)
-	res, err := qp.SolveWarmCtx(ctx, prob, opts, warm)
-	coldRestarts := 0
-	if err != nil && warm != nil && errors.Is(err, qp.ErrNumerical) {
-		// A warm point can sit badly for the new data (e.g. after a capacity
-		// shock) and wreck the KKT conditioning; the cold start costs extra
-		// iterations but starts well centered. Retry once before failing.
-		coldRestarts = 1
-		res, err = qp.SolveWarmCtx(ctx, prob, opts, nil)
-	}
-	vecs.ws = qp.WarmStart{} // drop the borrowed warm-start slices
-	hs.vecPool.Put(vecs)
-	if err != nil {
-		return nil, fmt.Errorf("horizon QP (W=%d, n=%d, m=%d): %w", w, n, m, err)
-	}
+// planPair is a Plan and its warm capsule in one allocation: they have
+// the same lifetime (the capsule chains into the next solve).
+type planPair struct {
+	plan Plan
+	warm HorizonWarm
+}
 
+// planArena is the reusable backing storage of one reconstructed Plan,
+// double-buffered by HorizonSession. Contents are fully rewritten (the
+// float block is zeroed first — partially-written rows like the capacity
+// duals rely on a clean slate), so a reused arena yields a Plan bitwise
+// identical to a freshly allocated one.
+type planArena struct {
+	floats []float64
+	rows   [][]float64
+	states []State
+	pw     planPair
+}
+
+// buildPlan reconstructs the trajectory, duals, and warm capsule from a
+// solved horizon QP. With ar == nil every block is freshly allocated (the
+// one-shot path); otherwise the arena's buffers are resized and reused.
+func (in *Instance) buildPlan(hs *horizonStruct, input HorizonInput, res *qp.Result, w, e, coldRestarts int, constCost float64, ar *planArena) *Plan {
 	// The whole plan — 2W states plus the two dual tables — is carved out
 	// of one float backing array and one row-header block, so a plan costs
 	// a fixed handful of allocations instead of O(W·L) small ones.
-	floats := make([]float64, w*(2*in.l*in.v+in.v+in.l))
-	rows := make([][]float64, 2*w*in.l+2*w)
-	states := make([]State, 2*w)
+	nf := w * (2*in.l*in.v + in.v + in.l)
+	nr := 2*w*in.l + 2*w
+	rowsPerStep := hs.rowsPerStep
+	var floats []float64
+	var rows [][]float64
+	var states []State
+	var pw *planPair
+	if ar == nil {
+		floats = make([]float64, nf)
+		rows = make([][]float64, nr)
+		states = make([]State, 2*w)
+		pw = &planPair{}
+	} else {
+		if cap(ar.floats) < nf {
+			ar.floats = make([]float64, nf)
+		} else {
+			ar.floats = ar.floats[:nf]
+			for i := range ar.floats {
+				ar.floats[i] = 0
+			}
+		}
+		if cap(ar.rows) < nr {
+			ar.rows = make([][]float64, nr)
+		}
+		if cap(ar.states) < 2*w {
+			ar.states = make([]State, 2*w)
+		}
+		floats, rows, states = ar.floats, ar.rows[:nr], ar.states[:2*w]
+		pw = &ar.pw
+	}
 	takeRow := func(k int) []float64 {
 		r := floats[:k:k]
 		floats = floats[k:]
@@ -260,12 +330,7 @@ func (in *Instance) SolveHorizonCtx(ctx context.Context, input HorizonInput, opt
 		return s
 	}
 
-	// Plan and its warm capsule share one allocation: they have the same
-	// lifetime (the capsule chains into the next solve).
-	pw := &struct {
-		plan Plan
-		warm HorizonWarm
-	}{warm: HorizonWarm{y: res.X, z: res.IneqDuals, pairs: e, horizon: w, rowsPer: rowsPerStep}}
+	pw.warm = HorizonWarm{y: res.X, z: res.IneqDuals, pairs: e, horizon: w, rowsPer: rowsPerStep}
 	plan := &pw.plan
 	*plan = Plan{
 		U:             states[:w:w],
@@ -319,7 +384,7 @@ func (in *Instance) SolveHorizonCtx(ctx context.Context, input HorizonInput, opt
 			plan.CapacityDuals[t][l] = res.IneqDuals[base+in.v+ci]
 		}
 	}
-	return plan, nil
+	return plan
 }
 
 // horizonStruct is the data-independent part of the horizon QP for one

@@ -1,0 +1,9 @@
+//go:build race
+
+package core
+
+// raceDetectorEnabled reports whether this test binary was built with
+// -race. Exact allocation-count assertions are skipped under the race
+// detector: its shadow-memory bookkeeping allocates nondeterministically
+// and pollutes testing.AllocsPerRun.
+const raceDetectorEnabled = true

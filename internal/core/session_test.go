@@ -1,0 +1,202 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"dspp/internal/qp"
+)
+
+// sessionTestInstance builds a capacitated instance whose capacity values
+// can drift between solves, the shape best-response rounds present.
+func sessionTestInstance(t *testing.T, l, v int) *Instance {
+	t.Helper()
+	sla := make([][]float64, l)
+	weights := make([]float64, l)
+	caps := make([]float64, l)
+	for i := 0; i < l; i++ {
+		sla[i] = make([]float64, v)
+		for j := 0; j < v; j++ {
+			sla[i][j] = 0.004 + 0.0001*float64(i+j)
+		}
+		weights[i] = 1e-4
+		caps[i] = 40000 + 5000*float64(i)
+	}
+	inst, err := NewInstance(Config{SLA: sla, ReconfigWeights: weights, Capacities: caps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func sessionTestInput(inst *Instance, l, v, w int) HorizonInput {
+	demand := make([][]float64, w)
+	prices := make([][]float64, w)
+	for t := range demand {
+		demand[t] = make([]float64, v)
+		prices[t] = make([]float64, l)
+		for j := range demand[t] {
+			demand[t][j] = 1000 + 50*float64(t+j)
+		}
+		for j := range prices[t] {
+			prices[t][j] = 0.05 + 0.01*float64(j)
+		}
+	}
+	return HorizonInput{X0: inst.NewState(), Demand: demand, Prices: prices}
+}
+
+func plansBitIdentical(t *testing.T, round int, a, b *Plan) {
+	t.Helper()
+	if a.Objective != b.Objective || a.QPIterations != b.QPIterations || a.ColdRestarts != b.ColdRestarts {
+		t.Fatalf("round %d: scalars differ: (%v, %d, %d) vs (%v, %d, %d)", round,
+			a.Objective, a.QPIterations, a.ColdRestarts, b.Objective, b.QPIterations, b.ColdRestarts)
+	}
+	for ti := range a.U {
+		for l := range a.U[ti] {
+			for vi := range a.U[ti][l] {
+				if a.U[ti][l][vi] != b.U[ti][l][vi] {
+					t.Fatalf("round %d: U[%d][%d][%d] %v != %v", round, ti, l, vi, a.U[ti][l][vi], b.U[ti][l][vi])
+				}
+				if a.X[ti][l][vi] != b.X[ti][l][vi] {
+					t.Fatalf("round %d: X[%d][%d][%d] %v != %v", round, ti, l, vi, a.X[ti][l][vi], b.X[ti][l][vi])
+				}
+			}
+		}
+	}
+	for ti := range a.CapacityDuals {
+		for l := range a.CapacityDuals[ti] {
+			if a.CapacityDuals[ti][l] != b.CapacityDuals[ti][l] {
+				t.Fatalf("round %d: capacity dual [%d][%d] %v != %v", round, ti, l,
+					a.CapacityDuals[ti][l], b.CapacityDuals[ti][l])
+			}
+		}
+		for vi := range a.DemandDuals[ti] {
+			if a.DemandDuals[ti][vi] != b.DemandDuals[ti][vi] {
+				t.Fatalf("round %d: demand dual [%d][%d] %v != %v", round, ti, vi,
+					a.DemandDuals[ti][vi], b.DemandDuals[ti][vi])
+			}
+		}
+	}
+}
+
+// TestHorizonSessionBitIdenticalToOneShot replays a best-response-shaped
+// loop — fixed demand and prices, capacities drifting each round, warm
+// starts chained from the previous plan — through a HorizonSession and
+// through one-shot SolveHorizonCtx on an identical twin instance, and
+// requires every plan field to agree bitwise.
+func TestHorizonSessionBitIdenticalToOneShot(t *testing.T) {
+	const l, v, w = 3, 5, 4
+	instSes := sessionTestInstance(t, l, v)
+	instOne := sessionTestInstance(t, l, v)
+	ses, err := instSes.NewHorizonSession(w, qp.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputSes := sessionTestInput(instSes, l, v, w)
+	inputOne := sessionTestInput(instOne, l, v, w)
+	caps := make([]float64, l)
+	for round := 0; round < 8; round++ {
+		for i := range caps {
+			caps[i] = (40000 + 5000*float64(i)) * (1 - 0.02*float64(round%4))
+		}
+		if err := instSes.SetCapacities(caps); err != nil {
+			t.Fatal(err)
+		}
+		if err := instOne.SetCapacities(caps); err != nil {
+			t.Fatal(err)
+		}
+		pSes, errSes := ses.Solve(inputSes)
+		pOne, errOne := instOne.SolveHorizonCtx(nil, inputOne, qp.DefaultOptions())
+		if (errSes == nil) != (errOne == nil) {
+			t.Fatalf("round %d: session err %v, one-shot err %v", round, errSes, errOne)
+		}
+		if errSes != nil {
+			t.Fatal(errSes)
+		}
+		plansBitIdentical(t, round, pSes, pOne)
+		inputSes.Warm, inputSes.WarmShift = pSes.Warm, 0
+		inputOne.Warm, inputOne.WarmShift = pOne.Warm, 0
+	}
+}
+
+// TestHorizonSessionPlanLifetime pins the double-buffer contract: the
+// previous plan (the warm-start source) survives the next solve intact.
+func TestHorizonSessionPlanLifetime(t *testing.T) {
+	const l, v, w = 2, 3, 3
+	inst := sessionTestInstance(t, l, v)
+	ses, err := inst.NewHorizonSession(w, qp.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := sessionTestInput(inst, l, v, w)
+	p1, err := ses.Solve(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj1 := p1.Objective
+	u000 := p1.U[0][0][0]
+	input.Warm, input.WarmShift = p1.Warm, 0
+	input.Demand[0][0] *= 1.01
+	if _, err := ses.Solve(input); err != nil {
+		t.Fatal(err)
+	}
+	if p1.Objective != obj1 || p1.U[0][0][0] != u000 {
+		t.Fatal("previous plan mutated by the next solve")
+	}
+}
+
+// TestHorizonSessionSteadyStateAllocs bounds the steady-state allocation
+// cost of a session solve: the QP itself is allocation-free and the plan
+// arenas are double-buffered, so nothing should allocate.
+func TestHorizonSessionSteadyStateAllocs(t *testing.T) {
+	if raceDetectorEnabled {
+		t.Skip("race-detector bookkeeping allocates nondeterministically")
+	}
+	const l, v, w = 3, 5, 4
+	inst := sessionTestInstance(t, l, v)
+	ses, err := inst.NewHorizonSession(w, qp.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := sessionTestInput(inst, l, v, w)
+	for i := 0; i < 3; i++ {
+		p, err := ses.Solve(input)
+		if err != nil {
+			t.Fatal(err)
+		}
+		input.Warm, input.WarmShift = p.Warm, 0
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		p, err := ses.Solve(input)
+		if err != nil {
+			t.Fatal(err)
+		}
+		input.Warm, input.WarmShift = p.Warm, 0
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state session solve allocates %v times", allocs)
+	}
+}
+
+// TestTotalCapacityDualsInto checks the in-place dual accumulator against
+// its allocating sibling.
+func TestTotalCapacityDualsInto(t *testing.T) {
+	const l, v, w = 3, 5, 4
+	inst := sessionTestInstance(t, l, v)
+	input := sessionTestInput(inst, l, v, w)
+	plan, err := inst.SolveHorizon(input, qp.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := plan.TotalCapacityDuals()
+	dst := make([]float64, l)
+	for i := range dst {
+		dst[i] = math.NaN() // must be fully overwritten
+	}
+	plan.TotalCapacityDualsInto(dst)
+	for i := range want {
+		if want[i] != dst[i] {
+			t.Fatalf("dual %d: %v != %v", i, want[i], dst[i])
+		}
+	}
+}

@@ -41,6 +41,13 @@ type BestResponseConfig struct {
 	// runtime.GOMAXPROCS(0). Results are collected by provider index, so
 	// the outcome is identical at any worker count.
 	Parallel int
+	// NoSessions disables the per-provider persistent solver sessions and
+	// routes every round through the pooled one-shot path instead. The
+	// sessions keep each provider's interior-point state, KKT
+	// factorization, and plan storage alive across rounds — the fast
+	// configuration — and produce bit-identical results to the one-shot
+	// path; the toggle exists for verification and debugging.
+	NoSessions bool
 	// Telemetry, when non-nil, records the game's convergence behaviour:
 	// best_response/best_response_round spans, round and quota-re-division
 	// counters, the per-SP relative cost-delta histogram, and the QP
@@ -188,7 +195,36 @@ func BestResponseCtx(ctx context.Context, s *Scenario, cfg BestResponseConfig) (
 
 	prev := make([]float64, n)
 	havePrev := false
+	// The per-provider dual and total buffers are written by exactly one
+	// worker each round and reused across rounds; carving the dual rows
+	// out of one flat backing keeps a 4000-round game at a fixed handful
+	// of allocations instead of O(rounds·providers).
 	duals := make([][]float64, n)
+	dualsFlat := make([]float64, n*l)
+	for i := range duals {
+		duals[i] = dualsFlat[i*l : (i+1)*l : (i+1)*l]
+	}
+	totals := make([]float64, n)
+	raw := make([]float64, n)
+	// Outcomes double-buffer: res.Outcomes always references the last
+	// completed round's buffer, so the round in flight must write the
+	// other one — a mid-round cancellation then cannot corrupt the
+	// snapshot the partial result hands back.
+	var outBufs [2][]Outcome
+	outBufs[0] = make([]Outcome, n)
+	outBufs[1] = make([]Outcome, n)
+	// Per-provider persistent sessions (unless disabled): across rounds
+	// only the quota values move, so each provider's horizon QP keeps its
+	// structure, interior-point state, and factorization storage alive for
+	// the whole game. Sessions are confined to this call — nothing solves
+	// on them after return, so the plans the result references stay
+	// intact.
+	var sessions []*core.HorizonSession
+	var sesInsts []*core.Instance
+	if !cfg.NoSessions {
+		sessions = make([]*core.HorizonSession, n)
+		sesInsts = make([]*core.Instance, n)
+	}
 	// Warm starts: round 0 may be seeded by the caller (receding-horizon
 	// chaining); later rounds reuse each provider's previous solution —
 	// only the quotas move between rounds, so the previous plan is an
@@ -212,13 +248,18 @@ func BestResponseCtx(ctx context.Context, s *Scenario, cfg BestResponseConfig) (
 		roundSpan := hub.Tracer().Start(telemetry.SpanBestResponseRound, brSpan.ID(),
 			telemetry.Num("round", float64(iter)))
 		roundCtx := telemetry.ContextWithSpan(ctx, roundSpan)
-		outcomes := make([]Outcome, n)
-		totals := make([]float64, n)
+		outcomes := outBufs[iter&1]
 		// Per-SP best responses are independent given the quotas: fan out
 		// on a bounded pool, collect by index (determinism contract).
 		err := parallel.ForEachCtx(roundCtx, n, cfg.Parallel, func(i int) error {
 			p := s.Providers[i]
-			plan, err := solveProvider(roundCtx, p, quotas[i], cfg.QP, warms[i], warmShift)
+			var plan *core.Plan
+			var err error
+			if sessions != nil {
+				plan, err = solveProviderSession(roundCtx, sessions, sesInsts, i, p, quotas[i], cfg.QP, warms[i], warmShift)
+			} else {
+				plan, err = solveProvider(roundCtx, p, quotas[i], cfg.QP, warms[i], warmShift)
+			}
 			if err != nil {
 				return fmt.Errorf("round %d provider %d (%s): %w", iter, i, p.Name, err)
 			}
@@ -227,7 +268,7 @@ func BestResponseCtx(ctx context.Context, s *Scenario, cfg BestResponseConfig) (
 			// The plan reports duals of the server-count constraint
 			// (quota/sᵢ slots); one capacity unit buys 1/sᵢ servers, so
 			// the marginal value of quota is the dual divided by sᵢ.
-			duals[i] = plan.TotalCapacityDuals()
+			plan.TotalCapacityDualsInto(duals[i])
 			for li := range duals[i] {
 				duals[i][li] /= p.ServerSize
 			}
@@ -303,13 +344,8 @@ func BestResponseCtx(ctx context.Context, s *Scenario, cfg BestResponseConfig) (
 			}
 			floor := cfg.MinQuota * s.Capacity[li]
 			var sum float64
-			raw := make([]float64, n)
 			for i := range quotas {
-				d := 0.0
-				if duals[i] != nil {
-					d = duals[i][li]
-				}
-				raw[i] = quotas[i][li] + alpha*d
+				raw[i] = quotas[i][li] + alpha*duals[i][li]
 				if raw[i] < floor {
 					raw[i] = floor
 				}
@@ -321,6 +357,34 @@ func BestResponseCtx(ctx context.Context, s *Scenario, cfg BestResponseConfig) (
 		}
 	}
 	return res, fmt.Errorf("after %d rounds (ε=%g): %w", cfg.MaxIterations, cfg.Epsilon, ErrNotConverged)
+}
+
+// solveProviderSession is solveProvider through provider i's persistent
+// HorizonSession, building it on first use and rebuilding it if the
+// provider's instance was reconstructed (a changed capacitated set —
+// impossible mid-game, where quotas stay finite and positive on a fixed
+// set, but cheap to guard). Results are bit-identical to solveProvider;
+// the session keeps the QP state, factorization, and plan storage alive
+// between rounds instead of bouncing them through the pools.
+func solveProviderSession(ctx context.Context, sessions []*core.HorizonSession, sesInsts []*core.Instance, i int, p *Provider, quota []float64, opts qp.Options, warm *core.HorizonWarm, warmShift int) (*core.Plan, error) {
+	inst, err := p.instance(quota)
+	if err != nil {
+		return nil, err
+	}
+	if sessions[i] == nil || sesInsts[i] != inst {
+		ses, err := inst.NewHorizonSession(len(p.Demand), opts)
+		if err != nil {
+			return nil, err
+		}
+		sessions[i], sesInsts[i] = ses, inst
+	}
+	return sessions[i].SolveCtx(ctx, core.HorizonInput{
+		X0:        p.x0(),
+		Demand:    p.Demand,
+		Prices:    p.Prices,
+		Warm:      warm,
+		WarmShift: warmShift,
+	})
 }
 
 // solveProvider solves one provider's DSPP under the given quotas,

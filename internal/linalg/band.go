@@ -160,6 +160,10 @@ func (b *BandMatrix) MulVecSym(x, y Vector) error {
 	for i := range y {
 		y[i] = 0
 	}
+	if b.bw == 2 {
+		b.mulVecSymBW2(x, y)
+		return nil
+	}
 	for i := 0; i < b.n; i++ {
 		lo := i - b.bw
 		if lo < 0 {
@@ -178,6 +182,33 @@ func (b *BandMatrix) MulVecSym(x, y Vector) error {
 		y[i] += s
 	}
 	return nil
+}
+
+// mulVecSymBW2 is the bw = 2 product loop with the per-row slice setup
+// unrolled away. The accumulate/scatter interleaving is identical to the
+// generic loop's (s grows in ascending column order, each y element sees
+// the same additions in the same order), so y is bit-identical. y must be
+// zeroed by the caller.
+func (b *BandMatrix) mulVecSymBW2(x, y Vector) {
+	n := b.n // ≥ 3: Reset clamps bw ≤ n−1
+	d := b.data
+	s := d[2] * x[0]
+	y[0] += s
+	s = d[4] * x[0]
+	y[0] += d[4] * x[1]
+	s += d[5] * x[1]
+	y[1] += s
+	for i := 2; i < n; i++ {
+		base := 3 * i
+		a2, a1, diag := d[base], d[base+1], d[base+2]
+		xi := x[i]
+		s = a2 * x[i-2]
+		y[i-2] += a2 * xi
+		s += a1 * x[i-1]
+		y[i-1] += a1 * xi
+		s += diag * xi
+		y[i] += s
+	}
 }
 
 // ToDense materializes the full symmetric matrix (tests and debugging).
@@ -214,6 +245,9 @@ type BandCholesky struct {
 	// are free, and the copy pass is pure overhead (the interior-point
 	// workloads factorize tiny bands hundreds of thousands of times).
 	useLT bool
+	// uw is the working vector of UpdateRank1/UpdateRankK, sized lazily on
+	// first use (factorization updates are opt-in).
+	uw []float64
 }
 
 // ltThreshold is the packed-factor size (floats) above which Factorize
@@ -267,6 +301,15 @@ func (c *BandCholesky) Factorize(a *BandMatrix) error {
 		c.Symbolic(a.n, a.bw)
 	}
 	n, bw := c.n, c.bw
+	if bw == 2 {
+		// The horizon QP's two-datacenter instances (the experiment sweeps)
+		// produce this exact shape hundreds of thousands of times per run.
+		if err := c.factorizeBW2(a.data); err != nil {
+			return err
+		}
+		c.rebuildLT()
+		return nil
+	}
 	w1 := bw + 1
 	l := c.l
 	ad := a.data
@@ -311,19 +354,76 @@ func (c *BandCholesky) Factorize(a *BandMatrix) error {
 	// Packed transposed copy: lt row i holds column i of L from the
 	// diagonal down, i.e. lt[i·w1+k] = L[i+k][i]. Skipped for factors
 	// small enough to sit in L1, where back substitution reads l directly.
-	if c.useLT {
-		lt := c.lt
-		for i := 0; i < n; i++ {
-			hi := bw
-			if i+hi > n-1 {
-				hi = n - 1 - i
-			}
-			for k := 0; k <= hi; k++ {
-				lt[i*w1+k] = l[(i+k)*w1+bw-k]
-			}
+	c.rebuildLT()
+	return nil
+}
+
+// factorizeBW2 is the numeric phase unrolled for half-bandwidth 2. Every
+// floating-point operation runs in exactly the order of the generic loop
+// (ascending k, left-to-right accumulation), so the factor is bit-identical;
+// what the unrolling removes is per-row slice arithmetic and the loop-bound
+// bookkeeping, which for a 3-wide band costs more than the arithmetic.
+func (c *BandCholesky) factorizeBW2(ad []float64) error {
+	n := c.n // ≥ 3: Symbolic clamps bw ≤ n−1
+	l, dinv := c.l, c.dinv
+	s := ad[2]
+	if s <= 0 || math.IsNaN(s) {
+		return fmt.Errorf("pivot %d = %g: %w", 0, s, ErrNotPositiveDefinite)
+	}
+	d := math.Sqrt(s)
+	l[2] = d
+	dinv[0] = 1 / d
+	v1 := ad[4] * dinv[0]
+	l[4] = v1
+	s = ad[5] - v1*v1
+	if s <= 0 || math.IsNaN(s) {
+		return fmt.Errorf("pivot %d = %g: %w", 1, s, ErrNotPositiveDefinite)
+	}
+	d = math.Sqrt(s)
+	l[5] = d
+	dinv[1] = 1 / d
+	for i := 2; i < n; i++ {
+		base := 3 * i
+		v0 := ad[base] * dinv[i-2]
+		l[base] = v0
+		w := (ad[base+1] - v0*l[base-2]) * dinv[i-1]
+		l[base+1] = w
+		s = ad[base+2] - v0*v0
+		s -= w * w
+		if s <= 0 || math.IsNaN(s) {
+			return fmt.Errorf("pivot %d = %g: %w", i, s, ErrNotPositiveDefinite)
 		}
+		d = math.Sqrt(s)
+		l[base+2] = d
+		dinv[i] = 1 / d
 	}
 	return nil
+}
+
+// solveBW2 is Solve unrolled for half-bandwidth 2 (direct-l back
+// substitution — bw-2 factors sit below ltThreshold until n > 682, and the
+// dispatch requires !useLT). Operation order matches the generic loops
+// exactly, so results are bit-identical.
+func (c *BandCholesky) solveBW2(b, x Vector) {
+	n := c.n // ≥ 3, as in factorizeBW2
+	l, dinv := c.l, c.dinv
+	x[0] = b[0] * dinv[0]
+	x[1] = (b[1] - l[4]*x[0]) * dinv[1]
+	for i := 2; i < n; i++ {
+		base := 3 * i
+		s := b[i] - l[base]*x[i-2]
+		s -= l[base+1] * x[i-1]
+		x[i] = s * dinv[i]
+	}
+	x[n-1] *= dinv[n-1]
+	i := n - 2
+	x[i] = (x[i] - l[3*i+4]*x[i+1]) * dinv[i]
+	for i = n - 3; i >= 0; i-- {
+		base := 3 * i
+		s := x[i] - l[base+4]*x[i+1]
+		s -= l[base+6] * x[i+2]
+		x[i] = s * dinv[i]
+	}
 }
 
 // Solve solves A x = b using the factorization, writing into x. x and b
@@ -332,6 +432,10 @@ func (c *BandCholesky) Solve(b Vector, x Vector) error {
 	n, bw := c.n, c.bw
 	if len(b) != n || len(x) != n {
 		return fmt.Errorf("band solve b=%d x=%d n=%d: %w", len(b), len(x), n, ErrDimensionMismatch)
+	}
+	if bw == 2 && !c.useLT {
+		c.solveBW2(b, x)
+		return nil
 	}
 	w1 := bw + 1
 	l := c.l

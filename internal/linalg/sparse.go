@@ -230,13 +230,24 @@ func (m *SparseMatrix) MulVec(x Vector, y Vector) error {
 	if len(x) != m.cols || len(y) != m.rows {
 		return fmt.Errorf("sparse mulvec (%dx%d)·%d into %d: %w", m.rows, m.cols, len(x), len(y), ErrDimensionMismatch)
 	}
+	rowPtr, colIdx, vals := m.rowPtr, m.colIdx, m.vals
 	for i := range y {
-		lo, hi := m.rowPtr[i], m.rowPtr[i+1]
-		cols := m.colIdx[lo:hi]
-		vals := m.vals[lo:hi]
+		lo, hi := rowPtr[i], rowPtr[i+1]
 		var s float64
-		for k, v := range vals {
-			s += v * x[cols[k]]
+		// Constraint rows in the horizon QP carry one or two nonzeros
+		// (bound rows and per-period capacity rows); dispatching on the
+		// count replaces the slice setup with direct loads. Accumulation
+		// order (ascending k) matches the general loop bit for bit.
+		switch hi - lo {
+		case 1:
+			s += vals[lo] * x[colIdx[lo]]
+		case 2:
+			s += vals[lo] * x[colIdx[lo]]
+			s += vals[lo+1] * x[colIdx[lo+1]]
+		default:
+			for k := lo; k < hi; k++ {
+				s += vals[k] * x[colIdx[k]]
+			}
 		}
 		y[i] = s
 	}
@@ -248,13 +259,23 @@ func (m *SparseMatrix) MulVecT(x Vector, y Vector) error {
 	if len(x) != m.rows || len(y) != m.cols {
 		return fmt.Errorf("sparse mulvecT (%dx%d)ᵀ·%d into %d: %w", m.rows, m.cols, len(x), len(y), ErrDimensionMismatch)
 	}
+	colPtr, rowIdxT, valsT := m.colPtr, m.rowIdxT, m.valsT
 	for j := range y {
-		lo, hi := m.colPtr[j], m.colPtr[j+1]
-		rows := m.rowIdxT[lo:hi]
-		vals := m.valsT[lo:hi]
+		lo, hi := colPtr[j], colPtr[j+1]
 		var s float64
-		for k, v := range vals {
-			s += v * x[rows[k]]
+		// Columns of the horizon constraint matrix are short too (each
+		// variable appears in a handful of rows); same dispatch, same
+		// ascending-k accumulation order as the general loop.
+		switch hi - lo {
+		case 1:
+			s += valsT[lo] * x[rowIdxT[lo]]
+		case 2:
+			s += valsT[lo] * x[rowIdxT[lo]]
+			s += valsT[lo+1] * x[rowIdxT[lo+1]]
+		default:
+			for k := lo; k < hi; k++ {
+				s += valsT[k] * x[rowIdxT[k]]
+			}
 		}
 		y[j] = s
 	}
@@ -321,29 +342,83 @@ func (m *SparseMatrix) AtATWeightedBand(w Vector, dst *BandMatrix) error {
 		return fmt.Errorf("sparse gtwg band: gram bandwidth %d exceeds dst band %d: %w",
 			m.gramBW, bw, ErrDimensionMismatch)
 	}
+	dd := dst.data
 	for r := 0; r < m.rows; r++ {
 		wr := w[r]
 		if wr == 0 {
 			continue
 		}
 		lo, hi := m.rowPtr[r], m.rowPtr[r+1]
+		// Short rows — the dominant case in the horizon QP's constraint
+		// blocks — skip the slice setup and loop machinery entirely. The
+		// f == 0 guards and the update order match the general path, so the
+		// accumulated band is bit-identical.
+		if hi-lo == 1 {
+			c0, v0 := m.colIdx[lo], m.vals[lo]
+			if f := wr * v0; f != 0 {
+				dd[c0*bw+bw+c0] += f * v0
+			}
+			continue
+		}
+		if hi-lo == 2 {
+			c0, v0 := m.colIdx[lo], m.vals[lo]
+			c1, v1 := m.colIdx[lo+1], m.vals[lo+1]
+			if f := wr * v0; f != 0 {
+				dd[c0*bw+bw+c0] += f * v0
+			}
+			if f := wr * v1; f != 0 {
+				base := c1*bw + bw
+				dd[base+c0] += f * v0
+				dd[base+c1] += f * v1
+			}
+			continue
+		}
 		cols := m.colIdx[lo:hi]
 		vals := m.vals[lo:hi]
 		// Columns are sorted: fix the larger index cj = cols[b] (the band
 		// row) and sweep the smaller ones, so each inner loop writes one
-		// contiguous run of the packed row.
+		// contiguous run of the packed row — addressed directly into the
+		// packed storage (entry (cj, ca) lives at cj·bw + bw + ca).
 		for b, cj := range cols {
 			f := wr * vals[b]
 			if f == 0 {
 				continue
 			}
-			row := dst.Row(cj)
+			base := cj*bw + bw
 			for a := 0; a <= b; a++ {
-				row[cols[a]-cj+bw] += f * vals[a]
+				dd[base+cols[a]] += f * vals[a]
 			}
 		}
 	}
 	return nil
+}
+
+// RowWindow densifies row i over its column window into buf: start is the
+// row's first nonzero column and vals covers columns [start, start+len(vals))
+// with explicit zeros at the gaps. An empty row returns ok with an empty
+// window; a row whose span exceeds len(buf) returns !ok. This is the shape
+// BandCholesky's rank-1 updates consume — a contiguous window no wider than
+// the band — which is why the QP session's update tier reads rows this way.
+func (m *SparseMatrix) RowWindow(i int, buf []float64) (start int, vals []float64, ok bool) {
+	lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+	if lo == hi {
+		return 0, buf[:0], true
+	}
+	cols := m.colIdx[lo:hi]
+	first := cols[0]
+	span := cols[len(cols)-1] - first + 1
+	if span > len(buf) {
+		return 0, nil, false
+	}
+	vals = buf[:span]
+	for k := range vals {
+		vals[k] = 0
+	}
+	rv := m.vals[lo:hi]
+	for k, c := range cols {
+		vals[c-first] = rv[k]
+	}
+	return first, vals, true
 }
 
 // GramBandwidth returns the half-bandwidth of the weighted Gram product

@@ -1,0 +1,110 @@
+package linalg
+
+import "sync"
+
+// BandSymbolic is the shared, immutable result of symbolic analysis for
+// band Cholesky factorizations of one shape: the clamped (n, bw), the
+// packed storage size, and the transposed-copy policy. Factorization
+// objects size their buffers from it (SymbolicFrom) without redoing the
+// clamping or threshold decisions.
+//
+// Symbolic analysis for a band factorization is cheap — the point of
+// sharing it process-wide is not the analysis cost but the registry
+// itself: every QP structure cache entry, best-response session, and
+// sweep cell solving the same (n, bw) shape resolves to the same
+// *BandSymbolic, which makes shape identity observable (hit/miss
+// counters) and gives future structure-dependent analyses (orderings,
+// panel blockings) one place to live.
+type BandSymbolic struct {
+	n, bw int
+	need  int  // packed floats: n·(bw+1)
+	useLT bool // whether Factorize maintains the transposed copy
+}
+
+// N returns the (clamped) order.
+func (s *BandSymbolic) N() int { return s.n }
+
+// Bandwidth returns the (clamped) half-bandwidth.
+func (s *BandSymbolic) Bandwidth() int { return s.bw }
+
+// symbolicClamp normalizes a requested (n, bw) the same way
+// BandCholesky.Symbolic and BandMatrix.Reset do, so registry keys are
+// canonical.
+func symbolicClamp(n, bw int) (int, int) {
+	if n < 0 {
+		n = 0
+	}
+	if bw < 0 {
+		bw = 0
+	}
+	if bw > n-1 {
+		bw = n - 1
+	}
+	if n == 0 {
+		bw = 0
+	}
+	return n, bw
+}
+
+// symbolicRegistry is the process-wide (n, bw) → *BandSymbolic table.
+// Entries are immutable once published, so readers share them freely; the
+// map itself is guarded by a mutex (lookups are rare — once per solver
+// session or structure-cache entry, not per solve).
+var symbolicRegistry = struct {
+	sync.Mutex
+	m            map[[2]int]*BandSymbolic
+	hits, misses uint64
+}{m: make(map[[2]int]*BandSymbolic)}
+
+// SharedSymbolic returns the process-wide shared symbolic object for band
+// factorizations of order n with half-bandwidth bw (clamped like
+// BandCholesky.Symbolic). Safe for concurrent use; the returned object is
+// immutable and shared by every caller with the same shape.
+func SharedSymbolic(n, bw int) *BandSymbolic {
+	n, bw = symbolicClamp(n, bw)
+	key := [2]int{n, bw}
+	r := &symbolicRegistry
+	r.Lock()
+	s, ok := r.m[key]
+	if ok {
+		r.hits++
+	} else {
+		r.misses++
+		s = &BandSymbolic{n: n, bw: bw, need: n * (bw + 1), useLT: n*(bw+1) > ltThreshold}
+		r.m[key] = s
+	}
+	r.Unlock()
+	return s
+}
+
+// SymbolicRegistryStats reports the registry's cumulative hit/miss counts
+// (a hit means a shape was shared with a previous caller).
+func SymbolicRegistryStats() (hits, misses uint64) {
+	r := &symbolicRegistry
+	r.Lock()
+	hits, misses = r.hits, r.misses
+	r.Unlock()
+	return hits, misses
+}
+
+// SymbolicFrom prepares the factorization for the shape described by the
+// shared symbolic object: identical to Symbolic(s.N(), s.Bandwidth()) but
+// with the clamping and threshold decisions already made.
+func (c *BandCholesky) SymbolicFrom(s *BandSymbolic) {
+	c.useLT = s.useLT
+	if cap(c.l) < s.need {
+		c.l = make([]float64, s.need)
+	}
+	if c.useLT && cap(c.lt) < s.need {
+		c.lt = make([]float64, s.need)
+	}
+	if cap(c.dinv) < s.n {
+		c.dinv = make([]float64, s.n)
+	}
+	c.n, c.bw = s.n, s.bw
+	c.l = c.l[:s.need]
+	if c.useLT {
+		c.lt = c.lt[:s.need]
+	}
+	c.dinv = c.dinv[:s.n]
+}

@@ -67,6 +67,8 @@ type solveStats struct {
 	correctorSkips int
 	factorizations int
 	bumps          int
+	reused         int
+	rankk          int
 }
 
 // flushQPTelemetry publishes one finished solve into the hooks' counters
@@ -89,6 +91,8 @@ func flushQPTelemetry(h *telemetry.QPHooks, sp *telemetry.Span, warm *WarmStart,
 	h.CorrectorSkips.Add(float64(stats.correctorSkips))
 	h.Factorizations.Add(float64(stats.factorizations))
 	h.FactorBumps.Add(float64(stats.bumps))
+	h.FactorReused.Add(float64(stats.reused))
+	h.RankKUpdates.Add(float64(stats.rankk))
 	outcome := "ok"
 	switch {
 	case err == nil:
@@ -118,9 +122,6 @@ func solveWarmCtx(ctx context.Context, p *Problem, opts Options, warm *WarmStart
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	if ctx == nil {
-		ctx = context.Background()
-	}
 	opts = opts.withDefaults()
 
 	n := p.NumVars()
@@ -133,7 +134,28 @@ func solveWarmCtx(ctx context.Context, p *Problem, opts Options, warm *WarmStart
 
 	st := newIPMState(p, n, m, pe)
 	defer st.release()
+	return runIPM(ctx, st, opts, warm, stats)
+}
+
+// runIPM initializes the iterate from the (optional) warm start and runs
+// the predictor–corrector loop. It is shared by the pooled one-shot path
+// (solveWarmCtx) and the persistent Session path; everything the two do
+// differently — state lifetime, factorization reuse, result storage —
+// hangs off st.
+func runIPM(ctx context.Context, st *ipmState, opts Options, warm *WarmStart, stats *solveStats) (*Result, error) {
 	st.initPoint(warm)
+	return iterateIPM(ctx, st, opts, stats)
+}
+
+// iterateIPM runs the Mehrotra predictor–corrector loop from the iterate
+// already in st — either a freshly initialized point (runIPM) or, on the
+// Session hot-continuation path, the previous solve's final iterate.
+func iterateIPM(ctx context.Context, st *ipmState, opts Options, stats *solveStats) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	p := st.p
+	m := st.m
 	st.szDot = linalg.DotProd(st.s[:m], st.z[:m])
 
 	st.computeResiduals()
@@ -158,7 +180,14 @@ func solveWarmCtx(ctx context.Context, p *Problem, opts Options, warm *WarmStart
 			return nil, fmt.Errorf("iteration %d: %w", iter, err)
 		}
 		if stats != nil {
-			stats.factorizations++
+			switch st.factorKind {
+			case factorReusedExact:
+				stats.reused++
+			case factorRankK:
+				stats.rankk++
+			default:
+				stats.factorizations++
+			}
 			if st.bumped {
 				stats.bumps++
 			}
@@ -293,7 +322,17 @@ type ipmState struct {
 	// bumped records that the last factorization needed the emergency
 	// regularization bump, invalidating the incremental residual identity.
 	bumped bool
-	bchol  *linalg.BandCholesky
+	// factorKind records how factorKKT satisfied its last call: a full
+	// numeric refactorization, an exact reuse of the standing factor
+	// (weights bitwise unchanged), or an in-place rank-k update.
+	factorKind factorKind
+	// reuse, set only by Sessions on inequality-only problems, carries the
+	// cross-solve factorization reuse state. Nil on the pooled path.
+	reuse *factorReuse
+	// arena, set only by Sessions, double-buffers the escaping Result
+	// storage so results stop allocating per solve.
+	arena *resultArena
+	bchol *linalg.BandCholesky
 	// Schur complement pieces for equality constraints.
 	hInvAt *linalg.Matrix
 	schur  *linalg.Cholesky
@@ -302,6 +341,39 @@ type ipmState struct {
 	scratchN2 linalg.Vector
 	scratchM  linalg.Vector
 	scratchQ  linalg.Vector
+	// panelQ is the column-major H⁻¹Aᵀ panel of the Schur path, batched
+	// through SolveBatch.
+	panelQ linalg.Vector
+}
+
+// factorKind enumerates the ways factorKKT can produce a valid factor.
+type factorKind uint8
+
+const (
+	factorFull        factorKind = iota // refill + numeric factorization
+	factorReusedExact                   // weights bitwise unchanged: factor kept as-is
+	factorRankK                         // factor advanced by rank-k update
+)
+
+// factorReuse is the cross-solve factorization state of a Session: the
+// weight vector that produced the standing band factor, scratch for
+// diffing, the rank-k policy switch, and cumulative accounting. The exact
+// bitwise-reuse tier is always active once the struct is attached; the
+// rank-k tier is opt-in (SessionOptions.RankK) because its factor is a
+// rounding-level perturbation of the full one, which trades bit-identical
+// results for an O((n−start)·bw) update.
+type factorReuse struct {
+	valid bool
+	prevW linalg.Vector
+	rankK bool
+
+	diffRows []int
+	ups      []linalg.RankUpdate
+	vbuf     []float64
+
+	fullTotal   uint64
+	reusedTotal uint64
+	rankkTotal  uint64
 }
 
 // kktBandwidth bounds the half-bandwidth of H = Q + Gᵀdiag(w)G for any
@@ -389,9 +461,12 @@ func newIPMState(p *Problem, n, m, q int) *ipmState {
 	st.n, st.m, st.q = n, m, q
 	// Symbolic phase: shape the packed band and the factor layout once; the
 	// per-iteration numeric phase then refills and refactorizes in place
-	// with zero allocations.
+	// with zero allocations. The layout comes from the process-wide shared
+	// symbolic registry, so every solver working the same (n, bw) shape —
+	// MPC steps, sweep cells, best-response sessions — resolves to one
+	// analysis object.
 	st.hBand.Reset(n, st.hBW)
-	st.bchol.Symbolic(n, st.hBW)
+	st.bchol.SymbolicFrom(linalg.SharedSymbolic(n, st.hBW))
 	st.qBand.Reset(n, st.hBW)
 	_ = st.qBand.CopyLowerBand(p.Q)
 	return st
@@ -611,12 +686,131 @@ func (st *ipmState) converged(tol, mu float64) bool {
 // allocation occurs here on the q == 0 path.
 func (st *ipmState) factorKKT(reg float64) error {
 	st.bumped = false
+	st.factorKind = factorFull
 	sInv, wv := st.sInv[:st.m], st.w[:st.m]
 	sv, zv := st.s[:st.m], st.z[:st.m]
 	for i := range sv {
 		sInv[i] = 1 / sv[i]
 		wv[i] = zv[i] * sInv[i]
 	}
+	fr := st.reuse
+	if fr != nil && st.tryFactorReuse(fr) {
+		return nil
+	}
+	if err := st.factorKKTFull(reg); err != nil {
+		if fr != nil {
+			fr.valid = false
+		}
+		return err
+	}
+	if fr != nil {
+		fr.fullTotal++
+		if st.bumped {
+			// The bump shifted the diagonal beyond what the weights imply;
+			// the standing factor no longer corresponds to any weight
+			// vector a later solve could diff against.
+			fr.valid = false
+		} else {
+			fr.prevW = growVec(fr.prevW, st.m)
+			copy(fr.prevW, wv)
+			fr.valid = true
+		}
+	}
+	return nil
+}
+
+// maxRankKRows bounds how many changed weights the rank-k tier will even
+// consider: past this the work estimate below always rejects, so the diff
+// scan stops early instead of collecting rows it cannot use.
+const maxRankKRows = 16
+
+// tryFactorReuse serves factorKKT from the standing factorization when the
+// session's cross-solve state allows it. Two tiers:
+//
+// Exact reuse: the z/s weights are bitwise identical to the ones that
+// produced the standing factor, so a refill+factorize would reproduce it
+// bit for bit — both are skipped and results are unchanged down to the
+// last ulp.
+//
+// Rank-k update (opt-in): when only a few weights moved — the signature of
+// a price or capacity perturbation on an otherwise converged iterate —
+// the new KKT matrix is H + Σᵢ Δwᵢ·gᵢgᵢᵀ over the changed rows, and the
+// factor advances by banded rank-1 updates in O(Σᵢ (n−startᵢ)·bw) instead
+// of a full refactorization. Applied only when the summed update sweeps
+// undercut the refactorization work, and abandoned (falling back to the
+// full path) on any stability rejection.
+func (st *ipmState) tryFactorReuse(fr *factorReuse) bool {
+	wv := st.w[:st.m]
+	if !fr.valid || len(fr.prevW) != st.m {
+		return false
+	}
+	if cap(fr.diffRows) < maxRankKRows {
+		fr.diffRows = make([]int, 0, maxRankKRows)
+	}
+	rows := fr.diffRows[:0]
+	for i, w := range wv {
+		if w != fr.prevW[i] {
+			if len(rows) == maxRankKRows {
+				return false
+			}
+			rows = append(rows, i)
+		}
+	}
+	fr.diffRows = rows
+	if len(rows) == 0 {
+		st.factorKind = factorReusedExact
+		fr.reusedTotal++
+		return true
+	}
+	if !fr.rankK {
+		return false
+	}
+	sp, ok := st.p.G.(*linalg.SparseMatrix)
+	if !ok {
+		return false
+	}
+	w1 := st.hBW + 1
+	if cap(fr.vbuf) < len(rows)*w1 {
+		fr.vbuf = make([]float64, len(rows)*w1)
+	}
+	ups := fr.ups[:0]
+	work := 0
+	for k, i := range rows {
+		start, vals, ok := sp.RowWindow(i, fr.vbuf[k*w1:(k+1)*w1])
+		if !ok {
+			fr.ups = ups
+			return false
+		}
+		if len(vals) == 0 {
+			// An empty constraint row contributes nothing to H; its weight
+			// change is real but invisible to the factorization.
+			continue
+		}
+		work += st.n - start
+		ups = append(ups, linalg.RankUpdate{Start: start, V: vals, Sigma: wv[i] - fr.prevW[i]})
+	}
+	fr.ups = ups
+	// Work gate: each rank-1 sweep costs ~4·(n−start)·bw flops against the
+	// ~n·bw² of refill+factorize; accept only with a clear margin.
+	if 2*work >= st.n*w1 {
+		return false
+	}
+	if err := st.bchol.UpdateRankK(ups); err != nil {
+		// Unstable downdate (or a window the band cannot hold): the factor
+		// may be half-updated, so invalidate it and refactorize.
+		fr.valid = false
+		return false
+	}
+	copy(fr.prevW, wv)
+	st.factorKind = factorRankK
+	fr.rankkTotal++
+	return true
+}
+
+// factorKKTFull is the numeric factorization proper: refill the packed
+// band and refactorize in place, then the Schur pieces when equalities
+// are present.
+func (st *ipmState) factorKKTFull(reg float64) error {
 	// Refill the working band: Q's packed band (cached once per solve by
 	// newIPMState) lands in one contiguous copy, reg goes on the diagonal,
 	// then Gᵀdiag(w)G is accumulated on top. kktBandwidth (or the caller's
@@ -645,18 +839,25 @@ func (st *ipmState) factorKKT(reg float64) error {
 	}
 
 	if st.q > 0 {
-		// Equality constraints sit off the experiment hot paths, so the
-		// Schur pieces keep their straightforward dense implementation.
-		at := st.p.A.T()
+		// Equality constraints sit off the experiment hot paths, but the
+		// H⁻¹Aᵀ panel is a natural multi-RHS solve: columns of Aᵀ (= rows
+		// of A) are gathered into one column-major panel and
+		// back-substituted together, each column bit-identical to the
+		// sequential solve this replaces.
 		st.hInvAt = linalg.NewMatrix(st.n, st.q)
-		col := st.scratchN2
+		st.panelQ = growVec(st.panelQ, st.n*st.q)
+		panel := st.panelQ
 		for j := 0; j < st.q; j++ {
+			col := panel[j*st.n : (j+1)*st.n]
 			for i := 0; i < st.n; i++ {
-				col[i] = at.At(i, j)
+				col[i] = st.p.A.At(j, i)
 			}
-			if err := st.bchol.Solve(col, col); err != nil {
-				return fmt.Errorf("%v: %w", err, ErrNumerical)
-			}
+		}
+		if err := st.bchol.SolveBatch(panel, panel, st.q); err != nil {
+			return fmt.Errorf("%v: %w", err, ErrNumerical)
+		}
+		for j := 0; j < st.q; j++ {
+			col := panel[j*st.n : (j+1)*st.n]
 			for i := 0; i < st.n; i++ {
 				st.hInvAt.Set(i, j, col[i])
 			}
@@ -789,16 +990,38 @@ func (st *ipmState) step(alphaP, alphaD float64) bool {
 	return floored
 }
 
+// resultArena double-buffers the escaping Result storage of a Session.
+// Each solve writes the generation the previous solve did not, so a
+// result — typically feeding the next solve's warm start — stays valid
+// through exactly one more solve without any per-solve allocation.
+type resultArena struct {
+	gen  int
+	bufs [2]linalg.Vector
+	ress [2]Result
+}
+
 func (st *ipmState) result(p *Problem, iters int, mu float64) (*Result, error) {
 	// The escaping iterates are carved from one backing buffer (the state's
 	// own vectors go back to the pool), and the objective reuses the
-	// state's scratch instead of allocating.
-	buf := linalg.NewVector(st.n + st.m + st.q)
+	// state's scratch instead of allocating. Sessions swap in their arena's
+	// off generation instead of allocating at all.
+	need := st.n + st.m + st.q
+	var buf linalg.Vector
+	var res *Result
+	if ar := st.arena; ar != nil {
+		ar.gen ^= 1
+		ar.bufs[ar.gen] = growVec(ar.bufs[ar.gen], need)
+		buf = ar.bufs[ar.gen]
+		res = &ar.ress[ar.gen]
+	} else {
+		buf = linalg.NewVector(need)
+		res = &Result{}
+	}
 	x := buf[:st.n:st.n]
 	copy(x, st.x)
 	z := buf[st.n : st.n+st.m : st.n+st.m]
 	copy(z, st.z)
-	res := &Result{
+	*res = Result{
 		X:          x,
 		IneqDuals:  z,
 		Objective:  st.obj,

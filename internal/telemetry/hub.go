@@ -18,6 +18,8 @@ const (
 	MetricQPFactorBumps       = "dspp_qp_factorization_bumps_total"
 	MetricQPNumericalFailures = "dspp_qp_numerical_failures_total"
 	MetricQPMaxIter           = "dspp_qp_maxiter_total"
+	MetricQPFactorReused      = "dspp_factorizations_reused_total"
+	MetricQPRankKUpdates      = "dspp_rankk_updates_total"
 	MetricQPSolveIterations   = "dspp_qp_solve_iterations"
 
 	MetricSpans = "dspp_spans_total"
@@ -72,6 +74,8 @@ type QPHooks struct {
 	FactorBumps       *Counter
 	NumericalFailures *Counter
 	MaxIter           *Counter
+	FactorReused      *Counter
+	RankKUpdates      *Counter
 	IterationsHist    *Histogram
 	Tracer            *Tracer
 }
@@ -146,6 +150,8 @@ func (h *Hub) QPHooks() *QPHooks {
 			FactorBumps:       h.reg.Counter(MetricQPFactorBumps),
 			NumericalFailures: h.reg.Counter(MetricQPNumericalFailures),
 			MaxIter:           h.reg.Counter(MetricQPMaxIter),
+			FactorReused:      h.reg.Counter(MetricQPFactorReused),
+			RankKUpdates:      h.reg.Counter(MetricQPRankKUpdates),
 			IterationsHist:    h.reg.Histogram(MetricQPSolveIterations, qpIterBuckets),
 			Tracer:            h.tr,
 		}

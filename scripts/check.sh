@@ -17,7 +17,7 @@ go test -race ./...
 
 echo "== benchmark smoke (1 iteration each) =="
 go test -run XXX -bench . -benchtime 1x .
-go test -run XXX -bench . -benchtime 1x ./internal/qp ./internal/core
+go test -run XXX -bench . -benchtime 1x ./internal/qp ./internal/core ./internal/linalg ./internal/game
 
 echo "== BENCH_2.json guard =="
 # The perf record must exist and its experiment metrics must agree with
@@ -32,6 +32,25 @@ for metric in mean_iters_cap100 best_horizon; do
 		echo "metric $metric drifted: BENCH_1=$v1 BENCH_2=$v2"; exit 1; }
 done
 echo "BENCH_2.json present, experiment metrics match BENCH_1"
+
+echo "== BENCH_3.json guard =="
+# Same contract for the batched-solving record: sessions, factorization
+# reuse, and the small-band kernels must leave the experiment answers
+# exactly where BENCH_1 put them, and the session-resolve record must
+# show the reuse tiers actually firing.
+[ -f BENCH_3.json ] || { echo "BENCH_3.json missing (run scripts/bench.sh)"; exit 1; }
+for metric in mean_iters_cap100 best_horizon; do
+	v1=$(grep -o "\"$metric\": [0-9.]*" BENCH_1.json | tail -1 | sed 's/.*: //')
+	v3=$(grep -o "\"$metric\": [0-9.]*" BENCH_3.json | tail -1 | sed 's/.*: //')
+	[ -n "$v1" ] && [ -n "$v3" ] || { echo "metric $metric missing from a BENCH json"; exit 1; }
+	awk "BEGIN { exit !($v1 == $v3) }" || {
+		echo "metric $metric drifted: BENCH_1=$v1 BENCH_3=$v3"; exit 1; }
+done
+a3=$(grep -o '"allocs_per_op": [0-9.]*' BENCH_3.json | tail -1 | sed 's/.*: //')
+[ "$a3" = "2" ] || { echo "BENCH_3 warm solve allocs_per_op=$a3, want 2 (symbolic registry on, telemetry off)"; exit 1; }
+rr=$(grep -o '"reuse_rate": [0-9.]*' BENCH_3.json | tail -1 | sed 's/.*: //')
+awk "BEGIN { exit !($rr > 0) }" || { echo "BENCH_3 reuse_rate=$rr: reuse tiers never fired"; exit 1; }
+echo "BENCH_3.json present, experiment metrics match BENCH_1, reuse tiers live"
 
 echo "== telemetry overhead guard =="
 # The disabled-telemetry path must stay free: BenchmarkSolveWarm holds
