@@ -15,7 +15,18 @@
 //	        [-fault outage:dc=1,start=10,end=20] [-fault noise:start=0,end=47,factor=0.3]
 //	        [-cpuprofile cpu.out] [-memprofile mem.out]
 //	        [-telemetry-addr :8080] [-serve-after 30s] [-trace-out run.jsonl]
+//	dsppsim -continental [-locations 1000] [-dcsites 100] [-decomp] [-shard-size 125]
+//	        [-periods 24] [-horizon 2] [-seed 7]
 //	dsppsim trace-summary run.jsonl
+//
+// With -continental the paper's four-DC setup is replaced by a generated
+// continental-scale topology (see -locations/-dcsites) and the controller
+// runs the geographic decomposition: sharded region QPs coordinated by
+// dual-price capacity re-division on the DCs shared between regions
+// (-decomp=false forces the monolithic QP for comparison; -shard-size
+// caps locations per shard). The header reports the partition next to the
+// support stats, and the per-period table collapses to totals — hundreds
+// of per-DC columns would not be readable.
 //
 // Each -fault flag adds one event to the run's fault schedule
 // (outage | shock | spike | surge | noise); the controller degrades
@@ -81,6 +92,11 @@ func run(args []string, out *os.File) error {
 	telemetryAddr := fs.String("telemetry-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address during the run")
 	serveAfter := fs.Duration("serve-after", 0, "keep the telemetry endpoint up this long after the run (needs -telemetry-addr)")
 	traceOut := fs.String("trace-out", "", "stream the span trace as JSONL to this file (replay with `dsppsim trace-summary`)")
+	continental := fs.Bool("continental", false, "run a generated continental-scale topology instead of the paper's four-DC setup")
+	locations := fs.Int("locations", 1000, "continental mode: number of access locations")
+	dcsites := fs.Int("dcsites", 100, "continental mode: number of data-center sites")
+	useDecomp := fs.Bool("decomp", true, "continental mode: solve via geographic decomposition (false = monolithic QP)")
+	shardSize := fs.Int("shard-size", 125, "continental mode: max locations per shard (0 = connected components only)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -122,6 +138,13 @@ func run(args []string, out *os.File) error {
 				}
 			}()
 		}
+	}
+	if *continental {
+		return runContinental(out, tel, continentalRun{
+			locations: *locations, dcsites: *dcsites,
+			periods: *periods, horizon: *horizon, seed: *seed,
+			decomp: *useDecomp, shardSize: *shardSize,
+		})
 	}
 	if *numDCs < 1 || *numDCs > 4 {
 		return fmt.Errorf("dcs %d out of range 1-4", *numDCs)

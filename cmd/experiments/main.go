@@ -15,6 +15,8 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -212,6 +214,13 @@ func registry() []experiment {
 			fmt.Println(r.Fault.DegradationSummary())
 			return r.Table, r.Check(), nil
 		}},
+		{"decomp-scaling", func(int64, int) (*experiments.Table, error, error) {
+			r, err := experiments.DecompScaling(context.Background(), false)
+			if err != nil {
+				return nil, nil, err
+			}
+			return r.Table, r.Check(), nil
+		}},
 	}
 }
 
@@ -230,6 +239,8 @@ func run(args []string) error {
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	telemetryAddr := fs.String("telemetry-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while the suite runs")
+	benchOut := fs.String("bench-out", "", "decomp-scaling only: write the measured records as a JSON array to this file")
+	benchFull := fs.Bool("bench-full", false, "decomp-scaling only: run the full continental sizes (n≥1000; the monolithic references take minutes)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -253,6 +264,38 @@ func run(args []string) error {
 				fmt.Fprintln(os.Stderr, "experiments:", serr)
 			}
 		}()
+	}
+	// The scaling benchmark takes its size and output options from the
+	// bench flags, so it runs outside the fixed registry signature.
+	if *benchOut != "" || *benchFull {
+		if !strings.EqualFold(*fig, "decomp-scaling") {
+			return fmt.Errorf("-bench-out/-bench-full require -fig decomp-scaling")
+		}
+		r, err := experiments.DecompScaling(context.Background(), *benchFull)
+		if err != nil {
+			return fmt.Errorf("decomp-scaling: %w", err)
+		}
+		fmt.Println(r.Table.Render())
+		shapeErr := r.Check()
+		if shapeErr != nil {
+			fmt.Printf("shape check [decomp-scaling]: FAIL: %v\n\n", shapeErr)
+		} else {
+			fmt.Printf("shape check [decomp-scaling]: PASS\n\n")
+		}
+		if *benchOut != "" {
+			data, err := json.MarshalIndent(r.Records, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*benchOut, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *benchOut)
+		}
+		// Unlike the interactive registry loop, the recording path must not
+		// exit clean on a failed curve: bench.sh would commit a bad record.
+		// The JSON is still written above for post-mortem.
+		return shapeErr
 	}
 	ran := 0
 	for _, e := range registry() {

@@ -1,0 +1,104 @@
+package dspp
+
+import (
+	"context"
+
+	"dspp/internal/decomp"
+	"dspp/internal/topology"
+)
+
+// Continental-scale geographic decomposition (ROADMAP item 1): the
+// location–DC support graph of a geo-realistic instance splits into
+// weakly coupled regions, so one monolithic horizon QP is replaced by
+// per-region QPs plus a dual-price coordination loop that re-divides the
+// capacity of DCs shared between regions. DecompController is the
+// drop-in continental-scale replacement for Controller; below roughly a
+// thousand locations the monolithic path is usually faster.
+type (
+	// DecompOptions configures the decomposition layer (shard size,
+	// coordination rounds, tolerance, parallelism, telemetry).
+	DecompOptions = decomp.Options
+	// DecompController is the decomposed MPC controller.
+	DecompController = decomp.Controller
+	// DecompControllerOption customizes a DecompController.
+	DecompControllerOption = decomp.ControllerOption
+	// Partition is a geographic sharding of an instance's support graph.
+	Partition = decomp.Partition
+	// PartitionShard is one region: its locations plus every DC any of
+	// them can reach within the SLA.
+	PartitionShard = decomp.Shard
+	// PartitionStats summarizes a partition for reports.
+	PartitionStats = decomp.Stats
+	// DecompSolver runs coordinated sharded horizon solves directly
+	// (DecompController wraps it with the MPC loop and fallback ladder).
+	DecompSolver = decomp.Solver
+	// DecompSolution is one coordinated horizon solve.
+	DecompSolution = decomp.Solution
+
+	// ContinentalConfig parameterizes the continental topology generator.
+	ContinentalConfig = topology.ContinentalConfig
+	// ContinentalNetwork is a generated continental topology.
+	ContinentalNetwork = topology.ContinentalNetwork
+
+	// ContinentalScenario is a ready-to-solve synthetic continental
+	// benchmark instance.
+	ContinentalScenario = decomp.Scenario
+	// ContinentalScenarioConfig sizes a ContinentalScenario.
+	ContinentalScenarioConfig = decomp.ScenarioConfig
+	// ScalingCase is one point of the decomposition shard-scaling curve.
+	ScalingCase = decomp.ScalingCase
+	// ScalingRecord is one measured scaling point.
+	ScalingRecord = decomp.ScalingRecord
+)
+
+// Decomposition sentinel errors.
+var (
+	// ErrDecompConfig flags invalid decomposition options.
+	ErrDecompConfig = decomp.ErrBadConfig
+	// ErrCoordination means the dual-price loop could not produce a plan.
+	ErrCoordination = decomp.ErrCoordination
+)
+
+// NewPartition shards the instance's locations along the connected
+// components of its support graph, splitting components larger than
+// maxShardSize (0 = unbounded) with a breadth-first sweep.
+func NewPartition(inst *Instance, maxShardSize int) (*Partition, error) {
+	return decomp.NewPartition(inst, maxShardSize)
+}
+
+// NewDecompController builds the partition, the per-shard solver and the
+// MPC wrapper for the instance. Instances below DecompOptions.BypassBelow
+// locations delegate to a plain Controller.
+func NewDecompController(inst *Instance, horizon int, opt DecompOptions, opts ...DecompControllerOption) (*DecompController, error) {
+	return decomp.NewController(inst, horizon, opt, opts...)
+}
+
+// DecompWithLabel overrides the policy name the controller reports.
+func DecompWithLabel(label string) DecompControllerOption { return decomp.WithLabel(label) }
+
+// DecompWithInitialState sets the starting allocation (default zeros).
+func DecompWithInitialState(s State) DecompControllerOption { return decomp.WithInitialState(s) }
+
+// GenerateContinental builds a deterministic continental-scale network:
+// DC sites on a reach-scaled jittered grid, every location within the
+// latency reach of an anchor DC.
+func GenerateContinental(cfg ContinentalConfig) (*ContinentalNetwork, error) {
+	return topology.GenerateContinental(cfg)
+}
+
+// NewContinentalScenario generates a continental topology and converts it
+// into a ready-to-solve benchmark instance with per-catchment capacities.
+func NewContinentalScenario(cfg ContinentalScenarioConfig) (*ContinentalScenario, error) {
+	return decomp.NewScenario(cfg)
+}
+
+// RunDecompScaling measures the shard-scaling curve for the given cases.
+func RunDecompScaling(ctx context.Context, cases []ScalingCase) ([]ScalingRecord, error) {
+	return decomp.RunScaling(ctx, cases)
+}
+
+// DefaultScalingCases returns the standard BENCH_4 case list; full adds
+// the continental n≥1000 sizes to the CI smoke set.
+func DefaultScalingCases(full bool) []ScalingCase {
+	return decomp.DefaultScalingCases(full)
+}

@@ -79,6 +79,7 @@ const (
 	DegradeColdRestart = core.DegradeColdRestart
 	DegradeSoft        = core.DegradeSoft
 	DegradeHold        = core.DegradeHold
+	DegradeMonolithic  = core.DegradeMonolithic
 )
 
 // Sentinel errors of the core problem, re-exported for errors.Is.

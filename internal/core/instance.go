@@ -225,6 +225,33 @@ func (in *Instance) Support() SupportStats {
 	return st
 }
 
+// FeasibleDCs appends to dst the data-center indices that can serve
+// location v within the SLA (ascending) and returns the extended slice.
+// It exposes the support adjacency to the geographic decomposition layer
+// without copying the instance internals; dst may be nil.
+func (in *Instance) FeasibleDCs(v int, dst []int) []int {
+	if v < 0 || v >= in.v {
+		return dst
+	}
+	for _, pr := range in.locPairs[v] {
+		dst = append(dst, pr.l)
+	}
+	return dst
+}
+
+// FeasibleLocations appends to dst the location indices data center l can
+// serve within the SLA (ascending) and returns the extended slice; dst
+// may be nil.
+func (in *Instance) FeasibleLocations(l int, dst []int) []int {
+	if l < 0 || l >= in.l {
+		return dst
+	}
+	for _, pr := range in.dcPairs[l] {
+		dst = append(dst, pr.v)
+	}
+	return dst
+}
+
 // SLAConfig builds the SLA coefficient matrix from a latency matrix and a
 // uniform queueing configuration, excluding pairs the SLA can never admit
 // (a^lv = +Inf), per paper eq. 10.

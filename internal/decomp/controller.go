@@ -1,0 +1,239 @@
+package decomp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"dspp/internal/core"
+	"dspp/internal/telemetry"
+)
+
+// Controller is the decomposed MPC controller: the drop-in continental-
+// scale replacement for core.Controller. It satisfies sim.Policy,
+// sim.CtxPolicy, and sim.DegradationReporter structurally, so the
+// simulation engine drives it like any other policy.
+//
+// Small instances (fewer than Options.BypassBelow locations, or a
+// partition that yields a single shard) bypass decomposition entirely
+// and delegate to a plain core.Controller — the coordination machinery
+// only pays for itself once there are regions to separate.
+type Controller struct {
+	inst   *core.Instance
+	w      int
+	opt    Options
+	solver *Solver // nil when bypassed
+	byp    *core.Controller
+	// fallback is the lazily built monolithic controller behind the
+	// DegradeMonolithic rung; constructing it allocates the full
+	// instance's dense horizon structure, so it only exists after the
+	// first coordination failure.
+	fallback *core.Controller
+
+	state   core.State
+	lastDeg core.Degradation
+	label   string
+	tel     *telemetry.Hub
+}
+
+// ControllerOption customizes a Controller.
+type ControllerOption func(*Controller)
+
+// WithLabel overrides the policy name reported to the simulator.
+func WithLabel(label string) ControllerOption {
+	return func(c *Controller) { c.label = label }
+}
+
+// WithInitialState sets the starting allocation (default: all zeros).
+func WithInitialState(s core.State) ControllerOption {
+	return func(c *Controller) { c.state = s.Clone() }
+}
+
+// NewController builds the partition, the per-shard solver, and the MPC
+// wrapper for the instance.
+func NewController(inst *core.Instance, horizon int, opt Options, opts ...ControllerOption) (*Controller, error) {
+	if inst == nil {
+		return nil, fmt.Errorf("nil instance: %w", ErrBadConfig)
+	}
+	if horizon < 1 {
+		return nil, fmt.Errorf("horizon %d: %w", horizon, ErrBadConfig)
+	}
+	opt = opt.withDefaults()
+	c := &Controller{inst: inst, w: horizon, opt: opt, tel: opt.Telemetry}
+	for _, o := range opts {
+		o(c)
+	}
+	if c.state == nil {
+		c.state = inst.NewState()
+	} else if err := inst.CheckState(c.state); err != nil {
+		return nil, err
+	}
+
+	bypass := inst.NumLocations() < opt.BypassBelow
+	if !bypass {
+		part, err := NewPartition(inst, opt.MaxShardSize)
+		if err != nil {
+			return nil, err
+		}
+		if len(part.Shards) <= 1 {
+			bypass = true
+		} else {
+			c.solver, err = NewSolver(inst, horizon, part, opt)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	if bypass {
+		byp, err := core.NewController(inst, horizon,
+			core.WithQPOptions(opt.QP),
+			core.WithInitialState(c.state),
+			core.WithTelemetry(opt.Telemetry))
+		if err != nil {
+			return nil, err
+		}
+		c.byp = byp
+	}
+	return c, nil
+}
+
+// Name implements sim.Policy.
+func (c *Controller) Name() string {
+	if c.label != "" {
+		return c.label
+	}
+	if c.byp != nil {
+		return fmt.Sprintf("mpc-w%d", c.w)
+	}
+	return fmt.Sprintf("decomp-w%d-s%d", c.w, c.solver.Shards())
+}
+
+// Horizon returns the prediction window W.
+func (c *Controller) Horizon() int { return c.w }
+
+// Partition returns the geographic partition (nil when the instance was
+// small enough to bypass decomposition).
+func (c *Controller) Partition() *Partition {
+	if c.solver == nil {
+		return nil
+	}
+	return c.solver.Partition()
+}
+
+// State implements sim.Policy.
+func (c *Controller) State() core.State {
+	if c.byp != nil {
+		return c.byp.State()
+	}
+	return c.state.Clone()
+}
+
+// SetState overwrites the current allocation and drops the per-shard
+// warm starts.
+func (c *Controller) SetState(s core.State) error {
+	if c.byp != nil {
+		return c.byp.SetState(s)
+	}
+	if err := c.inst.CheckState(s); err != nil {
+		return err
+	}
+	c.state = s.Clone()
+	c.solver.Reset()
+	return nil
+}
+
+// LastDegradation implements sim.DegradationReporter.
+func (c *Controller) LastDegradation() core.Degradation { return c.lastDeg }
+
+// Step implements sim.Policy.
+func (c *Controller) Step(demand, prices [][]float64) (core.State, core.State, error) {
+	return c.StepCtx(context.Background(), demand, prices)
+}
+
+// StepCtx implements sim.CtxPolicy: one coordinated MPC step. When the
+// coordination loop fails (a shard solve error) or exhausts its round
+// budget without converging, the step falls back to one monolithic
+// horizon QP over the full instance — the DegradeMonolithic rung — and
+// from there inherits core.Controller's remaining ladder (cold restart,
+// soft relaxation, hold-last). With Options.NoFallback a non-converged
+// iterate is applied as-is (it is feasible; only optimality is at stake)
+// and shard errors surface to the caller.
+func (c *Controller) StepCtx(ctx context.Context, demand, prices [][]float64) (core.State, core.State, error) {
+	if c.byp != nil {
+		res, err := c.byp.StepCtx(ctx, demand, prices)
+		if err != nil {
+			return nil, nil, err
+		}
+		c.lastDeg = res.Degradation
+		return res.Applied, res.NewState, nil
+	}
+	if c.tel == nil {
+		return c.stepCtx(ctx, demand, prices)
+	}
+	sp := c.tel.Tracer().Start(telemetry.SpanMPCStep, telemetry.SpanIDFromContext(ctx))
+	applied, state, err := c.stepCtx(telemetry.ContextWithSpan(ctx, sp), demand, prices)
+	if err != nil {
+		sp.SetAttr(telemetry.Str("outcome", "error"))
+	} else {
+		sp.SetAttr(telemetry.Str("mode", c.lastDeg.Mode.String()))
+	}
+	sp.End()
+	return applied, state, err
+}
+
+func (c *Controller) stepCtx(ctx context.Context, demand, prices [][]float64) (core.State, core.State, error) {
+	sol, err := c.solver.SolveCtx(ctx, c.state, demand, prices)
+	switch {
+	case err == nil && (sol.Converged || c.opt.NoFallback):
+		var deg core.Degradation
+		if sol.ColdRestarts > 0 {
+			deg.Mode = core.DegradeColdRestart
+			deg.ColdRestarts = sol.ColdRestarts
+		}
+		if !sol.Converged {
+			deg.Cause = fmt.Sprintf("coordination stopped after %d rounds without converging", sol.Rounds)
+		}
+		c.lastDeg = deg
+		c.state = sol.State
+		return sol.Applied, sol.State, nil
+	case err != nil && (errors.Is(err, core.ErrBadInput) || ctx.Err() != nil):
+		return nil, nil, err
+	case err != nil && c.opt.NoFallback:
+		return nil, nil, err
+	}
+
+	// Monolithic rung: solve the full instance once, exactly. The deeper
+	// ladder rungs (cold restart, soft, hold) come along with the core
+	// controller.
+	cause := "coordination budget exhausted"
+	if err != nil {
+		cause = err.Error()
+	}
+	if c.fallback == nil {
+		fb, ferr := core.NewController(c.inst, c.w, core.WithQPOptions(c.opt.QP))
+		if ferr != nil {
+			return nil, nil, ferr
+		}
+		c.fallback = fb
+	}
+	if err := c.fallback.SetState(c.state); err != nil {
+		return nil, nil, err
+	}
+	res, err := c.fallback.StepCtx(ctx, demand, prices)
+	if err != nil {
+		return nil, nil, err
+	}
+	deg := res.Degradation
+	// A clean (or merely cold-restarted) monolithic solve reports the
+	// monolithic rung; a deeper rung keeps its own label.
+	if deg.Mode == core.DegradeNone || deg.Mode == core.DegradeColdRestart {
+		deg.Mode = core.DegradeMonolithic
+	}
+	if deg.Cause == "" {
+		deg.Cause = cause
+	}
+	c.lastDeg = deg
+	c.state = res.NewState.Clone()
+	c.solver.Reset() // shard warm starts no longer match the trajectory
+	return res.Applied, res.NewState, nil
+}

@@ -1,0 +1,435 @@
+package decomp
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"dspp/internal/core"
+	"dspp/internal/qp"
+	"dspp/internal/telemetry"
+)
+
+// randomInstance builds a small instance with a random support pattern:
+// every location gets 1–3 feasible DCs, all capacitated.
+func randomInstance(t *testing.T, rng *rand.Rand, l, v int) *core.Instance {
+	t.Helper()
+	sla := make([][]float64, l)
+	for li := range sla {
+		sla[li] = make([]float64, v)
+		for vi := range sla[li] {
+			sla[li][vi] = math.Inf(1)
+		}
+	}
+	for vi := 0; vi < v; vi++ {
+		n := 1 + rng.Intn(3)
+		for k := 0; k < n; k++ {
+			sla[rng.Intn(l)][vi] = 0.5 + rng.Float64()
+		}
+	}
+	rec := make([]float64, l)
+	caps := make([]float64, l)
+	for li := range rec {
+		rec[li] = 1
+		caps[li] = 50 + 50*rng.Float64()
+	}
+	inst, err := core.NewInstance(core.Config{SLA: sla, ReconfigWeights: rec, Capacities: caps})
+	if err != nil {
+		t.Fatalf("instance: %v", err)
+	}
+	return inst
+}
+
+// bruteComponents computes the location components of the support graph
+// by repeated DFS over an explicit location×location adjacency.
+func bruteComponents(inst *core.Instance) [][]int {
+	v := inst.NumLocations()
+	adj := make([][]bool, v)
+	for i := range adj {
+		adj[i] = make([]bool, v)
+	}
+	for a := 0; a < v; a++ {
+		for b := a + 1; b < v; b++ {
+			for l := 0; l < inst.NumDataCenters(); l++ {
+				if inst.Feasible(l, a) && inst.Feasible(l, b) {
+					adj[a][b], adj[b][a] = true, true
+					break
+				}
+			}
+		}
+	}
+	seen := make([]bool, v)
+	var comps [][]int
+	for s := 0; s < v; s++ {
+		if seen[s] {
+			continue
+		}
+		var comp, stack []int
+		stack = append(stack, s)
+		seen[s] = true
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, x)
+			for y := 0; y < v; y++ {
+				if adj[x][y] && !seen[y] {
+					seen[y] = true
+					stack = append(stack, y)
+				}
+			}
+		}
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+func TestPartitionMatchesBruteForceComponents(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		inst := randomInstance(t, rng, 2+rng.Intn(8), 2+rng.Intn(30))
+		part, err := NewPartition(inst, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteComponents(inst)
+		if len(part.Shards) != len(want) {
+			t.Fatalf("trial %d: %d shards, want %d components", trial, len(part.Shards), len(want))
+		}
+		// Same partition of locations: compare via a location→component
+		// label map from each side.
+		label := make(map[int]int)
+		for ci, comp := range want {
+			for _, v := range comp {
+				label[v] = ci
+			}
+		}
+		for si, sh := range part.Shards {
+			if len(sh.Locations) == 0 {
+				t.Fatalf("trial %d: empty shard %d", trial, si)
+			}
+			c0 := label[sh.Locations[0]]
+			for _, v := range sh.Locations {
+				if label[v] != c0 {
+					t.Fatalf("trial %d: shard %d mixes components", trial, si)
+				}
+			}
+			if len(sh.Locations) != len(want[c0]) {
+				t.Fatalf("trial %d: shard %d has %d locations, component %d has %d",
+					trial, si, len(sh.Locations), c0, len(want[c0]))
+			}
+		}
+	}
+}
+
+func TestPartitionMaxShardSize(t *testing.T) {
+	scn, err := NewScenario(ScenarioConfig{Locations: 200, DCSites: 20, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := NewPartition(scn.Inst, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, 200)
+	for _, sh := range part.Shards {
+		if len(sh.Locations) > 25 {
+			t.Fatalf("shard has %d locations > 25", len(sh.Locations))
+		}
+		for _, v := range sh.Locations {
+			if seen[v] {
+				t.Fatalf("location %d in two shards", v)
+			}
+			seen[v] = true
+		}
+		// Every feasible DC of every member must be inside the shard.
+		dcSet := make(map[int]bool, len(sh.DCs))
+		for _, dc := range sh.DCs {
+			dcSet[dc] = true
+		}
+		for _, v := range sh.Locations {
+			for _, dc := range scn.Inst.FeasibleDCs(v, nil) {
+				if !dcSet[dc] {
+					t.Fatalf("location %d's DC %d missing from its shard", v, dc)
+				}
+			}
+		}
+	}
+	for v, ok := range seen {
+		if !ok {
+			t.Fatalf("location %d unassigned", v)
+		}
+	}
+	if len(part.Shards) < 8 {
+		t.Fatalf("got %d shards, expected ≥ 8 at cap 25", len(part.Shards))
+	}
+	st := part.Stats()
+	if st.Shards != len(part.Shards) || st.MaxLocations > 25 || st.SharedDCs != len(part.SharedDCs) {
+		t.Fatalf("inconsistent stats: %+v", st)
+	}
+}
+
+func TestSolverDeterministicAcrossWorkers(t *testing.T) {
+	scn, err := NewScenario(ScenarioConfig{Locations: 160, DCSites: 16, Seed: 21, Utilization: 0.85})
+	if err != nil {
+		t.Fatal(err)
+	}
+	solve := func(workers int) *Solution {
+		part, err := NewPartition(scn.Inst, 40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		solver, err := NewSolver(scn.Inst, 2, part, Options{Workers: workers, NoFallback: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, err := solver.SolveCtx(context.Background(), scn.Inst.NewState(), scn.Demand, scn.Prices)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sol
+	}
+	a, b := solve(1), solve(8)
+	if a.Objective != b.Objective || a.Rounds != b.Rounds || a.Converged != b.Converged {
+		t.Fatalf("worker count changed the result: obj %v vs %v, rounds %d vs %d",
+			a.Objective, b.Objective, a.Rounds, b.Rounds)
+	}
+	for l := range a.State {
+		for v := range a.State[l] {
+			if a.State[l][v] != b.State[l][v] {
+				t.Fatalf("state[%d][%d] differs: %v vs %v", l, v, a.State[l][v], b.State[l][v])
+			}
+		}
+	}
+}
+
+func TestCostGapVsMonolithic(t *testing.T) {
+	for _, util := range []float64{0.5, 0.85} {
+		scn, err := NewScenario(ScenarioConfig{Locations: 120, DCSites: 12, Seed: 31, Utilization: util})
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst := scn.Inst
+		part, err := NewPartition(inst, 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(part.Shards) < 2 {
+			t.Fatalf("util %g: want a real decomposition, got %d shards", util, len(part.Shards))
+		}
+		solver, err := NewSolver(inst, 2, part, Options{NoFallback: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		x0 := inst.NewState()
+		sol, err := solver.SolveCtx(context.Background(), x0, scn.Demand, scn.Prices)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mono, err := inst.SolveHorizon(core.HorizonInput{X0: x0, Demand: scn.Demand, Prices: scn.Prices}, qp.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gap := (sol.Objective - mono.Objective) / math.Abs(mono.Objective)
+		if gap > 0.01 {
+			t.Fatalf("util %g: cost gap %.4f > 1%% (decomp %.6g vs mono %.6g, %d rounds, converged=%t)",
+				util, gap, sol.Objective, mono.Objective, sol.Rounds, sol.Converged)
+		}
+		if gap < -1e-6 {
+			t.Fatalf("util %g: decomposed objective %.6g below the monolithic optimum %.6g — infeasible split",
+				util, sol.Objective, mono.Objective)
+		}
+		// The assembled state must satisfy the true capacities and demand.
+		slack, err := inst.DemandSlack(sol.State, scn.Demand[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v, sl := range slack {
+			if sl < -1e-6 {
+				t.Fatalf("util %g: location %d demand violated by %g", util, v, -sl)
+			}
+		}
+		byDC := sol.State.TotalByDC()
+		for l, tot := range byDC {
+			c, _ := inst.Capacity(l)
+			if tot > c*(1+1e-9) {
+				t.Fatalf("util %g: DC %d over capacity: %g > %g", util, l, tot, c)
+			}
+		}
+	}
+}
+
+func TestCoordinationCancellation(t *testing.T) {
+	scn, err := NewScenario(ScenarioConfig{Locations: 240, DCSites: 24, Seed: 51, Utilization: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := NewPartition(scn.Inst, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solver, err := NewSolver(scn.Inst, 2, part, Options{Workers: 4, NoFallback: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	_, err = solver.SolveCtx(ctx, scn.Inst.NewState(), scn.Demand, scn.Prices)
+	if err == nil {
+		// The solve may legitimately win the race; re-run with an
+		// already-cancelled context, which must always fail.
+		ctx2, cancel2 := context.WithCancel(context.Background())
+		cancel2()
+		_, err = solver.SolveCtx(ctx2, scn.Inst.NewState(), scn.Demand, scn.Prices)
+	}
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("expected context.Canceled, got %v", err)
+	}
+	// The solver must remain usable after a cancelled solve.
+	sol, err := solver.SolveCtx(context.Background(), scn.Inst.NewState(), scn.Demand, scn.Prices)
+	if err != nil {
+		t.Fatalf("solve after cancellation: %v", err)
+	}
+	if sol.Rounds < 1 {
+		t.Fatal("no rounds recorded")
+	}
+}
+
+func TestControllerBypassSmallInstance(t *testing.T) {
+	scn, err := NewScenario(ScenarioConfig{Locations: 12, DCSites: 3, Seed: 61})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := NewController(scn.Inst, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctrl.Partition() != nil {
+		t.Fatal("expected bypass for a 12-location instance")
+	}
+	ref, err := core.NewController(scn.Inst, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 3; k++ {
+		_, got, err := ctrl.Step(scn.Demand, scn.Prices)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := ref.Step(scn.Demand, scn.Prices)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for l := range got {
+			for v := range got[l] {
+				if math.Abs(got[l][v]-res.NewState[l][v]) > 1e-9 {
+					t.Fatalf("step %d: bypass state diverges from core controller at [%d][%d]", k, l, v)
+				}
+			}
+		}
+		if ctrl.LastDegradation().Mode != core.DegradeNone {
+			t.Fatalf("step %d: unexpected degradation %v", k, ctrl.LastDegradation())
+		}
+	}
+}
+
+func TestControllerMonolithicFallback(t *testing.T) {
+	hub := telemetry.New()
+	scn, err := NewScenario(ScenarioConfig{Locations: 160, DCSites: 16, Seed: 71, Utilization: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One round with a microscopic tolerance cannot converge while any
+	// shared capacity binds, so the controller must take the monolithic
+	// rung — and still produce an exact, feasible step.
+	ctrl, err := NewController(scn.Inst, 2, Options{
+		MaxShardSize: 40, MaxRounds: 1, Tol: 1e-12, Telemetry: hub,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctrl.Partition() == nil {
+		t.Fatal("expected a real decomposition")
+	}
+	_, state, err := ctrl.Step(scn.Demand, scn.Prices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg := ctrl.LastDegradation()
+	if deg.Mode != core.DegradeMonolithic {
+		t.Fatalf("expected monolithic fallback, got %v", deg)
+	}
+	if deg.Cause == "" {
+		t.Fatal("fallback must record its cause")
+	}
+	// The fallback plan is the exact monolithic solve.
+	ref, err := core.NewController(scn.Inst, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ref.Step(scn.Demand, scn.Prices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := range state {
+		for v := range state[l] {
+			if math.Abs(state[l][v]-res.NewState[l][v]) > 1e-9 {
+				t.Fatalf("fallback state diverges from monolithic at [%d][%d]", l, v)
+			}
+		}
+	}
+}
+
+func TestControllerConvergedStep(t *testing.T) {
+	hub := telemetry.New()
+	scn, err := NewScenario(ScenarioConfig{Locations: 160, DCSites: 16, Seed: 81, Utilization: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := NewController(scn.Inst, 2, Options{MaxShardSize: 40, Telemetry: hub})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 3; k++ {
+		if _, _, err := ctrl.Step(scn.Demand, scn.Prices); err != nil {
+			t.Fatal(err)
+		}
+		if m := ctrl.LastDegradation().Mode; m != core.DegradeNone {
+			t.Fatalf("step %d degraded: %v", k, m)
+		}
+	}
+	reg := hub.Registry()
+	if v := reg.Gauge(telemetry.MetricDecompShards).Value(); v < 2 {
+		t.Fatalf("dspp_decomp_shards = %g, want ≥ 2", v)
+	}
+	if v := reg.Counter(telemetry.MetricCoordinationRounds).Value(); v < 3 {
+		t.Fatalf("dspp_coordination_rounds_total = %g, want ≥ 3", v)
+	}
+}
+
+func TestRunScalingSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling smoke is seconds-long")
+	}
+	recs, err := RunScaling(context.Background(), []ScalingCase{
+		{Name: "smoke", Locations: 80, DCSites: 8, MaxShardSize: 20, Monolithic: true, Seed: 91},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	r := recs[0]
+	if r.CostGap < -1e-4 || r.CostGap > 0.01 {
+		t.Fatalf("cost gap %.6f outside [-1e-4, 1%%]", r.CostGap)
+	}
+	if r.Shards < 2 || r.DecompSolveSec <= 0 || r.MonoSolveSec <= 0 {
+		t.Fatalf("implausible record: %+v", r)
+	}
+}

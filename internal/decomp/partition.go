@@ -1,0 +1,252 @@
+// Package decomp implements continental-scale geographic decomposition of
+// the DSPP (ROADMAP item 1): the location–DC support graph of a
+// geo-realistic instance splits into weakly coupled regions, so the one
+// monolithic horizon QP — whose banded-KKT factorization cost grows with
+// the cube of the per-period support width — is replaced by per-region
+// QPs over narrow sub-instances plus a dual-price coordination loop that
+// re-divides the capacity of DCs shared between regions. Each region
+// reuses the existing core.HorizonSession fast path (warm starts,
+// factorization reuse, 2-alloc solves) on its sub-instance, and regions
+// solve concurrently via internal/parallel.
+package decomp
+
+import (
+	"errors"
+	"fmt"
+
+	"dspp/internal/core"
+)
+
+// Sentinel errors.
+var (
+	// ErrBadConfig flags invalid decomposition options.
+	ErrBadConfig = errors.New("decomp: invalid configuration")
+	// ErrCoordination means the dual-price loop could not produce a plan
+	// (only returned with NoFallback; otherwise the monolithic rung runs).
+	ErrCoordination = errors.New("decomp: coordination failed")
+)
+
+// Shard is one region of the partition: a set of locations plus every DC
+// any of them can reach within the SLA. Locations partition across
+// shards; DCs may repeat (those are the shared DCs coordination prices).
+type Shard struct {
+	// Locations lists the shard's global location indices, ascending.
+	Locations []int
+	// DCs lists the global DC indices feasible for at least one shard
+	// location, ascending.
+	DCs []int
+}
+
+// Partition is a geographic sharding of an instance's support graph.
+type Partition struct {
+	// Shards are the regions, in deterministic construction order.
+	Shards []Shard
+	// DCShards[l] is the number of shards DC l appears in (0 for DCs no
+	// location can reach).
+	DCShards []int
+	// SharedDCs lists the DCs with DCShards > 1, ascending — the only
+	// coupling between regions.
+	SharedDCs []int
+}
+
+// Stats summarizes a partition for reports (the dsppsim header).
+type Stats struct {
+	// Shards is the region count.
+	Shards int
+	// MinLocations/MaxLocations bound the shard sizes.
+	MinLocations, MaxLocations int
+	// SharedDCs counts DCs appearing in more than one shard.
+	SharedDCs int
+	// MaxCoupling is the largest number of shards any single DC spans
+	// (1 when the regions are fully independent).
+	MaxCoupling int
+	// MeanCoupling averages the span over shared DCs (0 when none).
+	MeanCoupling float64
+}
+
+// Stats computes the partition's summary statistics.
+func (p *Partition) Stats() Stats {
+	st := Stats{Shards: len(p.Shards), SharedDCs: len(p.SharedDCs), MaxCoupling: 1}
+	for i, s := range p.Shards {
+		n := len(s.Locations)
+		if i == 0 || n < st.MinLocations {
+			st.MinLocations = n
+		}
+		if n > st.MaxLocations {
+			st.MaxLocations = n
+		}
+	}
+	var couplingSum int
+	for _, l := range p.SharedDCs {
+		if p.DCShards[l] > st.MaxCoupling {
+			st.MaxCoupling = p.DCShards[l]
+		}
+		couplingSum += p.DCShards[l]
+	}
+	if len(p.SharedDCs) > 0 {
+		st.MeanCoupling = float64(couplingSum) / float64(len(p.SharedDCs))
+	}
+	return st
+}
+
+// String renders the stats on one line, alongside the SupportStats header.
+func (s Stats) String() string {
+	return fmt.Sprintf("shards=%d sizes=[%d..%d] shared-DCs=%d coupling(max/mean)=%d/%.1f",
+		s.Shards, s.MinLocations, s.MaxLocations, s.SharedDCs, s.MaxCoupling, s.MeanCoupling)
+}
+
+// NewPartition shards the instance's locations along the connected
+// components of the location–DC support graph. Components larger than
+// maxShardSize (0 = unbounded) are split by a breadth-first sweep over
+// the support adjacency: BFS order keeps geographically adjacent
+// locations together, so the cut runs through the thinnest part of the
+// component the frontier reaches — a greedy stand-in for a min-cut that
+// needs no weights and is deterministic. Every shard contains the full
+// feasible-DC set of each of its locations, so shard sub-instances are
+// always individually feasible and the only inter-shard coupling is
+// capacity on the DCs two shards both list.
+func NewPartition(inst *core.Instance, maxShardSize int) (*Partition, error) {
+	if inst == nil {
+		return nil, fmt.Errorf("nil instance: %w", ErrBadConfig)
+	}
+	if maxShardSize < 0 {
+		return nil, fmt.Errorf("max shard size %d: %w", maxShardSize, ErrBadConfig)
+	}
+	v := inst.NumLocations()
+	l := inst.NumDataCenters()
+
+	// Connected components by union-find: every location sharing a DC
+	// joins that DC's first location.
+	parent := make([]int, v)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			if rb < ra { // smallest root wins: deterministic labels
+				ra, rb = rb, ra
+			}
+			parent[rb] = ra
+		}
+	}
+	dcFirst := make([]int, l)
+	for i := range dcFirst {
+		dcFirst[i] = -1
+	}
+	var dcBuf []int
+	for vi := 0; vi < v; vi++ {
+		dcBuf = inst.FeasibleDCs(vi, dcBuf[:0])
+		for _, dc := range dcBuf {
+			if dcFirst[dc] < 0 {
+				dcFirst[dc] = vi
+			} else {
+				union(dcFirst[dc], vi)
+			}
+		}
+	}
+	// Gather components in ascending-root order (ascending members).
+	compOf := make(map[int]int)
+	var comps [][]int
+	for vi := 0; vi < v; vi++ {
+		r := find(vi)
+		ci, ok := compOf[r]
+		if !ok {
+			ci = len(comps)
+			compOf[r] = ci
+			comps = append(comps, nil)
+		}
+		comps[ci] = append(comps[ci], vi)
+	}
+
+	part := &Partition{DCShards: make([]int, l)}
+	visited := make([]bool, v)
+	dcStamp := make([]int, l)
+	for i := range dcStamp {
+		dcStamp[i] = -1
+	}
+	shardID := 0
+	var locBuf []int
+	flush := func(locs []int) {
+		if len(locs) == 0 {
+			return
+		}
+		sh := Shard{Locations: locs}
+		for _, vi := range locs {
+			dcBuf = inst.FeasibleDCs(vi, dcBuf[:0])
+			for _, dc := range dcBuf {
+				if dcStamp[dc] != shardID {
+					dcStamp[dc] = shardID
+					sh.DCs = append(sh.DCs, dc)
+					part.DCShards[dc]++
+				}
+			}
+		}
+		sortInts(sh.DCs)
+		part.Shards = append(part.Shards, sh)
+		shardID++
+	}
+	for _, comp := range comps {
+		if maxShardSize == 0 || len(comp) <= maxShardSize {
+			flush(append([]int(nil), comp...))
+			continue
+		}
+		// BFS split: sweep the component from its lowest location, cutting
+		// a shard every maxShardSize pops.
+		var cur, queue []int
+		for _, seed := range comp {
+			if visited[seed] {
+				continue
+			}
+			visited[seed] = true
+			queue = append(queue, seed)
+			for len(queue) > 0 {
+				vi := queue[0]
+				queue = queue[1:]
+				cur = append(cur, vi)
+				if len(cur) == maxShardSize {
+					sortInts(cur)
+					flush(cur)
+					cur = nil
+				}
+				dcBuf = inst.FeasibleDCs(vi, dcBuf[:0])
+				for _, dc := range dcBuf {
+					locBuf = inst.FeasibleLocations(dc, locBuf[:0])
+					for _, vj := range locBuf {
+						if !visited[vj] {
+							visited[vj] = true
+							queue = append(queue, vj)
+						}
+					}
+				}
+			}
+		}
+		sortInts(cur)
+		flush(cur)
+	}
+	for dc, n := range part.DCShards {
+		if n > 1 {
+			part.SharedDCs = append(part.SharedDCs, dc)
+		}
+	}
+	return part, nil
+}
+
+// sortInts is insertion sort: shard DC lists are short and nearly sorted
+// (FeasibleDCs emits ascending per location), so this beats pulling in
+// package sort for the hot construction path.
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

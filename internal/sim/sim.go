@@ -186,11 +186,15 @@ type Result struct {
 	// self-contained), as are the per-rung counts below.
 	DegradedSteps int
 	ShedDemand    float64
-	// ColdRestartSteps/SoftSteps/HoldSteps split DegradedSteps by ladder
-	// rung — the dspp_degradation_steps_total{mode=...} deltas.
+	// ColdRestartSteps/SoftSteps/HoldSteps/MonolithicSteps split
+	// DegradedSteps by ladder rung — the
+	// dspp_degradation_steps_total{mode=...} deltas. MonolithicSteps
+	// counts periods where a decomposed policy abandoned coordination
+	// and fell back to one full-instance QP.
 	ColdRestartSteps int
 	SoftSteps        int
 	HoldSteps        int
+	MonolithicSteps  int
 }
 
 // DegradationSummary renders a one-line robustness report for the run.
@@ -313,7 +317,8 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	modeLabels := []string{
 		core.DegradeColdRestart.String(), core.DegradeSoft.String(),
-		core.DegradeHold.String(), core.DegradeNone.String(),
+		core.DegradeHold.String(), core.DegradeMonolithic.String(),
+		core.DegradeNone.String(),
 	}
 	baseViol := mViol.Value()
 	baseShed := mShed.Value()
@@ -468,7 +473,8 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 	res.ColdRestartSteps = int(mDeg.With(core.DegradeColdRestart.String()).Value() - baseMode[core.DegradeColdRestart.String()])
 	res.SoftSteps = int(mDeg.With(core.DegradeSoft.String()).Value() - baseMode[core.DegradeSoft.String()])
 	res.HoldSteps = int(mDeg.With(core.DegradeHold.String()).Value() - baseMode[core.DegradeHold.String()])
-	res.DegradedSteps = res.ColdRestartSteps + res.SoftSteps + res.HoldSteps +
+	res.MonolithicSteps = int(mDeg.With(core.DegradeMonolithic.String()).Value() - baseMode[core.DegradeMonolithic.String()])
+	res.DegradedSteps = res.ColdRestartSteps + res.SoftSteps + res.HoldSteps + res.MonolithicSteps +
 		int(mDeg.With(core.DegradeNone.String()).Value()-baseMode[core.DegradeNone.String()])
 	res.SLAViolations = int(mViol.Value() - baseViol)
 	for vi, tr := range trackers {

@@ -33,6 +33,9 @@ const (
 	MetricDegradationSteps = "dspp_degradation_steps_total"
 	MetricShedDemand       = "dspp_shed_demand_total"
 
+	MetricDecompShards       = "dspp_decomp_shards"
+	MetricCoordinationRounds = "dspp_coordination_rounds_total"
+
 	MetricGameRuns            = "dspp_game_runs_total"
 	MetricGameRounds          = "dspp_game_rounds_total"
 	MetricGameConverged       = "dspp_game_converged_total"
@@ -45,6 +48,7 @@ const (
 	SpanRun               = "run"
 	SpanPeriod            = "period"
 	SpanMPCStep           = "mpc_step"
+	SpanCoordinate        = "coordinate"
 	SpanQPSolve           = "qp_solve"
 	SpanGameRun           = "game_run"
 	SpanBestResponse      = "best_response"

@@ -1,0 +1,216 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Continental-scale synthetic topologies. The built-in city database tops
+// out around 30 metros; scaling experiments (ROADMAP item 1) need
+// thousands of access locations and hundreds of DC sites. The generator
+// scatters DC sites on a jittered grid over a continental bounding box
+// and places each access location inside the latency reach of an anchor
+// DC, so every location is guaranteed at least one SLA-feasible data
+// center by construction rather than discovered infeasible downstream at
+// core.NewInstance.
+
+// Continental-US bounding box the generator scatters sites over.
+const (
+	contLatMin = 25.5
+	contLatMax = 48.5
+	contLonMin = -123.5
+	contLonMax = -68.0
+)
+
+// reachMargin shrinks the computed latency reach when placing locations,
+// so grid jitter and haversine rounding can never push a location's
+// anchor DC past the delay budget.
+const reachMargin = 0.9
+
+// cellReachRatio targets DC grid spacing as a fraction of the latency
+// reach. On the full continental box a small DC fleet sits much further
+// apart than any realistic SLA reach, so every region is an isolated
+// island: no location can see two DCs and nothing couples the regions.
+// The generator instead shrinks the box around its center until the grid
+// cell side is about this fraction of the reach, which keeps neighboring
+// coverage disks overlapping — the regime where locations average ~2
+// feasible DCs and adjacent regions share capacity — at every fleet size.
+// Fleets dense enough to beat this spacing on the full box keep it.
+const cellReachRatio = 0.8
+
+// ContinentalConfig parameterizes the continental generator.
+type ContinentalConfig struct {
+	// Locations is the number of access networks V (≥ 1).
+	Locations int
+	// DCSites is the number of data-center sites L (≥ 1).
+	DCSites int
+	// Seed drives all randomness; equal seeds give byte-identical
+	// networks regardless of how many workers later consume them.
+	Seed int64
+	// LastMile is the per-endpoint access delay in seconds added to every
+	// path (defaults to 2 ms when zero, matching the dsppsim CLI).
+	LastMile float64
+	// MaxReachDelay is the one-way latency budget (seconds, last-mile
+	// included) within which every location must see at least one DC.
+	// Callers derive it from their SLA: for an M/M/1 target the
+	// coefficient stays finite only while NetworkDelay < MaxDelay − φ/μ,
+	// so pass that bound (minus any cushion) here.
+	MaxReachDelay float64
+	// SpreadKm optionally caps how far a location may sit from its
+	// anchor DC (0 means the full latency reach). Smaller spreads give
+	// more isolated regions and cheaper decompositions.
+	SpreadKm float64
+}
+
+// Validate checks the configuration.
+func (c ContinentalConfig) Validate() error {
+	if c.Locations < 1 {
+		return fmt.Errorf("locations %d: %w", c.Locations, ErrBadConfig)
+	}
+	if c.DCSites < 1 {
+		return fmt.Errorf("dc sites %d: %w", c.DCSites, ErrBadConfig)
+	}
+	if c.LastMile < 0 {
+		return fmt.Errorf("last-mile delay %g: %w", c.LastMile, ErrBadConfig)
+	}
+	if c.SpreadKm < 0 {
+		return fmt.Errorf("spread %g km: %w", c.SpreadKm, ErrBadConfig)
+	}
+	if km := c.reachKm(); km <= 0 {
+		return fmt.Errorf("reach delay %gs leaves no budget beyond 2×%gs last-mile: %w",
+			c.MaxReachDelay, c.lastMile(), ErrBadConfig)
+	}
+	return nil
+}
+
+func (c ContinentalConfig) lastMile() float64 {
+	if c.LastMile == 0 {
+		return 0.002
+	}
+	return c.LastMile
+}
+
+// reachKm converts the delay budget left after the two last-mile hops
+// into great-circle kilometers under the fiber model of
+// PropagationDelaySec (200000 km/s, 1.6× path stretch).
+func (c ContinentalConfig) reachKm() float64 {
+	const fiberSpeedKmPerSec = 200000.0
+	const pathStretch = 1.6
+	return (c.MaxReachDelay - 2*c.lastMile()) * fiberSpeedKmPerSec / pathStretch
+}
+
+// ContinentalNetwork is a generated continental topology: the bipartite
+// placement network plus the anchor assignment used to place locations.
+type ContinentalNetwork struct {
+	*Network
+	// Anchor[v] is the DC site each location was placed next to; the
+	// generator guarantees Latency(Anchor[v], v) ≤ MaxReachDelay.
+	Anchor []int
+}
+
+// GenerateContinental builds a deterministic continental-scale network.
+// DC sites land on a jittered grid covering the continental bounding box;
+// each access location picks an anchor DC (round-robin, so demand spreads
+// evenly across regions) and lands at a uniform-in-disk offset bounded by
+// both SpreadKm and the latency reach. Every location therefore has its
+// anchor within MaxReachDelay by construction — the generator re-checks
+// the final latency matrix and fails loudly if the invariant ever broke.
+func GenerateContinental(cfg ContinentalConfig) (*ContinentalNetwork, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Bounding box, scaled around its center so the DC grid spacing
+	// tracks the latency reach (see cellReachRatio).
+	latSpan := contLatMax - contLatMin
+	lonSpan := contLonMax - contLonMin
+	latMin, lonMin := contLatMin, contLonMin
+	midLat := (contLatMin + contLatMax) / 2 * math.Pi / 180
+	fullArea := latSpan * 111.0 * lonSpan * 111.0 * math.Cos(midLat)
+	cell := cellReachRatio * cfg.reachKm()
+	wantArea := float64(cfg.DCSites) * cell * cell
+	if scale := math.Sqrt(wantArea / fullArea); scale < 1 {
+		latMin += latSpan * (1 - scale) / 2
+		lonMin += lonSpan * (1 - scale) / 2
+		latSpan *= scale
+		lonSpan *= scale
+	}
+
+	// DC grid: rows×cols ≈ DCSites with cells shaped like the bounding
+	// box, one site per cell plus 20% jitter.
+	aspect := lonSpan / latSpan
+	rows := int(math.Max(1, math.Round(math.Sqrt(float64(cfg.DCSites)/aspect))))
+	cols := (cfg.DCSites + rows - 1) / rows
+	dcs := make([]City, cfg.DCSites)
+	for i := range dcs {
+		r, c := i/cols, i%cols
+		cellLat := latSpan / float64(rows)
+		cellLon := lonSpan / float64(cols)
+		dcs[i] = City{
+			Name:       fmt.Sprintf("dc-%03d", i),
+			Lat:        latMin + (float64(r)+0.5)*cellLat + (rng.Float64()-0.5)*0.4*cellLat,
+			Lon:        lonMin + (float64(c)+0.5)*cellLon + (rng.Float64()-0.5)*0.4*cellLon,
+			Population: 0,
+		}
+	}
+
+	radiusKm := cfg.reachKm() * reachMargin
+	if cfg.SpreadKm > 0 && cfg.SpreadKm < radiusKm {
+		radiusKm = cfg.SpreadKm
+	}
+	locs := make([]City, cfg.Locations)
+	anchor := make([]int, cfg.Locations)
+	for v := range locs {
+		a := v % cfg.DCSites // round-robin anchors: every region gets load
+		anchor[v] = a
+		// Uniform-in-disk offset around the anchor, converted to degrees
+		// at the anchor's latitude (guarding the cos against the poles,
+		// which the bounding box keeps us far from anyway).
+		d := radiusKm * math.Sqrt(rng.Float64())
+		theta := 2 * math.Pi * rng.Float64()
+		dLat := d * math.Sin(theta) / 111.0
+		cosLat := math.Cos(dcs[a].Lat * math.Pi / 180)
+		if cosLat < 0.1 {
+			cosLat = 0.1
+		}
+		dLon := d * math.Cos(theta) / (111.0 * cosLat)
+		locs[v] = City{
+			Name:       fmt.Sprintf("loc-%04d", v),
+			Lat:        dcs[a].Lat + dLat,
+			Lon:        dcs[a].Lon + dLon,
+			Population: 100000 + rng.Intn(1900000),
+		}
+	}
+
+	net, err := BuildGeo(dcs, locs, cfg.lastMile())
+	if err != nil {
+		return nil, err
+	}
+	if bad := net.Uncovered(cfg.MaxReachDelay); len(bad) > 0 {
+		return nil, fmt.Errorf("%d locations (first: %d) have no DC within %gs: %w",
+			len(bad), bad[0], cfg.MaxReachDelay, ErrBadConfig)
+	}
+	return &ContinentalNetwork{Network: net, Anchor: anchor}, nil
+}
+
+// Uncovered returns the access-network indices with no data center within
+// maxDelay one-way latency — the locations core.NewInstance would reject
+// as having an empty feasible set under an SLA with that budget.
+func (n *Network) Uncovered(maxDelay float64) []int {
+	var bad []int
+	for v := range n.Access {
+		covered := false
+		for l := range n.DataCenters {
+			if n.latency[l][v] <= maxDelay {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			bad = append(bad, v)
+		}
+	}
+	return bad
+}

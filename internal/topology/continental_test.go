@@ -1,0 +1,106 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestContinentalDeterministic(t *testing.T) {
+	cfg := ContinentalConfig{
+		Locations:     1200,
+		DCSites:       120,
+		Seed:          7,
+		MaxReachDelay: 0.018,
+	}
+	a, err := GenerateContinental(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateContinental(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumDataCenters() != 120 || a.NumAccess() != 1200 {
+		t.Fatalf("got %d DCs, %d locations", a.NumDataCenters(), a.NumAccess())
+	}
+	for v, site := range a.Access {
+		if site != b.Access[v] {
+			t.Fatalf("location %d differs across equal seeds: %+v vs %+v", v, site, b.Access[v])
+		}
+		if a.Anchor[v] != b.Anchor[v] {
+			t.Fatalf("anchor %d differs: %d vs %d", v, a.Anchor[v], b.Anchor[v])
+		}
+	}
+	for l, site := range a.DataCenters {
+		if site != b.DataCenters[l] {
+			t.Fatalf("dc %d differs across equal seeds", l)
+		}
+	}
+	la, lb := a.LatencyMatrix(), b.LatencyMatrix()
+	for l := range la {
+		for v := range la[l] {
+			if la[l][v] != lb[l][v] {
+				t.Fatalf("latency[%d][%d] differs: %g vs %g", l, v, la[l][v], lb[l][v])
+			}
+		}
+	}
+	c, err := GenerateContinental(ContinentalConfig{
+		Locations: 1200, DCSites: 120, Seed: 8, MaxReachDelay: 0.018,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Access[0] == a.Access[0] && c.Access[1] == a.Access[1] {
+		t.Fatal("different seeds produced identical placements")
+	}
+}
+
+// Property: every generated location has its anchor DC within the reach
+// budget, so an SLA whose feasibility radius is MaxReachDelay can never
+// see an empty feasible set.
+func TestQuickContinentalCoverage(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := ContinentalConfig{
+			Locations:     1 + rng.Intn(300),
+			DCSites:       1 + rng.Intn(40),
+			Seed:          seed,
+			MaxReachDelay: 0.008 + rng.Float64()*0.02,
+			SpreadKm:      float64(rng.Intn(2)) * (50 + rng.Float64()*500),
+		}
+		net, err := GenerateContinental(cfg)
+		if err != nil {
+			return false
+		}
+		if len(net.Uncovered(cfg.MaxReachDelay)) != 0 {
+			return false
+		}
+		for v := range net.Access {
+			d, err := net.Latency(net.Anchor[v], v)
+			if err != nil || d > cfg.MaxReachDelay {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(11))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestContinentalRejectsBadConfig(t *testing.T) {
+	cases := []ContinentalConfig{
+		{Locations: 0, DCSites: 4, MaxReachDelay: 0.02},
+		{Locations: 10, DCSites: 0, MaxReachDelay: 0.02},
+		{Locations: 10, DCSites: 4, MaxReachDelay: 0.003}, // < 2×2ms last mile
+		{Locations: 10, DCSites: 4, MaxReachDelay: 0.02, SpreadKm: -1},
+		{Locations: 10, DCSites: 4, MaxReachDelay: 0.02, LastMile: -0.001},
+	}
+	for i, c := range cases {
+		if _, err := GenerateContinental(c); err == nil {
+			t.Errorf("case %d: expected config error", i)
+		}
+	}
+}

@@ -3,11 +3,15 @@
 # convergence, Fig 9 horizon sweep) plus the solver and batched-linalg
 # microbenchmarks, print the raw benchstat-compatible lines, and refresh
 # BENCH_3.json with the best observed numbers next to the BENCH_2
-# baselines.
+# baselines. Then run the continental decomposition scaling curve
+# (sharded region QPs vs the monolithic horizon QP, n up to 2000) and
+# refresh BENCH_4.json with its records.
 #
 # Usage: scripts/bench.sh [count]
 #   count — repetitions per benchmark (default 3); the JSON records the
-#   fastest run, the printed lines feed benchstat directly.
+#   fastest run, the printed lines feed benchstat directly. The scaling
+#   curve is measured once (its monolithic n=1000 reference dominates
+#   the script's runtime).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -124,3 +128,7 @@ echo
 echo "wrote BENCH_3.json: Fig7 ${F7NS} ns/op (${SP7}x vs BENCH_2), Fig9 ${F9NS} ns/op (${SP9}x vs BENCH_2)"
 echo "  session resolve ${SNS} ns marginal vs ${SCOLD} ns cold (${SPS}x, reuse_rate ${SRATE})"
 echo "  panel back-solve ${SPP}x vs sequential, rank-k update ${SPU}x vs refactorize"
+
+echo
+echo "== decomposition shard scaling (BENCH_4, full continental sizes) =="
+go run ./cmd/experiments -fig decomp-scaling -bench-full -bench-out BENCH_4.json

@@ -71,6 +71,27 @@ echo "$bench_out" | awk '
 		print "warm solve holds 2 allocs/op with telemetry disabled"
 	}'
 
+echo "== BENCH_4.json guard =="
+# The decomposition scaling record must exist, every measured point must
+# sit within 1% of the monolithic optimum (and never below it beyond
+# solver tolerance — that would mean an infeasible capacity split), and
+# the n=1000 8-shard point must hold the headline speedup.
+[ -f BENCH_4.json ] || { echo "BENCH_4.json missing (run scripts/bench.sh)"; exit 1; }
+grep -o '"cost_gap": [-0-9.e+]*' BENCH_4.json | sed 's/.*: //' | awk '
+	{ if ($1 != -1 && ($1 > 0.01 || $1 < -1e-4)) { bad = 1; print "cost_gap " $1 " out of [-1e-4, 0.01]" } }
+	END { exit bad }' || { echo "BENCH_4 cost gap guard failed"; exit 1; }
+sp=$(awk '/"name": "n1000-shards8"/ { f = 1 } f && /"speedup":/ { gsub(/[^0-9.]/, ""); print; exit }' BENCH_4.json)
+[ -n "$sp" ] || { echo "BENCH_4 n1000-shards8 record missing"; exit 1; }
+awk "BEGIN { exit !($sp >= 3) }" || {
+	echo "BENCH_4 n1000-shards8 speedup $sp < 3x vs monolithic"; exit 1; }
+echo "BENCH_4.json present, cost gaps within 1%, n1000-shards8 speedup ${sp}x"
+
+echo "== decomposition scaling smoke =="
+# End-to-end smoke of the coordinated sharded solve against the
+# monolithic reference at CI-friendly sizes; the shape check enforces
+# convergence and the 1% gap on every smoke point.
+go run ./cmd/experiments -fig decomp-scaling
+
 echo "== fault-injection smoke (robust-outage under -race) =="
 # Drives the outage/recovery experiment end to end — the controller must
 # degrade through the ladder while the DC is down and re-converge after
