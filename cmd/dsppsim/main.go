@@ -87,6 +87,7 @@ func run(args []string, out *os.File) error {
 	csvOut := fs.String("csv", "", "also write the per-period series to this CSV file")
 	var faultFlags faultSpecs
 	fs.Var(&faultFlags, "fault", "fault spec (repeatable), e.g. outage:dc=1,start=10,end=20")
+	budget := fs.Duration("budget", 0, "per-period wall-clock budget enabling the anytime ladder (0 = off)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	telemetryAddr := fs.String("telemetry-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address during the run")
@@ -272,7 +273,11 @@ func run(args []string, out *os.File) error {
 	if err != nil {
 		return err
 	}
-	ctrl, err := dspp.NewController(inst, *horizon, dspp.WithTelemetry(tel))
+	ctrlOpts := []dspp.ControllerOption{dspp.WithTelemetry(tel)}
+	if *budget > 0 {
+		ctrlOpts = append(ctrlOpts, dspp.WithBudget(*budget))
+	}
+	ctrl, err := dspp.NewController(inst, *horizon, ctrlOpts...)
 	if err != nil {
 		return err
 	}
@@ -285,6 +290,7 @@ func run(args []string, out *os.File) error {
 		Horizon:         *horizon,
 		DemandPredictor: demandPred,
 		Faults:          sched,
+		Budget:          *budget,
 		Telemetry:       tel,
 	})
 	if err != nil {
@@ -301,7 +307,7 @@ func run(args []string, out *os.File) error {
 	for i := 0; i < *numDCs; i++ {
 		fmt.Fprintf(out, " %14s", dcNames[i])
 	}
-	withFaults := len(faultFlags) > 0
+	withFaults := len(faultFlags) > 0 || *budget > 0
 	fmt.Fprintf(out, " %10s %6s", "cost", "SLA")
 	if withFaults {
 		fmt.Fprintf(out, " %-s", "degradation")
@@ -323,6 +329,9 @@ func run(args []string, out *os.File) error {
 		fmt.Fprintf(out, " %10.4f %6s", s.Cost.Total(), slaMark)
 		if withFaults {
 			fmt.Fprintf(out, " %s", s.Degradation)
+			if *budget > 0 {
+				fmt.Fprintf(out, " [%v]", s.Wall.Round(100*time.Microsecond))
+			}
 		}
 		fmt.Fprintln(out)
 	}
@@ -330,6 +339,10 @@ func run(args []string, out *os.File) error {
 		res.TotalCost, res.TotalResource, res.TotalReconfig, res.SLAViolations, len(res.Steps))
 	if withFaults {
 		fmt.Fprintln(out, res.DegradationSummary())
+	}
+	if *budget > 0 {
+		fmt.Fprintf(out, "budget %v: %d/%d period overruns (max step %v), anytime rungs %d\n",
+			*budget, res.BudgetOverruns, len(res.Steps), res.MaxStepWall.Round(10*time.Microsecond), res.AnytimeSteps)
 	}
 
 	if tel != nil {

@@ -28,6 +28,8 @@
 package dspp
 
 import (
+	"time"
+
 	"dspp/internal/core"
 	"dspp/internal/qp"
 )
@@ -77,6 +79,7 @@ type (
 const (
 	DegradeNone        = core.DegradeNone
 	DegradeColdRestart = core.DegradeColdRestart
+	DegradeAnytime     = core.DegradeAnytime
 	DegradeSoft        = core.DegradeSoft
 	DegradeHold        = core.DegradeHold
 	DegradeMonolithic  = core.DegradeMonolithic
@@ -124,6 +127,14 @@ func WithDegradation(enabled bool) ControllerOption { return core.WithDegradatio
 // WithShedPenalty overrides the linear penalty per unit of shed demand in
 // the soft-relaxation rung (default core.DefaultShedPenalty).
 func WithShedPenalty(penalty float64) ControllerOption { return core.WithShedPenalty(penalty) }
+
+// WithBudget gives every controller step a wall-clock budget: the hard
+// solve runs under a deadline and, when it fires, the step degrades to
+// the anytime rung — the solver's best iterate so far, projected onto
+// the capacity bounds — instead of overrunning the control period.
+// Repeated misses back off the deadline exponentially so the ladder
+// escalates to cheaper rungs sooner. Zero disables budgeting.
+func WithBudget(d time.Duration) ControllerOption { return core.WithBudget(d) }
 
 // DefaultQPOptions returns the recommended interior-point settings.
 func DefaultQPOptions() QPOptions { return qp.DefaultOptions() }

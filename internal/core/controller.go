@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"dspp/internal/qp"
 	"dspp/internal/telemetry"
@@ -29,6 +30,18 @@ type Controller struct {
 	// prices shed demand in the soft rung (≤ 0 means DefaultShedPenalty).
 	degrade     bool
 	shedPenalty float64
+	// budget, when positive, is the wall-clock allowance per StepCtx: the
+	// hard solve runs under a deadline and returns its best iterate when
+	// it fires (the anytime rung), fallback rungs divide what remains, and
+	// a slice is always reserved for the hold rung so the ladder itself
+	// cannot overrun. missStreak counts consecutive deadline misses and
+	// exponentially shrinks the hard solve's share, so a persistently slow
+	// solver escalates to cheaper rungs earlier instead of burning the
+	// whole budget every period. stall is test-injected solver latency
+	// (the faults package's stall fault), slept before the solve begins.
+	budget     time.Duration
+	missStreak int
+	stall      time.Duration
 	// tel, when non-nil, receives an mpc_step span per StepCtx and wires
 	// the QP solver's counters through opts.Hooks.
 	tel *telemetry.Hub
@@ -58,6 +71,19 @@ func WithDegradation(enabled bool) ControllerOption {
 // used by the soft-relaxation rung (default DefaultShedPenalty).
 func WithShedPenalty(penalty float64) ControllerOption {
 	return func(c *Controller) { c.shedPenalty = penalty }
+}
+
+// WithBudget sets the per-step wall-clock budget, enabling deadline-
+// bounded (anytime) solving: each StepCtx must produce a plan within
+// roughly this allowance, degrading through the ladder — best-iterate-at-
+// deadline, then soft relaxation, then hold — rather than overrunning.
+// An eighth of the budget is reserved for the hold rung; consecutive
+// deadline misses exponentially shrink the hard solve's share (backoff)
+// until a solve completes cleanly again. Zero or negative disables
+// budgeting. Requires the degradation ladder (the default); with
+// WithDegradation(false) the budget is ignored.
+func WithBudget(d time.Duration) ControllerOption {
+	return func(c *Controller) { c.budget = d }
 }
 
 // WithTelemetry attaches a telemetry hub: every StepCtx emits an
@@ -116,6 +142,47 @@ func (c *Controller) SetState(s State) error {
 	return nil
 }
 
+// SetStall injects artificial solver latency: every subsequent StepCtx
+// sleeps d before its solve begins, consuming step budget exactly as a
+// slow factorization would. Zero clears the stall. This is the plumbing
+// the simulator's `stall` fault uses to exercise the deadline paths
+// deterministically.
+func (c *Controller) SetStall(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	c.stall = d
+}
+
+// Budget returns the per-step wall-clock budget (zero when unbudgeted).
+func (c *Controller) Budget() time.Duration { return c.budget }
+
+// WarmCapsule returns the warm-start capsule from the last successful
+// step (nil before the first solve or after SetState). Together with
+// RestoreWarm it lets a long-running process checkpoint the controller:
+// a controller rebuilt from the same state and capsule continues with
+// bit-identical solves.
+func (c *Controller) WarmCapsule() *HorizonWarm { return c.warm }
+
+// RestoreWarm installs a warm-start capsule (typically from a
+// checkpoint's WarmState via ImportWarm). Call it after SetState, which
+// clears the capsule. A nil or shape-mismatched capsule simply cold-
+// starts the next solve.
+func (c *Controller) RestoreWarm(w *HorizonWarm) { c.warm = w }
+
+// RestoreMissStreak overwrites the consecutive-deadline-miss counter,
+// re-arming the anytime backoff exactly where a checkpoint left it.
+func (c *Controller) RestoreMissStreak(n int) {
+	if n < 0 {
+		n = 0
+	}
+	c.missStreak = n
+}
+
+// MissStreak returns the current run of consecutive deadline misses; it
+// resets to zero whenever a hard solve completes inside its share.
+func (c *Controller) MissStreak() int { return c.missStreak }
+
 // StepResult reports one executed MPC step.
 type StepResult struct {
 	// Applied is the executed control u_{k|k} (the plan's first step).
@@ -143,11 +210,17 @@ func (c *Controller) Step(demand, prices [][]float64) (*StepResult, error) {
 // (the default) the controller walks down the ladder instead of erroring:
 //
 //  1. warm-started hard QP (cold-restarted once on numerical failure);
-//  2. soft-constrained relaxation — capacity stays hard, demand gains
+//  2. anytime — with a WithBudget allowance, a hard solve that hits its
+//     share of the budget returns its best interior-point iterate,
+//     projected onto capacity so the plan is implementable (only under a
+//     budget; without one a deadline never fires from inside the step);
+//  3. soft-constrained relaxation — capacity stays hard, demand gains
 //     penalized slack, so the step reports shed demand instead of failing
 //     when the surviving capacity cannot carry the load;
-//  3. hold-last-plan — the current allocation projected onto the
-//     surviving capacity, with zero further movement.
+//  4. hold-last-plan — the current allocation projected onto the
+//     surviving capacity, with zero further movement. Under a budget a
+//     reserved slice of the allowance belongs to this rung, so the
+//     ladder as a whole cannot overrun.
 //
 // Input-validation errors (ErrBadInput) and context cancellation always
 // propagate: the ladder only absorbs solver-level failures (infeasibility,
@@ -174,6 +247,25 @@ func (c *Controller) StepCtx(ctx context.Context, demand, prices [][]float64) (*
 	return res, err
 }
 
+// anytimeBackoffCap bounds the exponential backoff on consecutive
+// deadline misses: past 2^4 the hard solve's share is small enough that
+// further halving only adds noise.
+const anytimeBackoffCap = 4
+
+// holdFloorDiv is the fraction of the step budget reserved for the rungs
+// below the hard solve (soft headroom plus the hold projection): budget/8.
+const holdFloorDiv = 8
+
+// sleepCtx sleeps for d or until ctx is done, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}
+
 func (c *Controller) stepCtx(ctx context.Context, demand, prices [][]float64) (*StepResult, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("step: %w", err)
@@ -181,6 +273,18 @@ func (c *Controller) stepCtx(ctx context.Context, demand, prices [][]float64) (*
 	if len(demand) < c.horizon || len(prices) < c.horizon {
 		return nil, fmt.Errorf("forecasts cover %d/%d periods, horizon %d: %w",
 			len(demand), len(prices), c.horizon, ErrBadInput)
+	}
+	// The budget clock starts before the injected stall: the stall models
+	// solver latency, so it consumes the step's allowance like real work.
+	budgeted := c.degrade && c.budget > 0
+	var stepStart time.Time
+	var holdFloor time.Duration
+	if budgeted {
+		stepStart = time.Now()
+		holdFloor = c.budget / holdFloorDiv
+	}
+	if c.stall > 0 {
+		sleepCtx(ctx, c.stall)
 	}
 	input := HorizonInput{
 		X0:        c.state,
@@ -190,34 +294,100 @@ func (c *Controller) stepCtx(ctx context.Context, demand, prices [][]float64) (*
 		WarmShift: 1,
 	}
 	var deg Degradation
-	plan, err := c.inst.SolveHorizonCtx(ctx, input, c.opts)
+	opts := c.opts
+	solveCtx := ctx
+	skipHard := false
+	if budgeted {
+		avail := c.budget - holdFloor - time.Since(stepStart)
+		boff := c.missStreak
+		if boff > anytimeBackoffCap {
+			boff = anytimeBackoffCap
+		}
+		hardBudget := avail / (1 << uint(boff))
+		if hardBudget > 0 {
+			opts.Anytime = true
+			var cancel context.CancelFunc
+			solveCtx, cancel = context.WithTimeout(ctx, hardBudget)
+			defer cancel()
+		} else {
+			// The stall (or backoff) consumed the whole solving share
+			// before the hard rung could start: count the miss and drop
+			// straight down the ladder.
+			skipHard = true
+		}
+	}
+	var plan *Plan
+	var err error
+	if skipHard {
+		err = fmt.Errorf("step budget %v exhausted before the hard solve: %w", c.budget, context.DeadlineExceeded)
+		c.missStreak++
+	} else {
+		plan, err = c.inst.SolveHorizonCtx(solveCtx, input, opts)
+	}
 	if err == nil && plan.ColdRestarts > 0 {
 		deg.Mode = DegradeColdRestart
 		deg.ColdRestarts = plan.ColdRestarts
 	}
 	if err != nil {
-		if !c.degrade || errors.Is(err, ErrBadInput) || ctx.Err() != nil {
-			return nil, err
-		}
-		deg.Cause = err.Error()
-		input.Warm, input.WarmShift = nil, 0
-		soft, softErr := c.inst.SolveHorizonSoftCtx(ctx, input, c.opts, c.shedPenalty)
-		switch {
-		case softErr == nil:
-			deg.Mode = DegradeSoft
-			plan = soft
-			for _, s := range soft.Shed[0] {
-				deg.ShedDemand += s
+		// Anytime rung: the hard solve's deadline fired and it handed back
+		// its best iterate. Project it onto capacity and apply it — the
+		// plan optimizes the true objective, it is just not converged.
+		if budgeted && plan != nil && errors.Is(err, qp.ErrDeadline) && ctx.Err() == nil {
+			c.missStreak++
+			deg.Mode = DegradeAnytime
+			deg.ColdRestarts = plan.ColdRestarts
+			deg.Cause = err.Error()
+			if plan.Anytime != nil {
+				deg.AnytimeIterations = plan.Anytime.Iterations
 			}
-			deg.HorizonShed = soft.TotalShed()
-		case ctx.Err() != nil:
-			return nil, softErr
-		default:
-			// Last rung: hold the current allocation, projected onto the
-			// surviving capacity. Never fails.
-			deg.Mode = DegradeHold
-			plan, deg.CapacityTrim = c.inst.holdPlan(c.state, input.Prices)
+			deg.CapacityTrim = c.inst.projectPlanCapacity(plan, c.state, input.Prices)
+		} else {
+			if !c.degrade || errors.Is(err, ErrBadInput) || ctx.Err() != nil {
+				return nil, err
+			}
+			deg.Cause = err.Error()
+			input.Warm, input.WarmShift = nil, 0
+			softCtx := ctx
+			skipSoft := false
+			if budgeted {
+				// The soft rung gets whatever remains above the hold floor.
+				remain := c.budget - holdFloor - time.Since(stepStart)
+				if remain > 0 {
+					var softCancel context.CancelFunc
+					softCtx, softCancel = context.WithTimeout(ctx, remain)
+					defer softCancel()
+				} else {
+					skipSoft = true
+				}
+			}
+			var soft *Plan
+			softErr := context.DeadlineExceeded
+			if !skipSoft {
+				soft, softErr = c.inst.SolveHorizonSoftCtx(softCtx, input, c.opts, c.shedPenalty)
+			}
+			switch {
+			case softErr == nil:
+				deg.Mode = DegradeSoft
+				plan = soft
+				for _, s := range soft.Shed[0] {
+					deg.ShedDemand += s
+				}
+				deg.HorizonShed = soft.TotalShed()
+			case ctx.Err() != nil:
+				return nil, softErr
+			default:
+				// Last rung: hold the current allocation, projected onto the
+				// surviving capacity. Never fails, and under a budget its
+				// reserved floor guarantees the ladder finishes in time.
+				deg.Mode = DegradeHold
+				plan, deg.CapacityTrim = c.inst.holdPlan(c.state, input.Prices)
+			}
 		}
+	} else if budgeted {
+		// A clean in-budget hard solve ends the miss streak: the backoff
+		// exists to tame a persistently slow solver, not to punish one
+		// recovered from a transient stall.
+		c.missStreak = 0
 	}
 	c.warm = plan.Warm
 	c.state = plan.X[0].Clone()

@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // DegradationMode identifies which rung of the controller's degradation
 // ladder produced a step's plan.
@@ -12,6 +15,12 @@ const (
 	// DegradeColdRestart: the warm-started solve failed numerically and a
 	// cold restart succeeded.
 	DegradeColdRestart
+	// DegradeAnytime: the hard QP ran out of wall-clock budget and the
+	// plan is the solver's best interior-point iterate at the deadline,
+	// projected onto the capacity bounds so it is implementable. Above
+	// the soft rung: the plan still optimizes the true objective, it is
+	// just not converged.
+	DegradeAnytime
 	// DegradeSoft: the hard QP was infeasible or kept failing, and the
 	// soft-constrained relaxation produced the plan (demand may be shed).
 	DegradeSoft
@@ -34,6 +43,8 @@ func (m DegradationMode) String() string {
 		return "none"
 	case DegradeColdRestart:
 		return "cold-restart"
+	case DegradeAnytime:
+		return "anytime"
 	case DegradeSoft:
 		return "soft"
 	case DegradeHold:
@@ -63,6 +74,9 @@ type Degradation struct {
 	// CapacityTrim is the number of servers the hold projection dropped to
 	// fit the surviving capacity.
 	CapacityTrim float64
+	// AnytimeIterations is the number of IPM iterations the deadline
+	// snapshot completed (anytime mode only).
+	AnytimeIterations int
 	// Cause is the error the ladder recovered from ("" for a clean step).
 	Cause string
 }
@@ -87,7 +101,70 @@ func (d Degradation) String() string {
 	if d.CapacityTrim > 0 {
 		s += fmt.Sprintf(" trimmed=%.1f", d.CapacityTrim)
 	}
+	if d.Mode == DegradeAnytime {
+		s += fmt.Sprintf(" iters=%d", d.AnytimeIterations)
+	}
 	return s
+}
+
+// ProjectPlanCapacity projects a partial-iterate (anytime) plan onto the
+// instance's current capacities, making it implementable. Exported for
+// deadline-bounded callers outside the package — the decomposition
+// coordinator projects a deadline-stopped shard's best iterate onto its
+// capacity quota before gathering it into the global plan. Returns the
+// servers trimmed from the applied step.
+func (in *Instance) ProjectPlanCapacity(plan *Plan, x0 State, prices [][]float64) float64 {
+	return in.projectPlanCapacity(plan, x0, prices)
+}
+
+// projectPlanCapacity makes a partial-iterate plan implementable: every
+// planned state whose per-DC load exceeds the capacity is scaled back
+// proportionally (the same rule as holdProjection), the controls are
+// recomputed as the differences of the corrected states, and the objective
+// is re-evaluated at the corrected trajectory. Returns the servers trimmed
+// from the applied step (t = 0), the only state the MPC loop executes.
+// Mutates the plan in place; duals keep their snapshot values.
+func (in *Instance) projectPlanCapacity(plan *Plan, x0 State, prices [][]float64) float64 {
+	var trimmed float64
+	for t := range plan.X {
+		x := plan.X[t]
+		for l := 0; l < in.l; l++ {
+			c := in.capacity[l]
+			if math.IsInf(c, 1) {
+				continue
+			}
+			var total float64
+			for v := 0; v < in.v; v++ {
+				total += x[l][v]
+			}
+			if total > c {
+				scale := c / total
+				for v := 0; v < in.v; v++ {
+					x[l][v] *= scale
+				}
+				if t == 0 {
+					trimmed += total - c
+				}
+			}
+		}
+	}
+	prev := x0
+	var obj float64
+	for t := range plan.U {
+		u, x := plan.U[t], plan.X[t]
+		for l := range u {
+			for v := range u[l] {
+				u[l][v] = x[l][v] - prev[l][v]
+			}
+		}
+		prev = x
+		for _, pr := range in.pairs {
+			uv := u[pr.l][pr.v]
+			obj += prices[t][pr.l]*x[pr.l][pr.v] + in.reconfig[pr.l]*uv*uv
+		}
+	}
+	plan.Objective = obj
+	return trimmed
 }
 
 // holdProjection returns the allocation closest to s (by per-DC

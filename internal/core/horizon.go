@@ -36,6 +36,50 @@ type HorizonWarm struct {
 	pairs, horizon, rowsPer int
 }
 
+// WarmState is the serializable form of a HorizonWarm capsule. The raw
+// iterates round-trip exactly through JSON (Go emits the shortest
+// representation that re-parses to the same float64), so a controller
+// restored from a checkpointed WarmState produces plans bit-identical to
+// the uninterrupted run — the dsppd resume contract.
+type WarmState struct {
+	Y       []float64 `json:"y"`
+	Z       []float64 `json:"z"`
+	Pairs   int       `json:"pairs"`
+	Horizon int       `json:"horizon"`
+	RowsPer int       `json:"rows_per"`
+}
+
+// Export copies the capsule into its serializable form (nil for a nil
+// capsule).
+func (hw *HorizonWarm) Export() *WarmState {
+	if hw == nil {
+		return nil
+	}
+	return &WarmState{
+		Y:       append([]float64(nil), hw.y...),
+		Z:       append([]float64(nil), hw.z...),
+		Pairs:   hw.pairs,
+		Horizon: hw.horizon,
+		RowsPer: hw.rowsPer,
+	}
+}
+
+// ImportWarm rebuilds a capsule from its serialized form (nil for nil or
+// a state with inconsistent lengths — a corrupt checkpoint degrades to a
+// cold start rather than a bad warm point).
+func ImportWarm(ws *WarmState) *HorizonWarm {
+	if ws == nil || len(ws.Y) != ws.Pairs*ws.Horizon || len(ws.Z) != ws.RowsPer*ws.Horizon {
+		return nil
+	}
+	return &HorizonWarm{
+		y:       append(linalg.Vector(nil), ws.Y...),
+		z:       append(linalg.Vector(nil), ws.Z...),
+		pairs:   ws.Pairs,
+		horizon: ws.Horizon,
+		rowsPer: ws.RowsPer,
+	}
+}
+
 // shifted produces the QP warm start for a problem with the given layout,
 // advancing the stored solution by shift periods. The stored primal is
 // cumulative, so shifting rebases it on the state reached after the
@@ -102,6 +146,10 @@ type Plan struct {
 	// Warm carries the raw QP iterates for warm-starting the next solve
 	// over the same instance layout (see HorizonInput.Warm).
 	Warm *HorizonWarm
+	// Anytime is the solver's iterate-quality metadata when this plan is a
+	// deadline-interrupted partial iterate (see qp.ErrDeadline); nil for
+	// every fully converged plan.
+	Anytime *qp.AnytimeInfo
 }
 
 // TotalShed sums the shed demand over the whole horizon (zero for plans
@@ -201,6 +249,15 @@ func (in *Instance) SolveHorizonCtx(ctx context.Context, input HorizonInput, opt
 	vecs.ws = qp.WarmStart{} // drop the borrowed warm-start slices
 	hs.vecPool.Put(vecs)
 	if err != nil {
+		if res != nil && errors.Is(err, qp.ErrDeadline) {
+			// Anytime return: the result is the best iterate at the
+			// deadline. Hand back a full plan alongside the error so the
+			// degradation ladder can take the anytime rung; callers that
+			// ignore the plan see exactly the old error contract.
+			plan := in.buildPlan(hs, input, res, w, e, coldRestarts, constCost, nil)
+			plan.Anytime = res.Anytime
+			return plan, fmt.Errorf("horizon QP (W=%d, n=%d, m=%d): %w", w, n, m, err)
+		}
 		return nil, fmt.Errorf("horizon QP (W=%d, n=%d, m=%d): %w", w, n, m, err)
 	}
 

@@ -64,6 +64,11 @@ func (in *Instance) NewHorizonSession(w int, opts qp.Options) (*HorizonSession, 
 // Horizon returns the session's fixed horizon length.
 func (s *HorizonSession) Horizon() int { return s.w }
 
+// SetAnytime toggles deadline-bounded anytime solving for subsequent
+// solves: when enabled, a solve stopped by its context's deadline returns
+// its best iterate alongside qp.ErrDeadline instead of a bare error.
+func (s *HorizonSession) SetAnytime(on bool) { s.ses.SetAnytime(on) }
+
 // Solve is SolveCtx without cancellation.
 func (s *HorizonSession) Solve(input HorizonInput) (*Plan, error) {
 	return s.SolveCtx(context.Background(), input)
@@ -94,6 +99,14 @@ func (s *HorizonSession) SolveCtx(ctx context.Context, input HorizonInput) (*Pla
 	}
 	s.ws = qp.WarmStart{} // drop the borrowed warm-start slices
 	if err != nil {
+		if res != nil && errors.Is(err, qp.ErrDeadline) {
+			// Same anytime contract as the one-shot path: plan and error
+			// both non-nil, so the ladder can use the partial iterate.
+			s.gen ^= 1
+			plan := in.buildPlan(s.hs, input, res, w, s.e, coldRestarts, constCost, &s.arena[s.gen])
+			plan.Anytime = res.Anytime
+			return plan, fmt.Errorf("horizon QP (W=%d, n=%d, m=%d): %w", w, s.e*w, w*s.hs.rowsPerStep, err)
+		}
 		return nil, fmt.Errorf("horizon QP (W=%d, n=%d, m=%d): %w", w, s.e*w, w*s.hs.rowsPerStep, err)
 	}
 	s.gen ^= 1

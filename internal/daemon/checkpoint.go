@@ -1,0 +1,102 @@
+package daemon
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"dspp/internal/core"
+	"dspp/internal/monitor"
+)
+
+// checkpointVersion guards the on-disk format; a mismatch refuses to
+// restore rather than resuming from misread state.
+const checkpointVersion = 1
+
+// checkpoint is the daemon's persisted state: everything a restart needs
+// to continue the control loop exactly where it stopped. The warm capsule
+// and the Welford snapshots make the resumed run's plans bit-identical to
+// an uninterrupted one (floats round-trip exactly through JSON).
+type checkpoint struct {
+	Version      int                  `json:"version"`
+	Period       int                  `json:"period"`
+	State        [][]float64          `json:"state"`
+	DemandHist   [][]float64          `json:"demand_hist"`
+	PriceHist    [][]float64          `json:"price_hist"`
+	DemandCorr   monitor.WelfordState `json:"demand_corr"`
+	DelayCorr    monitor.WelfordState `json:"delay_corr"`
+	LastForecast []float64            `json:"last_forecast,omitempty"`
+	MissStreak   int                  `json:"miss_streak"`
+	Warm         *core.WarmState      `json:"warm,omitempty"`
+}
+
+// saveCheckpoint persists the current state atomically: the JSON is
+// written to <path>.tmp and renamed over the target, so a crash mid-write
+// leaves the previous checkpoint intact. Caller holds d.mu.
+func (d *Daemon) saveCheckpoint(path string) error {
+	ck := checkpoint{
+		Version:      checkpointVersion,
+		Period:       d.period,
+		State:        d.ctrl.State(),
+		DemandHist:   d.demandHist,
+		PriceHist:    d.priceHist,
+		DemandCorr:   d.demandCorr.Snapshot(),
+		DelayCorr:    d.delayCorr.Snapshot(),
+		LastForecast: d.lastForecast,
+		MissStreak:   d.ctrl.MissStreak(),
+		Warm:         d.ctrl.WarmCapsule().Export(),
+	}
+	data, err := json.Marshal(&ck)
+	if err != nil {
+		return fmt.Errorf("daemon: marshal checkpoint: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("daemon: write checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("daemon: install checkpoint: %w", err)
+	}
+	if d.mCkpt != nil {
+		d.mCkpt.Inc()
+	}
+	return nil
+}
+
+// loadCheckpoint restores state from path if a checkpoint exists there,
+// reporting whether one was restored. A missing file is a fresh start; a
+// corrupt or incompatible file is an error — silently discarding state a
+// deployment relies on would be worse than failing loudly.
+func (d *Daemon) loadCheckpoint(path string) (bool, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return false, nil
+	}
+	if err != nil {
+		return false, fmt.Errorf("daemon: read checkpoint: %w", err)
+	}
+	var ck checkpoint
+	if err := json.Unmarshal(data, &ck); err != nil {
+		return false, fmt.Errorf("daemon: decode checkpoint %s: %w", path, err)
+	}
+	if ck.Version != checkpointVersion {
+		return false, fmt.Errorf("daemon: checkpoint %s has version %d, want %d: %w",
+			path, ck.Version, checkpointVersion, ErrBadConfig)
+	}
+	state := core.State(ck.State)
+	if err := d.inst.CheckState(state); err != nil {
+		return false, fmt.Errorf("daemon: checkpoint %s state: %w", path, err)
+	}
+	if err := d.ctrl.SetState(state); err != nil {
+		return false, err
+	}
+	d.ctrl.RestoreWarm(core.ImportWarm(ck.Warm))
+	d.ctrl.RestoreMissStreak(ck.MissStreak)
+	d.period = ck.Period
+	d.demandHist = ck.DemandHist
+	d.priceHist = ck.PriceHist
+	d.demandCorr.Restore(ck.DemandCorr)
+	d.delayCorr.Restore(ck.DelayCorr)
+	d.lastForecast = ck.LastForecast
+	return true, nil
+}

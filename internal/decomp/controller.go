@@ -157,7 +157,10 @@ func (c *Controller) Step(demand, prices [][]float64) (core.State, core.State, e
 // from there inherits core.Controller's remaining ladder (cold restart,
 // soft relaxation, hold-last). With Options.NoFallback a non-converged
 // iterate is applied as-is (it is feasible; only optimality is at stake)
-// and shard errors surface to the caller.
+// and shard errors surface to the caller. A context deadline that stops
+// coordination between rounds applies the last complete iterate as the
+// DegradeAnytime rung — feasible, not ε-stable — rather than starting a
+// monolithic solve there is no time for.
 func (c *Controller) StepCtx(ctx context.Context, demand, prices [][]float64) (core.State, core.State, error) {
 	if c.byp != nil {
 		res, err := c.byp.StepCtx(ctx, demand, prices)
@@ -184,7 +187,7 @@ func (c *Controller) StepCtx(ctx context.Context, demand, prices [][]float64) (c
 func (c *Controller) stepCtx(ctx context.Context, demand, prices [][]float64) (core.State, core.State, error) {
 	sol, err := c.solver.SolveCtx(ctx, c.state, demand, prices)
 	switch {
-	case err == nil && (sol.Converged || c.opt.NoFallback):
+	case err == nil && (sol.Converged || sol.DeadlineHit || c.opt.NoFallback):
 		var deg core.Degradation
 		if sol.ColdRestarts > 0 {
 			deg.Mode = core.DegradeColdRestart
@@ -192,6 +195,18 @@ func (c *Controller) stepCtx(ctx context.Context, demand, prices [][]float64) (c
 		}
 		if !sol.Converged {
 			deg.Cause = fmt.Sprintf("coordination stopped after %d rounds without converging", sol.Rounds)
+		}
+		if sol.DeadlineHit {
+			// The period deadline stopped coordination between rounds:
+			// the applied iterate is feasible but not ε-stable — the
+			// decomposed analogue of the solver's anytime rung. A
+			// monolithic fallback would be pointless here; there is no
+			// time left to solve anything bigger.
+			deg.Mode = core.DegradeAnytime
+			deg.Cause = fmt.Sprintf("period deadline reached after %d coordination rounds", sol.Rounds)
+			if sol.Partial {
+				deg.Cause += " (final round partial: anytime shard iterates)"
+			}
 		}
 		c.lastDeg = deg
 		c.state = sol.State

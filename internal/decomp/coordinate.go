@@ -2,8 +2,10 @@ package decomp
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"dspp/internal/core"
 	"dspp/internal/parallel"
@@ -101,6 +103,10 @@ type regionShard struct {
 	dualBuf        []float64
 	cost, prevCost float64
 	capsDirty      bool
+	// hit marks that this shard's latest solve was stopped by the period
+	// deadline and contributed a projected anytime iterate rather than a
+	// converged plan. Written only by the shard's own round worker.
+	hit bool
 }
 
 // needTerm weights one location's demand in a shard's initial-quota
@@ -169,6 +175,18 @@ type Solution struct {
 	// reports whether the loop met the ε-stability cutoff in budget.
 	Rounds    int
 	Converged bool
+	// DeadlineHit reports that the context deadline stopped the loop
+	// between rounds: the solution is the last complete (feasible)
+	// iterate, just not ε-stable. Mutually exclusive with Converged.
+	DeadlineHit bool
+	// Partial reports that the deadline fired inside the final round, so
+	// at least one shard contributed a projected anytime iterate instead
+	// of a converged plan. The gathered solution is capacity-feasible
+	// (every anytime plan is projected onto its quota) but may under-serve
+	// demand — the same contract as the monolithic solver's anytime rung.
+	// When DeadlineHit is set without Partial, the iterate additionally
+	// satisfies all demand constraints.
+	Partial bool
 	// QPIterations/ColdRestarts aggregate the shard solves.
 	QPIterations int
 	ColdRestarts int
@@ -391,15 +409,41 @@ func (s *Solver) SolveCtx(ctx context.Context, x0 core.State, demand, prices [][
 
 	sol := &Solution{}
 	workers := parallel.Workers(s.opt.Workers, len(s.shards))
+	deadline, hasDeadline := ctx.Deadline()
+	// Under a period deadline the shard solves run in anytime mode against
+	// a deadline-only view of the context: the solver's per-iteration clock
+	// check stops each shard within one iteration of the deadline and hands
+	// back its best iterate, while the suppressed cancellation keeps the
+	// work scheduler from skipping shards outright once the deadline has
+	// passed — every shard must contribute an iterate for the gathered
+	// round to stay a full partition. Cancellation response degrades by at
+	// most the tail of the current (clock-bounded) round.
+	solveCtx := ctx
+	for _, r := range s.shards {
+		r.ses.SetAnytime(hasDeadline)
+	}
+	if hasDeadline {
+		solveCtx = deadlineOnlyCtx{parent: ctx}
+	}
 	for round := 0; round < s.opt.MaxRounds; round++ {
-		err := parallel.ForEachCtx(ctx, len(s.shards), workers, func(i int) error {
+		roundStart := time.Now()
+		err := parallel.ForEachCtx(solveCtx, len(s.shards), workers, func(i int) error {
 			r := s.shards[i]
-			plan, err := r.ses.SolveCtx(ctx, core.HorizonInput{
+			r.hit = false
+			plan, err := r.ses.SolveCtx(solveCtx, core.HorizonInput{
 				X0: r.x0, Demand: r.demand, Prices: r.prices,
 				Warm: r.warm, WarmShift: r.warmShift,
 			})
 			if err != nil {
-				return fmt.Errorf("shard %d: %w", i, err)
+				if plan == nil || !errors.Is(err, qp.ErrDeadline) {
+					return fmt.Errorf("shard %d: %w", i, err)
+				}
+				// Deadline-stopped shard: its best iterate, projected
+				// onto the shard's capacity quota, is this round's
+				// contribution. Quotas partition the shared capacity, so
+				// the gathered global state stays feasible.
+				r.sub.ProjectPlanCapacity(plan, r.x0, r.prices)
+				r.hit = true
 			}
 			r.plan = plan
 			r.warm = plan.Warm
@@ -413,12 +457,35 @@ func (s *Solver) SolveCtx(ctx context.Context, x0 core.State, demand, prices [][
 			return nil, fmt.Errorf("round %d: %w: %w", round, ErrCoordination, err)
 		}
 		sol.Rounds++
+		anyHit := false
 		for _, r := range s.shards {
 			sol.QPIterations += r.plan.QPIterations
 			sol.ColdRestarts += r.plan.ColdRestarts
+			anyHit = anyHit || r.hit
+		}
+		if anyHit {
+			// The deadline fired inside this round: the gathered iterate
+			// is capacity-feasible (every shard contributed, anytime plans
+			// are projected) but not ε-stable. Stop here — the convergence
+			// test would be comparing partial-solve costs.
+			sol.DeadlineHit = true
+			sol.Partial = true
+			sp.SetAttr(telemetry.Str("outcome", "deadline"))
+			break
 		}
 		if s.converged(round) {
 			sol.Converged = true
+			break
+		}
+		// Period-deadline respect: every completed round is a feasible
+		// iterate (quotas partition capacity), so when the budget is
+		// about to run out — or already has — return the current iterate
+		// instead of starting a round that cannot finish. The 1.5×
+		// last-round margin stops before the deadline fires mid-solve,
+		// where only an error could come back.
+		if hasDeadline && (ctx.Err() != nil || time.Until(deadline) < time.Since(roundStart)*3/2) {
+			sol.DeadlineHit = true
+			sp.SetAttr(telemetry.Str("outcome", "deadline"))
 			break
 		}
 		if round < s.opt.MaxRounds-1 {
@@ -731,3 +798,17 @@ func (s *Solver) pushCapacities() error {
 	}
 	return nil
 }
+
+// deadlineOnlyCtx exposes its parent's deadline while never reporting
+// cancellation. Shard solves in a deadline-bounded round run against this
+// view: the QP solver's per-iteration clock check (which reads Deadline())
+// still stops each solve on time with an anytime iterate, but the work
+// scheduler's Err() pre-checks can't skip shards whose turn comes after
+// the deadline — a gathered round needs every shard's contribution to
+// remain a full partition of the instance.
+type deadlineOnlyCtx struct{ parent context.Context }
+
+func (d deadlineOnlyCtx) Deadline() (time.Time, bool) { return d.parent.Deadline() }
+func (d deadlineOnlyCtx) Done() <-chan struct{}       { return nil }
+func (d deadlineOnlyCtx) Err() error                  { return nil }
+func (d deadlineOnlyCtx) Value(key any) any           { return d.parent.Value(key) }

@@ -433,3 +433,205 @@ func TestRunScalingSmoke(t *testing.T) {
 		t.Fatalf("implausible record: %+v", r)
 	}
 }
+
+func TestPartitionWeightedBalancesLoad(t *testing.T) {
+	scn, err := NewScenario(ScenarioConfig{Locations: 200, DCSites: 20, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Skewed weights: the BFS sweep's first pops are the heavy hitters,
+	// so the count-only cut piles them into one shard.
+	v := scn.Inst.NumLocations()
+	weights := make([]float64, v)
+	for i := range weights {
+		weights[i] = 1
+		if i%5 == 0 {
+			weights[i] = 50
+		}
+	}
+	maxW := func(p *Partition) float64 {
+		var m float64
+		for _, sh := range p.Shards {
+			var w float64
+			for _, vi := range sh.Locations {
+				w += weights[vi]
+			}
+			if w > m {
+				m = w
+			}
+		}
+		return m
+	}
+	plain, err := NewPartition(scn.Inst, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weighted, err := NewPartitionWeighted(scn.Inst, 25, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same structural invariants as the unweighted splitter.
+	seen := make([]bool, v)
+	for _, sh := range weighted.Shards {
+		if len(sh.Locations) > 25 {
+			t.Fatalf("weighted shard has %d locations > 25", len(sh.Locations))
+		}
+		dcSet := make(map[int]bool, len(sh.DCs))
+		for _, dc := range sh.DCs {
+			dcSet[dc] = true
+		}
+		for _, vi := range sh.Locations {
+			if seen[vi] {
+				t.Fatalf("location %d in two shards", vi)
+			}
+			seen[vi] = true
+			for _, dc := range scn.Inst.FeasibleDCs(vi, nil) {
+				if !dcSet[dc] {
+					t.Fatalf("location %d's DC %d missing from its shard", vi, dc)
+				}
+			}
+		}
+	}
+	for vi, ok := range seen {
+		if !ok {
+			t.Fatalf("location %d unassigned", vi)
+		}
+	}
+	if mw, mp := maxW(weighted), maxW(plain); mw > mp {
+		t.Fatalf("weighted split worse than count-only: max shard weight %g > %g", mw, mp)
+	}
+	// The weighted shards must still feed a working solver.
+	solver, err := NewSolver(scn.Inst, 2, weighted, Options{NoFallback: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := solver.SolveCtx(context.Background(), scn.Inst.NewState(), scn.Demand, scn.Prices); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionWeightedNilAndErrors(t *testing.T) {
+	scn, err := NewScenario(ScenarioConfig{Locations: 80, DCSites: 8, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := NewPartition(scn.Inst, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nilW, err := NewPartitionWeighted(scn.Inst, 20, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nilW.Shards) != len(plain.Shards) {
+		t.Fatalf("nil weights changed the partition: %d vs %d shards", len(nilW.Shards), len(plain.Shards))
+	}
+	for i := range plain.Shards {
+		if len(nilW.Shards[i].Locations) != len(plain.Shards[i].Locations) {
+			t.Fatalf("shard %d differs under nil weights", i)
+		}
+		for j, v := range plain.Shards[i].Locations {
+			if nilW.Shards[i].Locations[j] != v {
+				t.Fatalf("shard %d location %d differs under nil weights", i, j)
+			}
+		}
+	}
+	v := scn.Inst.NumLocations()
+	if _, err := NewPartitionWeighted(scn.Inst, 20, make([]float64, v-1)); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("short weights: err = %v", err)
+	}
+	bad := make([]float64, v)
+	bad[3] = math.NaN()
+	if _, err := NewPartitionWeighted(scn.Inst, 20, bad); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("NaN weight: err = %v", err)
+	}
+	bad[3] = -1
+	if _, err := NewPartitionWeighted(scn.Inst, 20, bad); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("negative weight: err = %v", err)
+	}
+}
+
+func TestCoordinationDeadlineReturnsFeasibleIterate(t *testing.T) {
+	scn, err := NewScenario(ScenarioConfig{Locations: 240, DCSites: 24, Seed: 51, Utilization: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := NewPartition(scn.Inst, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A tolerance the loop can never meet keeps rounds coming until the
+	// deadline check has to stop them.
+	solver, err := NewSolver(scn.Inst, 2, part, Options{
+		Workers: 4, NoFallback: true, MaxRounds: 100000, Tol: 1e-300,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	sol, err := solver.SolveCtx(ctx, scn.Inst.NewState(), scn.Demand, scn.Prices)
+	if err != nil {
+		t.Fatalf("deadline-bounded solve errored instead of returning its iterate: %v", err)
+	}
+	if !sol.DeadlineHit || sol.Converged {
+		t.Fatalf("DeadlineHit=%t Converged=%t after %d rounds, want deadline stop",
+			sol.DeadlineHit, sol.Converged, sol.Rounds)
+	}
+	if sol.Rounds < 1 {
+		t.Fatal("no complete round before the deadline")
+	}
+	// The returned iterate must be capacity-feasible for the full
+	// instance whether or not the final round completed.
+	byDC := sol.State.TotalByDC()
+	for l, tot := range byDC {
+		c, _ := scn.Inst.Capacity(l)
+		if tot > c*(1+1e-9) {
+			t.Fatalf("DC %d over capacity: %g > %g", l, tot, c)
+		}
+	}
+	// Demand feasibility is the stronger between-rounds contract: it
+	// holds when every shard's final-round solve converged (Partial
+	// unset). A deadline that fires inside a round leaves projected
+	// anytime iterates, which only promise capacity feasibility.
+	if !sol.Partial {
+		slack, err := scn.Inst.DemandSlack(sol.State, scn.Demand[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v, sl := range slack {
+			if sl < -1e-6 {
+				t.Fatalf("location %d demand violated by %g", v, -sl)
+			}
+		}
+	}
+}
+
+func TestControllerDeadlineAnytimeRung(t *testing.T) {
+	scn, err := NewScenario(ScenarioConfig{Locations: 240, DCSites: 24, Seed: 51, Utilization: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := NewController(scn.Inst, 2, Options{
+		MaxShardSize: 30, Workers: 4, MaxRounds: 100000, Tol: 1e-300,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	applied, state, err := ctrl.StepCtx(ctx, scn.Demand, scn.Prices)
+	if err != nil {
+		t.Fatalf("deadline-bounded step errored: %v", err)
+	}
+	if applied == nil || state == nil {
+		t.Fatal("nil plan from deadline-bounded step")
+	}
+	deg := ctrl.LastDegradation()
+	if deg.Mode != core.DegradeAnytime {
+		t.Fatalf("mode = %v, want anytime", deg.Mode)
+	}
+	if deg.Cause == "" {
+		t.Error("anytime cause not recorded")
+	}
+}

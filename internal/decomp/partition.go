@@ -13,6 +13,7 @@ package decomp
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"dspp/internal/core"
 )
@@ -106,6 +107,25 @@ func (s Stats) String() string {
 // always individually feasible and the only inter-shard coupling is
 // capacity on the DCs two shards both list.
 func NewPartition(inst *core.Instance, maxShardSize int) (*Partition, error) {
+	return newPartition(inst, maxShardSize, nil)
+}
+
+// NewPartitionWeighted is NewPartition with a per-location work weight
+// (typically mean forecast demand): oversized components are still swept
+// breadth-first, but a shard is also cut once its accumulated weight
+// reaches an equal share of the component's total, while never exceeding
+// maxShardSize locations. Deadline budgeting divides a fixed wall-clock
+// across concurrent shard solves, so balancing shards by load instead of
+// location count evens out per-shard solve times — the count-only cut
+// can put every hot location in one shard and make it the straggler
+// every period. Weights must be non-negative and finite, one per
+// location; an all-zero component falls back to the unweighted cut. A
+// nil weights slice is exactly NewPartition.
+func NewPartitionWeighted(inst *core.Instance, maxShardSize int, weights []float64) (*Partition, error) {
+	return newPartition(inst, maxShardSize, weights)
+}
+
+func newPartition(inst *core.Instance, maxShardSize int, weights []float64) (*Partition, error) {
 	if inst == nil {
 		return nil, fmt.Errorf("nil instance: %w", ErrBadConfig)
 	}
@@ -114,6 +134,16 @@ func NewPartition(inst *core.Instance, maxShardSize int) (*Partition, error) {
 	}
 	v := inst.NumLocations()
 	l := inst.NumDataCenters()
+	if weights != nil {
+		if len(weights) != v {
+			return nil, fmt.Errorf("%d weights for %d locations: %w", len(weights), v, ErrBadConfig)
+		}
+		for i, w := range weights {
+			if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+				return nil, fmt.Errorf("weight[%d] = %g: %w", i, w, ErrBadConfig)
+			}
+		}
+	}
 
 	// Connected components by union-find: every location sharing a DC
 	// joins that DC's first location.
@@ -199,9 +229,26 @@ func NewPartition(inst *core.Instance, maxShardSize int) (*Partition, error) {
 			flush(append([]int(nil), comp...))
 			continue
 		}
+		// Weighted cut target: an equal share of the component's total
+		// weight per shard, at the shard count the count-only cut would
+		// produce. Zero total weight (or no weights) disables the
+		// weighted cut and leaves the every-maxShardSize-pops rule.
+		target := math.Inf(1)
+		if weights != nil {
+			var compW float64
+			for _, vi := range comp {
+				compW += weights[vi]
+			}
+			if compW > 0 {
+				nShards := (len(comp) + maxShardSize - 1) / maxShardSize
+				target = compW / float64(nShards)
+			}
+		}
 		// BFS split: sweep the component from its lowest location, cutting
-		// a shard every maxShardSize pops.
+		// a shard every maxShardSize pops or — weighted — once the shard
+		// holds its share of the component's demand.
 		var cur, queue []int
+		var curW float64
 		for _, seed := range comp {
 			if visited[seed] {
 				continue
@@ -212,10 +259,13 @@ func NewPartition(inst *core.Instance, maxShardSize int) (*Partition, error) {
 				vi := queue[0]
 				queue = queue[1:]
 				cur = append(cur, vi)
-				if len(cur) == maxShardSize {
+				if weights != nil {
+					curW += weights[vi]
+				}
+				if len(cur) == maxShardSize || curW >= target {
 					sortInts(cur)
 					flush(cur)
-					cur = nil
+					cur, curW = nil, 0
 				}
 				dcBuf = inst.FeasibleDCs(vi, dcBuf[:0])
 				for _, dc := range dcBuf {

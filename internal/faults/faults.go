@@ -20,6 +20,7 @@ import (
 	"math/rand"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // ErrBadSchedule flags an invalid fault schedule or spec string.
@@ -50,6 +51,12 @@ const (
 	// (clamped at zero): corrupted predictions without touching realized
 	// traces. Target is ignored.
 	ForecastNoise
+	// SolverStall injects Factor milliseconds of artificial solver latency
+	// into each active period, consumed from the controller's per-step
+	// budget before the hard solve starts — the knob for exercising the
+	// anytime/deadline ladder deterministically. Concurrent stalls add.
+	// Target is ignored.
+	SolverStall
 )
 
 // String returns the kind's spec name.
@@ -65,6 +72,8 @@ func (k Kind) String() string {
 		return "surge"
 	case ForecastNoise:
 		return "noise"
+	case SolverStall:
+		return "stall"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -96,6 +105,8 @@ func (f Fault) String() string {
 		return fmt.Sprintf("surge:loc=%d,start=%d,end=%d,factor=%g", f.Target, f.Start, f.End, f.Factor)
 	case ForecastNoise:
 		return fmt.Sprintf("noise:start=%d,end=%d,factor=%g", f.Start, f.End, f.Factor)
+	case SolverStall:
+		return fmt.Sprintf("stall:start=%d,end=%d,factor=%g", f.Start, f.End, f.Factor)
 	default:
 		return fmt.Sprintf("%v:start=%d,end=%d", f.Kind, f.Start, f.End)
 	}
@@ -145,6 +156,10 @@ func (s *Schedule) Validate(numDCs, numLocs int) error {
 		case ForecastNoise:
 			if f.Factor < 0 || math.IsNaN(f.Factor) || math.IsInf(f.Factor, 0) {
 				return fmt.Errorf("fault %d: noise factor %g: %w", i, f.Factor, ErrBadSchedule)
+			}
+		case SolverStall:
+			if f.Factor < 0 || math.IsNaN(f.Factor) || math.IsInf(f.Factor, 0) {
+				return fmt.Errorf("fault %d: stall factor %g: %w", i, f.Factor, ErrBadSchedule)
 			}
 		default:
 			return fmt.Errorf("fault %d: unknown kind %d: %w", i, int(f.Kind), ErrBadSchedule)
@@ -254,6 +269,22 @@ func (s *Schedule) Demand(k int, base []float64) []float64 {
 	return out
 }
 
+// StallDelay returns the artificial solver latency scheduled for period k
+// (zero when no stall fault is active). Factors are milliseconds;
+// concurrent stalls add.
+func (s *Schedule) StallDelay(k int) time.Duration {
+	if s == nil {
+		return 0
+	}
+	var ms float64
+	for _, f := range s.Faults {
+		if f.Kind == SolverStall && f.Active(k) {
+			ms += f.Factor
+		}
+	}
+	return time.Duration(ms * float64(time.Millisecond))
+}
+
 // PerturbForecast applies the active forecast-noise faults to a W×width
 // forecast made at period k, in place. Draws come from an RNG seeded by
 // (Seed, k) and consumed in fixed row-major order, so the perturbation is
@@ -299,6 +330,7 @@ func cow(out, base []float64) []float64 {
 //	spike:dc=2,start=3,end=6,factor=4
 //	surge:loc=1,start=10,end=12,factor=2   (omit loc to surge all)
 //	noise:start=0,end=47,factor=0.3
+//	stall:start=10,end=30,factor=50        (factor = milliseconds of latency)
 func ParseFault(spec string) (Fault, error) {
 	kindStr, rest, ok := strings.Cut(strings.TrimSpace(spec), ":")
 	if !ok {
@@ -317,6 +349,8 @@ func ParseFault(spec string) (Fault, error) {
 		f.Target = -1
 	case "noise":
 		f.Kind = ForecastNoise
+	case "stall":
+		f.Kind = SolverStall
 	default:
 		return Fault{}, fmt.Errorf("spec %q: unknown kind %q: %w", spec, kindStr, ErrBadSchedule)
 	}

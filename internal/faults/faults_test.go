@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math"
 	"testing"
+	"time"
 )
 
 func TestParseFault(t *testing.T) {
@@ -17,6 +18,7 @@ func TestParseFault(t *testing.T) {
 		{"surge:loc=1,start=10,end=12,factor=2", Fault{Kind: DemandSurge, Target: 1, Start: 10, End: 12, Factor: 2}},
 		{"surge:start=10,end=12,factor=2", Fault{Kind: DemandSurge, Target: -1, Start: 10, End: 12, Factor: 2}},
 		{"noise:start=0,end=47,factor=0.3", Fault{Kind: ForecastNoise, Start: 0, End: 47, Factor: 0.3}},
+		{"stall:start=10,end=30,factor=50", Fault{Kind: SolverStall, Start: 10, End: 30, Factor: 50}},
 	}
 	for _, c := range cases {
 		got, err := ParseFault(c.spec)
@@ -59,6 +61,7 @@ func TestValidate(t *testing.T) {
 		{Kind: PriceSpike, Target: 1, Start: 1, End: 1, Factor: 3},
 		{Kind: DemandSurge, Target: -1, Start: 4, End: 6, Factor: 2},
 		{Kind: ForecastNoise, Start: 0, End: 9, Factor: 0.2},
+		{Kind: SolverStall, Start: 3, End: 5, Factor: 25},
 	}}
 	if err := good.Validate(2, 3); err != nil {
 		t.Fatalf("valid schedule rejected: %v", err)
@@ -70,6 +73,7 @@ func TestValidate(t *testing.T) {
 		{Faults: []Fault{{Kind: CapacityShock, Target: 0, Start: 0, End: 1, Factor: math.Inf(1)}}},
 		{Faults: []Fault{{Kind: DemandSurge, Target: 3, Start: 0, End: 1, Factor: 2}}},
 		{Faults: []Fault{{Kind: ForecastNoise, Start: 0, End: 1, Factor: -1}}},
+		{Faults: []Fault{{Kind: SolverStall, Start: 0, End: 1, Factor: math.Inf(1)}}},
 		{Faults: []Fault{{Kind: Kind(99), Start: 0, End: 1}}},
 	}
 	for i := range bad {
@@ -205,5 +209,31 @@ func TestParseSchedule(t *testing.T) {
 	}
 	if got := s.Active(3); len(got) != 1 || got[0].Kind != ForecastNoise {
 		t.Errorf("Active(3) = %v", got)
+	}
+}
+
+func TestStallDelay(t *testing.T) {
+	s := &Schedule{Faults: []Fault{
+		{Kind: SolverStall, Start: 2, End: 4, Factor: 50},
+		{Kind: SolverStall, Start: 4, End: 6, Factor: 25},
+	}}
+	cases := []struct {
+		k    int
+		want time.Duration
+	}{
+		{1, 0},
+		{2, 50 * time.Millisecond},
+		{4, 75 * time.Millisecond}, // concurrent stalls add
+		{6, 25 * time.Millisecond},
+		{7, 0},
+	}
+	for _, c := range cases {
+		if got := s.StallDelay(c.k); got != c.want {
+			t.Errorf("StallDelay(%d) = %v, want %v", c.k, got, c.want)
+		}
+	}
+	var nilSched *Schedule
+	if nilSched.StallDelay(3) != 0 {
+		t.Error("nil schedule stall should be zero")
 	}
 }

@@ -50,6 +50,26 @@ func (w *Welford) Variance() float64 {
 // Std returns the sample standard deviation.
 func (w *Welford) Std() float64 { return math.Sqrt(w.Variance()) }
 
+// WelfordState is the serializable form of a Welford accumulator — the
+// exact (count, mean, M2) triple, so a Restore continues the recurrence
+// bit-for-bit. Long-running processes (the dsppd daemon) persist it in
+// their checkpoints.
+type WelfordState struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"`
+}
+
+// Snapshot captures the accumulator's state.
+func (w *Welford) Snapshot() WelfordState {
+	return WelfordState{N: w.n, Mean: w.mean, M2: w.m2}
+}
+
+// Restore overwrites the accumulator with a previously captured state.
+func (w *Welford) Restore(s WelfordState) {
+	w.n, w.mean, w.m2 = s.N, s.Mean, s.M2
+}
+
 // EWMA is an exponentially weighted moving average with decay factor
 // alpha in (0, 1]: larger alpha reacts faster.
 type EWMA struct {

@@ -30,6 +30,32 @@ func TestWelfordKnown(t *testing.T) {
 	}
 }
 
+// TestWelfordSnapshotRestore: interrupting the stream at any point and
+// restoring from the snapshot must continue bit-identically — the
+// property the daemon's checkpoint/resume contract rests on.
+func TestWelfordSnapshotRestore(t *testing.T) {
+	xs := []float64{3.5, -1.25, 8, 0.125, 42, 1e-9, 7.75}
+	var full Welford
+	for _, x := range xs {
+		full.Add(x)
+	}
+	for cut := 0; cut <= len(xs); cut++ {
+		var a Welford
+		for _, x := range xs[:cut] {
+			a.Add(x)
+		}
+		var b Welford
+		b.Restore(a.Snapshot())
+		for _, x := range xs[cut:] {
+			b.Add(x)
+		}
+		if b.Count() != full.Count() || b.Mean() != full.Mean() || b.Variance() != full.Variance() {
+			t.Errorf("cut %d: restored stream diverged: (%d, %g, %g) vs (%d, %g, %g)",
+				cut, b.Count(), b.Mean(), b.Variance(), full.Count(), full.Mean(), full.Variance())
+		}
+	}
+}
+
 func TestWelfordEdge(t *testing.T) {
 	var w Welford
 	if w.Mean() != 0 || w.Variance() != 0 {

@@ -32,6 +32,12 @@ var (
 	ErrNumerical = errors.New("qp: numerical failure")
 	// ErrBadProblem means the problem dimensions are inconsistent.
 	ErrBadProblem = errors.New("qp: inconsistent problem dimensions")
+	// ErrDeadline means the context expired mid-solve with Options.Anytime
+	// set and the best iterate seen so far was returned instead of nil. The
+	// returned error wraps both this sentinel and the context's own error,
+	// so errors.Is works against either; Result.Anytime carries the
+	// iterate-quality metadata the caller needs to judge the partial plan.
+	ErrDeadline = errors.New("qp: deadline reached, returning best iterate")
 )
 
 // Problem is a convex QP instance. G/h and A/b may be nil for problems
@@ -157,6 +163,24 @@ type Result struct {
 	Gap        float64       // final average complementarity gap sᵀz/m
 	PrimalRes  float64       // final primal residual (∞-norm)
 	DualRes    float64       // final dual residual (∞-norm)
+
+	// Anytime is set only when the solve returned early with ErrDeadline:
+	// the X/duals above are then the best-merit iterate snapshotted during
+	// the interrupted run, and this block records how far that iterate got.
+	// Nil on every complete solve.
+	Anytime *AnytimeInfo
+}
+
+// AnytimeInfo is the iterate-quality metadata attached to a deadline
+// (anytime) result: how many iterations the snapshot completed, the
+// complementarity gap and residual norms at the snapshot, and the merit
+// value (objective + infeasibility penalty) the best-so-far rule minimized.
+type AnytimeInfo struct {
+	Iterations int     // IPM iterations completed when the snapshot was taken
+	Mu         float64 // average complementarity gap sᵀz/m at the snapshot
+	PrimalRes  float64 // primal residual ∞-norm at the snapshot
+	DualRes    float64 // dual residual ∞-norm at the snapshot
+	Merit      float64 // objective + anytimeInfeasWeight·(primal+eq residual)
 }
 
 // Options tunes the interior-point solver. The zero value is usable via
@@ -166,6 +190,16 @@ type Options struct {
 	Tolerance     float64 // residual/gap tolerance, default 1e-8
 	StepScale     float64 // fraction-to-boundary, default 0.99
 	Regularize    float64 // static diagonal regularization, default 1e-12
+
+	// Anytime opts into deadline-bounded solving: each iteration the solver
+	// snapshots the best-merit iterate seen so far, and when the context
+	// expires mid-solve it returns that snapshot with an error wrapping
+	// ErrDeadline (plus Result.Anytime metadata) instead of returning nil.
+	// Off by default: the snapshot copies cost ~3 vector copies per
+	// improving iteration and the enabled path grows three extra pooled
+	// buffers, so the flag is reserved for budget-driven callers (the MPC
+	// degradation ladder, the dsppd daemon).
+	Anytime bool
 
 	// Hooks, when non-nil, receives solver telemetry: per-solve counters
 	// (iterations, factorizations, regularization bumps, corrector skips,

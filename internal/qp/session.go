@@ -86,6 +86,13 @@ func NewSessionOpts(p *Problem, opts Options, sopts SessionOptions) (*Session, e
 	return s, nil
 }
 
+// SetAnytime toggles Options.Anytime for subsequent solves on this
+// session: deadline-bounded callers enable it so a solve stopped by its
+// context hands back the best iterate (ErrDeadline contract) instead of
+// only an error. Off by default — the snapshot copies cost a little per
+// improving iteration, so unbudgeted callers shouldn't pay for them.
+func (s *Session) SetAnytime(on bool) { s.opts.Anytime = on }
+
 // SolveCtx runs one solve against the problem's current data, optionally
 // warm-started. Iterates are bit-identical to SolveWarmCtx on the same
 // data (with RankK off). The returned Result's slices remain valid until

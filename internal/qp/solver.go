@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"dspp/internal/linalg"
 	"dspp/internal/telemetry"
@@ -102,6 +103,9 @@ func flushQPTelemetry(h *telemetry.QPHooks, sp *telemetry.Span, warm *WarmStart,
 	case errors.Is(err, ErrMaxIterations):
 		h.MaxIter.Inc()
 		outcome = "maxiter"
+	case errors.Is(err, ErrDeadline):
+		h.DeadlineReturns.Inc()
+		outcome = "deadline"
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		outcome = "canceled"
 	default:
@@ -159,8 +163,29 @@ func iterateIPM(ctx context.Context, st *ipmState, opts Options, stats *solveSta
 	st.szDot = linalg.DotProd(st.s[:m], st.z[:m])
 
 	st.computeResiduals()
+	st.prepareAnytime(opts.Anytime)
+	if st.anytime {
+		// The starting point (warm-start plan or the cold origin) is the
+		// first anytime candidate: even a deadline that fires before one
+		// full iteration completes still has something implementable.
+		st.snapshotAnytime(0)
+	}
+	// The per-iteration deadline check reads the wall clock rather than
+	// relying on ctx.Err() alone: ctx.Err() flips only after the context's
+	// timer goroutine runs, and on a starved scheduler (GOMAXPROCS=1 with
+	// this loop spinning) that can lag the actual deadline by the runtime's
+	// forced-preemption interval (~10ms) — far beyond the budgets a
+	// deadline-bounded controller works with.
+	deadline, hasDeadline := ctx.Deadline()
 	for iter := 0; iter < opts.MaxIterations; iter++ {
-		if err := ctx.Err(); err != nil {
+		err := ctx.Err()
+		if err == nil && hasDeadline && !time.Now().Before(deadline) {
+			err = context.DeadlineExceeded
+		}
+		if err != nil {
+			if st.anytime && st.snapValid {
+				return st.anytimeResult(iter), fmt.Errorf("qp: iteration %d: %w: %w", iter, ErrDeadline, err)
+			}
 			return nil, fmt.Errorf("qp: iteration %d: %w", iter, err)
 		}
 		mu := st.gap()
@@ -263,6 +288,9 @@ func iterateIPM(ctx context.Context, st *ipmState, opts Options, stats *solveSta
 		} else {
 			st.updateResiduals(alphaP, alphaD, opts.Regularize)
 		}
+		if st.anytime {
+			st.snapshotAnytime(iter + 1)
+		}
 	}
 
 	st.computeResiduals()
@@ -319,6 +347,23 @@ type ipmState struct {
 	// fresh marks the residuals as exactly recomputed at the current
 	// iterate (vs. incrementally updated).
 	fresh bool
+	// anytime snapshot state (Options.Anytime only): the best-merit iterate
+	// seen so far, copied out each time the merit improves so a deadline
+	// return never hands back a worse point than one already visited. The
+	// vectors are grown lazily by prepareAnytime, so the default path keeps
+	// its exact allocation count.
+	anytime   bool
+	snapValid bool
+	snapIter  int
+	snapObj   float64
+	snapMu    float64
+	snapMerit float64
+	snapRdN   float64
+	snapRpN   float64
+	snapReN   float64
+	snapX     linalg.Vector
+	snapZ     linalg.Vector
+	snapY     linalg.Vector
 	// bumped records that the last factorization needed the emergency
 	// regularization bump, invalidating the incremental residual identity.
 	bumped bool
@@ -988,6 +1033,89 @@ func (st *ipmState) step(alphaP, alphaD float64) bool {
 	}
 	st.szDot = dot
 	return floored
+}
+
+// anytimeInfeasWeight converts primal/equality infeasibility into merit
+// units: an anytime snapshot is "better" when objective + weight·(‖rp‖∞ +
+// ‖re‖∞) is lower. The weight is large enough that no realistic objective
+// improvement can buy constraint violation, so the best-so-far rule walks
+// toward feasibility first and cost second — exactly the preference of a
+// controller that must ship an implementable plan at the deadline.
+const anytimeInfeasWeight = 1e6
+
+// prepareAnytime arms (or disarms) the per-iteration snapshot. The three
+// snapshot buffers grow only here, so solves without Options.Anytime keep
+// the solver's exact allocation count.
+func (st *ipmState) prepareAnytime(on bool) {
+	st.anytime = on
+	st.snapValid = false
+	if !on {
+		return
+	}
+	st.snapX = growVec(st.snapX, st.n)
+	st.snapZ = growVec(st.snapZ, st.m)
+	st.snapY = growVec(st.snapY, st.q)
+}
+
+// snapshotAnytime records the current iterate when its merit beats the
+// best snapshot so far. Pure copies: the solve's own floating-point
+// trajectory is untouched, which is what makes the no-deadline anytime
+// path bit-identical to the plain solver.
+func (st *ipmState) snapshotAnytime(iter int) {
+	merit := st.obj + anytimeInfeasWeight*(st.rpNorm+st.reNorm)
+	if st.snapValid && merit >= st.snapMerit {
+		return
+	}
+	st.snapValid = true
+	st.snapIter = iter
+	st.snapObj = st.obj
+	st.snapMu = st.gap()
+	st.snapMerit = merit
+	st.snapRdN = st.rdNorm
+	st.snapRpN = st.rpNorm
+	st.snapReN = st.reNorm
+	copy(st.snapX[:st.n], st.x[:st.n])
+	copy(st.snapZ[:st.m], st.z[:st.m])
+	copy(st.snapY[:st.q], st.y[:st.q])
+}
+
+// anytimeResult builds an escaping Result from the snapshot. Unlike
+// result() it always allocates fresh storage — the deadline path is a
+// degraded, rare path, and sharing the session arena would let a partial
+// iterate overwrite a still-referenced complete plan.
+func (st *ipmState) anytimeResult(iters int) *Result {
+	need := st.n + st.m + st.q
+	buf := linalg.NewVector(need)
+	x := buf[:st.n:st.n]
+	copy(x, st.snapX[:st.n])
+	z := buf[st.n : st.n+st.m : st.n+st.m]
+	copy(z, st.snapZ[:st.m])
+	pres := st.snapRpN
+	if st.snapReN > pres {
+		pres = st.snapReN
+	}
+	res := &Result{
+		X:          x,
+		IneqDuals:  z,
+		Objective:  st.snapObj,
+		Iterations: iters,
+		Gap:        st.snapMu,
+		PrimalRes:  pres,
+		DualRes:    st.snapRdN,
+		Anytime: &AnytimeInfo{
+			Iterations: st.snapIter,
+			Mu:         st.snapMu,
+			PrimalRes:  pres,
+			DualRes:    st.snapRdN,
+			Merit:      st.snapMerit,
+		},
+	}
+	if st.q > 0 {
+		y := buf[st.n+st.m:]
+		copy(y, st.snapY[:st.q])
+		res.EqDuals = y
+	}
+	return res
 }
 
 // resultArena double-buffers the escaping Result storage of a Session.

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"dspp/internal/core"
 	"dspp/internal/faults"
@@ -54,6 +55,15 @@ type DegradationReporter interface {
 	LastDegradation() core.Degradation
 }
 
+// Staller is optionally implemented by policies that can inject artificial
+// solver latency. When the fault schedule carries stall faults, the engine
+// calls SetStall before every step with that period's scheduled delay
+// (zero when none is active), so the stall consumes the policy's own
+// per-step budget exactly like a slow solve would.
+type Staller interface {
+	SetStall(d time.Duration)
+}
+
 // MPCPolicy adapts core.Controller to the Policy interface.
 type MPCPolicy struct {
 	Ctrl *core.Controller
@@ -92,6 +102,9 @@ func (m *MPCPolicy) StepCtx(ctx context.Context, demand, prices [][]float64) (co
 // LastDegradation implements DegradationReporter.
 func (m *MPCPolicy) LastDegradation() core.Degradation { return m.lastDeg }
 
+// SetStall implements Staller by forwarding to the controller.
+func (m *MPCPolicy) SetStall(d time.Duration) { m.Ctrl.SetStall(d) }
+
 // Config describes one simulation run.
 type Config struct {
 	// Instance is the DSPP instance being controlled.
@@ -128,6 +141,13 @@ type Config struct {
 	// realized trace. Fault windows are in the 1-based period index that
 	// StepRecord.Period reports.
 	Faults *faults.Schedule
+	// Budget, when positive, is the wall-clock allowance each control
+	// period is expected to honor. The policy enforces its own deadline
+	// (e.g. core.WithBudget); the engine independently times every step
+	// end to end — stall included — and counts periods slower than
+	// Budget+BudgetGrace as overruns, so the report catches a ladder that
+	// blows its budget even when the solver believes it met the deadline.
+	Budget time.Duration
 	// Telemetry, when non-nil, receives the run's metrics and spans: a
 	// run span wrapping one period span per control step (parenting the
 	// controller's mpc_step/qp_solve spans via the context), period/SLA/
@@ -164,6 +184,9 @@ type StepRecord struct {
 	Degradation core.Degradation
 	// ActiveFaults lists the scheduled faults in effect this period.
 	ActiveFaults []faults.Fault
+	// Wall is the policy's wall-clock time for the step (the quantity
+	// compared against Config.Budget when counting overruns).
+	Wall time.Duration
 }
 
 // Result is a completed run.
@@ -186,16 +209,29 @@ type Result struct {
 	// self-contained), as are the per-rung counts below.
 	DegradedSteps int
 	ShedDemand    float64
-	// ColdRestartSteps/SoftSteps/HoldSteps/MonolithicSteps split
-	// DegradedSteps by ladder rung — the
-	// dspp_degradation_steps_total{mode=...} deltas. MonolithicSteps
+	// ColdRestartSteps/AnytimeSteps/SoftSteps/HoldSteps/MonolithicSteps
+	// split DegradedSteps by ladder rung — the
+	// dspp_degradation_steps_total{mode=...} deltas. AnytimeSteps counts
+	// periods served by a deadline-truncated best iterate; MonolithicSteps
 	// counts periods where a decomposed policy abandoned coordination
 	// and fell back to one full-instance QP.
 	ColdRestartSteps int
+	AnytimeSteps     int
 	SoftSteps        int
 	HoldSteps        int
 	MonolithicSteps  int
+	// BudgetOverruns counts periods whose end-to-end wall time exceeded
+	// Config.Budget+BudgetGrace (0 when no budget was configured);
+	// MaxStepWall is the slowest period observed.
+	BudgetOverruns int
+	MaxStepWall    time.Duration
 }
+
+// BudgetGrace is the measurement slack added on top of Config.Budget
+// before a period counts as an overrun: the ladder's hold rung runs after
+// the deadline fires, so a budgeted step legitimately finishes a hair
+// late, never unboundedly late.
+const BudgetGrace = 5 * time.Millisecond
 
 // DegradationSummary renders a one-line robustness report for the run.
 // It is a pure view over the telemetry-counter deltas captured at the
@@ -203,7 +239,7 @@ type Result struct {
 // telemetry.DegradationFromTrace reproduces it byte for byte.
 func (r *Result) DegradationSummary() string {
 	return telemetry.FormatDegradationSummary(r.PolicyName, len(r.Steps),
-		r.DegradedSteps, r.ColdRestartSteps, r.SoftSteps, r.HoldSteps, r.ShedDemand)
+		r.DegradedSteps, r.ColdRestartSteps, r.AnytimeSteps, r.SoftSteps, r.HoldSteps, r.ShedDemand)
 }
 
 // ForecastAccuracy is the per-location forecast scorecard.
@@ -293,6 +329,7 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 
 	ctxPolicy, _ := cfg.Policy.(CtxPolicy)
 	degrader, _ := cfg.Policy.(DegradationReporter)
+	staller, _ := cfg.Policy.(Staller)
 	res := &Result{PolicyName: cfg.Policy.Name()}
 
 	// Degradation/SLA accounting runs through telemetry counters whether
@@ -302,26 +339,29 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 	// throwaway standalone counters starting at zero. Either way there is
 	// exactly one accounting path.
 	hub := cfg.Telemetry
-	var mPeriods, mViol, mShed *telemetry.Counter
+	var mPeriods, mViol, mShed, mOver *telemetry.Counter
 	var mDeg *telemetry.CounterVec
 	if reg := hub.Registry(); reg != nil {
 		mPeriods = reg.Counter(telemetry.MetricPeriods)
 		mViol = reg.Counter(telemetry.MetricSLAViolations)
 		mShed = reg.Counter(telemetry.MetricShedDemand)
+		mOver = reg.Counter(telemetry.MetricBudgetOverruns)
 		mDeg = reg.CounterVec(telemetry.MetricDegradationSteps, "mode")
 	} else {
 		mPeriods = telemetry.NewCounter()
 		mViol = telemetry.NewCounter()
 		mShed = telemetry.NewCounter()
+		mOver = telemetry.NewCounter()
 		mDeg = telemetry.NewCounterVec(telemetry.MetricDegradationSteps, "mode")
 	}
 	modeLabels := []string{
-		core.DegradeColdRestart.String(), core.DegradeSoft.String(),
-		core.DegradeHold.String(), core.DegradeMonolithic.String(),
-		core.DegradeNone.String(),
+		core.DegradeColdRestart.String(), core.DegradeAnytime.String(),
+		core.DegradeSoft.String(), core.DegradeHold.String(),
+		core.DegradeMonolithic.String(), core.DegradeNone.String(),
 	}
 	baseViol := mViol.Value()
 	baseShed := mShed.Value()
+	baseOver := mOver.Value()
 	baseMode := make(map[string]float64, len(modeLabels))
 	for _, m := range modeLabels {
 		baseMode[m] = mDeg.With(m).Value()
@@ -393,14 +433,25 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 			return nil, perr(fmt.Errorf("period %d price forecast: %w", k, err))
 		}
 		sched.PerturbForecast(k+1, demandFC)
+		if staller != nil {
+			staller.SetStall(sched.StallDelay(k + 1))
+		}
 		var applied, state core.State
+		stepStart := time.Now()
 		if ctxPolicy != nil {
 			applied, state, err = ctxPolicy.StepCtx(stepCtx, demandFC, priceFC)
 		} else {
 			applied, state, err = cfg.Policy.Step(demandFC, priceFC)
 		}
+		stepWall := time.Since(stepStart)
 		if err != nil {
 			return nil, perr(fmt.Errorf("period %d policy step: %w", k, err))
+		}
+		if stepWall > res.MaxStepWall {
+			res.MaxStepWall = stepWall
+		}
+		if cfg.Budget > 0 && stepWall > cfg.Budget+BudgetGrace {
+			mOver.Inc()
 		}
 		realD := demandTrace[k+1]
 		realP := priceTrace[k+1]
@@ -448,6 +499,7 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 			SLAMet:         slaOK,
 			DemandForecast: append([]float64(nil), demandFC[0]...),
 			ActiveFaults:   sched.Active(k + 1),
+			Wall:           stepWall,
 		}
 		if degrader != nil {
 			rec.Degradation = degrader.LastDegradation()
@@ -470,11 +522,13 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 	// Fold this run's counter deltas back into the Result: the summary
 	// numbers are a view over telemetry, not a second ledger.
 	res.ShedDemand = mShed.Value() - baseShed
+	res.BudgetOverruns = int(mOver.Value() - baseOver)
 	res.ColdRestartSteps = int(mDeg.With(core.DegradeColdRestart.String()).Value() - baseMode[core.DegradeColdRestart.String()])
+	res.AnytimeSteps = int(mDeg.With(core.DegradeAnytime.String()).Value() - baseMode[core.DegradeAnytime.String()])
 	res.SoftSteps = int(mDeg.With(core.DegradeSoft.String()).Value() - baseMode[core.DegradeSoft.String()])
 	res.HoldSteps = int(mDeg.With(core.DegradeHold.String()).Value() - baseMode[core.DegradeHold.String()])
 	res.MonolithicSteps = int(mDeg.With(core.DegradeMonolithic.String()).Value() - baseMode[core.DegradeMonolithic.String()])
-	res.DegradedSteps = res.ColdRestartSteps + res.SoftSteps + res.HoldSteps + res.MonolithicSteps +
+	res.DegradedSteps = res.ColdRestartSteps + res.AnytimeSteps + res.SoftSteps + res.HoldSteps + res.MonolithicSteps +
 		int(mDeg.With(core.DegradeNone.String()).Value()-baseMode[core.DegradeNone.String()])
 	res.SLAViolations = int(mViol.Value() - baseViol)
 	for vi, tr := range trackers {

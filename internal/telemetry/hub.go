@@ -21,6 +21,7 @@ const (
 	MetricQPFactorReused      = "dspp_factorizations_reused_total"
 	MetricQPRankKUpdates      = "dspp_rankk_updates_total"
 	MetricQPSolveIterations   = "dspp_qp_solve_iterations"
+	MetricQPDeadlineReturns   = "dspp_qp_deadline_returns_total"
 
 	MetricSpans = "dspp_spans_total"
 
@@ -32,6 +33,14 @@ const (
 
 	MetricDegradationSteps = "dspp_degradation_steps_total"
 	MetricShedDemand       = "dspp_shed_demand_total"
+
+	MetricBudgetOverruns     = "dspp_budget_overruns_total"
+	MetricDaemonPeriods      = "dspp_daemon_periods_total"
+	MetricDaemonObservations = "dspp_daemon_observations_total"
+	MetricDaemonCheckpoints  = "dspp_daemon_checkpoints_total"
+	MetricDaemonWatchdog     = "dspp_daemon_watchdog_restarts_total"
+	MetricDaemonDemandCorr   = "dspp_daemon_demand_correction"
+	MetricDaemonDelayCorr    = "dspp_daemon_delay_correction"
 
 	MetricDecompShards       = "dspp_decomp_shards"
 	MetricCoordinationRounds = "dspp_coordination_rounds_total"
@@ -80,6 +89,7 @@ type QPHooks struct {
 	MaxIter           *Counter
 	FactorReused      *Counter
 	RankKUpdates      *Counter
+	DeadlineReturns   *Counter
 	IterationsHist    *Histogram
 	Tracer            *Tracer
 }
@@ -156,6 +166,7 @@ func (h *Hub) QPHooks() *QPHooks {
 			MaxIter:           h.reg.Counter(MetricQPMaxIter),
 			FactorReused:      h.reg.Counter(MetricQPFactorReused),
 			RankKUpdates:      h.reg.Counter(MetricQPRankKUpdates),
+			DeadlineReturns:   h.reg.Counter(MetricQPDeadlineReturns),
 			IterationsHist:    h.reg.Histogram(MetricQPSolveIterations, qpIterBuckets),
 			Tracer:            h.tr,
 		}

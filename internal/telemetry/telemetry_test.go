@@ -293,11 +293,11 @@ func TestTracerFloatRoundTrip(t *testing.T) {
 }
 
 func TestFormatDegradationSummary(t *testing.T) {
-	if got := FormatDegradationSummary("mpc-w6", 30, 0, 0, 0, 0, 0); got != "mpc-w6: all 30 steps clean" {
+	if got := FormatDegradationSummary("mpc-w6", 30, 0, 0, 0, 0, 0, 0); got != "mpc-w6: all 30 steps clean" {
 		t.Fatalf("clean summary = %q", got)
 	}
-	got := FormatDegradationSummary("mpc-w6", 30, 4, 1, 2, 1, 12.34)
-	want := "mpc-w6: 4/30 steps degraded (cold-restart=1 soft=2 hold=1), shed 12.3 req/s total"
+	got := FormatDegradationSummary("mpc-w6", 30, 5, 1, 1, 2, 1, 12.34)
+	want := "mpc-w6: 5/30 steps degraded (cold-restart=1 anytime=1 soft=2 hold=1), shed 12.3 req/s total"
 	if got != want {
 		t.Fatalf("degraded summary = %q, want %q", got, want)
 	}
@@ -307,8 +307,8 @@ func TestDegradationFromTrace(t *testing.T) {
 	var buf bytes.Buffer
 	hub := New(WithTraceWriter(&buf))
 	tr := hub.Tracer()
-	root := tr.Start(SpanRun, 0, Str("policy", "mpc-w4"), Num("steps", 3))
-	for i, mode := range []string{"none", "soft", "hold"} {
+	root := tr.Start(SpanRun, 0, Str("policy", "mpc-w4"), Num("steps", 4))
+	for i, mode := range []string{"none", "anytime", "soft", "hold"} {
 		p := tr.Start(SpanPeriod, root.ID(), Num("period", float64(i)))
 		shed := 0.0
 		if mode == "soft" {
@@ -327,7 +327,7 @@ func TestDegradationFromTrace(t *testing.T) {
 	if !ok {
 		t.Fatal("no run span found")
 	}
-	want := FormatDegradationSummary("mpc-w4", 3, 2, 0, 1, 1, 5.5)
+	want := FormatDegradationSummary("mpc-w4", 4, 3, 0, 1, 1, 1, 5.5)
 	if line != want {
 		t.Fatalf("trace summary = %q, want %q", line, want)
 	}

@@ -144,12 +144,12 @@ func (s *TraceSummary) Table() string {
 // run's degradation ladder activity. It is THE formatter — sim.Result
 // and the trace-summary replay both call it, so the two can only agree
 // byte for byte.
-func FormatDegradationSummary(policy string, steps, degraded, cold, soft, hold int, shed float64) string {
+func FormatDegradationSummary(policy string, steps, degraded, cold, anytime, soft, hold int, shed float64) string {
 	if degraded == 0 {
 		return fmt.Sprintf("%s: all %d steps clean", policy, steps)
 	}
-	return fmt.Sprintf("%s: %d/%d steps degraded (cold-restart=%d soft=%d hold=%d), shed %.1f req/s total",
-		policy, degraded, steps, cold, soft, hold, shed)
+	return fmt.Sprintf("%s: %d/%d steps degraded (cold-restart=%d anytime=%d soft=%d hold=%d), shed %.1f req/s total",
+		policy, degraded, steps, cold, anytime, soft, hold, shed)
 }
 
 // DegradationFromTrace recomputes the degradation summary line from a
@@ -160,7 +160,7 @@ func DegradationFromTrace(events []TraceEvent) (line string, ok bool) {
 	var policy string
 	var steps int
 	found := false
-	var degraded, cold, soft, hold int
+	var degraded, cold, anytime, soft, hold int
 	var shed float64
 	for i := range events {
 		e := &events[i]
@@ -182,6 +182,8 @@ func DegradationFromTrace(events []TraceEvent) (line string, ok bool) {
 			switch mode {
 			case "cold-restart":
 				cold++
+			case "anytime":
+				anytime++
 			case "soft":
 				soft++
 			case "hold":
@@ -195,5 +197,5 @@ func DegradationFromTrace(events []TraceEvent) (line string, ok bool) {
 	if !found {
 		return "", false
 	}
-	return FormatDegradationSummary(policy, steps, degraded, cold, soft, hold, shed), true
+	return FormatDegradationSummary(policy, steps, degraded, cold, anytime, soft, hold, shed), true
 }

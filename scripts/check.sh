@@ -98,4 +98,31 @@ echo "== fault-injection smoke (robust-outage under -race) =="
 # restore — and prints the degradation summary for eyeballing.
 go run -race ./cmd/experiments -fig robust-outage
 
+echo "== deadline guard (anytime ladder under a stall fault) =="
+# The daemon package must be vet-clean, and a budgeted run under an
+# injected solver stall must finish every period inside budget+grace
+# while actually exercising the anytime rung: zero hard overruns over
+# 200 periods AND anytime rungs > 0, or the deadline plumbing regressed.
+go vet ./internal/daemon
+deadline_out=$(go run ./cmd/dsppsim -periods 200 -horizon 12 -metros 12 \
+	-budget 16ms -predictor persistence \
+	-fault "stall:start=2,end=400,factor=13" | tail -3)
+echo "$deadline_out"
+echo "$deadline_out" | awk '
+	/^budget / {
+		seen = 1
+		for (i = 1; i <= NF; i++) {
+			if ($(i+1) == "period" && $(i+2) == "overruns")
+				{ split($i, o, "/"); overruns = o[1]; periods = o[2] }
+			if ($i == "rungs") rungs = $(i+1)
+		}
+	}
+	END {
+		if (!seen)          { print "budget summary line missing from dsppsim output"; exit 1 }
+		if (periods < 200)  { print "expected >=200 budgeted periods, got " periods; exit 1 }
+		if (overruns != 0)  { print overruns " period overruns under the stall schedule, want 0"; exit 1 }
+		if (rungs + 0 <= 0) { print "anytime rungs " rungs ": deadline ladder never engaged"; exit 1 }
+		print "deadline guard holds: " overruns "/" periods " overruns, " rungs " anytime rungs"
+	}'
+
 echo "All checks passed."
