@@ -12,6 +12,8 @@
 //	dsppd [-dcs 4] [-metros 8] [-horizon 5] [-budget 50ms] [-watchdog 200ms]
 //	      [-predictor persistence|seasonal|ar|holtwinters] [-history 96] [-mu 150]
 //	      [-checkpoint dsppd.ckpt] [-addr :8080] [-stall 0]
+//	dsppd -continental [-locations 240] [-dcsites 24] [-continental-seed 41]
+//	      [-shard-size 60] [-no-incremental] [-rank-k] [-carry-tol 1e-3]
 //
 // Observations look like
 //
@@ -21,6 +23,17 @@
 // data center. The instance is the paper's geo-distributed setup: DCs at
 // San Jose/Houston/Atlanta/Chicago, the most populous non-DC metros as
 // demand sites, a 30 ms CDN-class SLA.
+//
+// With -continental the daemon instead serves a generated continental
+// topology (same construction as dsppsim -continental) through the
+// decomposed controller: sharded region QPs under incremental
+// coordination — dirty-shard scheduling, rank-k quota re-solves,
+// cross-period plan carry — so a quiet stream of observations settles to
+// holding carried plans instead of re-coordinating the full fleet every
+// period. Report lines gain the per-period shard-solve economics
+// (rounds, shard_solves, skipped_shards, held_shards, fast_resolves).
+// Checkpoints are state-only on this path: a resumed run re-coordinates
+// from the restored state rather than resuming bit-identically.
 //
 // SIGTERM or SIGINT shuts down cleanly: the last completed period's
 // checkpoint is already on disk, and restarting with the same -checkpoint
@@ -65,13 +78,58 @@ func run(args []string) error {
 	checkpoint := fs.String("checkpoint", "", "checkpoint file (restored on start, written each period)")
 	addr := fs.String("addr", "", "serve POST /observe, /healthz and /metrics on this address")
 	stall := fs.Duration("stall", 0, "inject artificial solver latency per period (demo/testing)")
+	continental := fs.Bool("continental", false, "serve a generated continental topology through the decomposed controller")
+	locations := fs.Int("locations", 240, "continental mode: number of access locations")
+	dcsites := fs.Int("dcsites", 24, "continental mode: number of data-center sites")
+	continentalSeed := fs.Int64("continental-seed", 41, "continental mode: topology seed")
+	shardSize := fs.Int("shard-size", 60, "continental mode: max locations per shard (0 = connected components only)")
+	noIncremental := fs.Bool("no-incremental", false, "continental mode: disable dirty-shard scheduling (re-solve every shard every round)")
+	rankK := fs.Bool("rank-k", true, "continental mode: rank-k capacity fast path for quota re-solves")
+	carryTol := fs.Float64("carry-tol", 1e-3, "continental mode: cross-period plan carry tolerance (0 = re-coordinate every period)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	inst, metros, err := buildInstance(*numDCs, *numMetros)
-	if err != nil {
-		return err
+	var (
+		inst      *dspp.Instance
+		decompOpt *dspp.DecompOptions
+		numLoc    int
+	)
+	if *continental {
+		scn, err := dspp.NewContinentalScenario(dspp.ContinentalScenarioConfig{
+			Locations: *locations, DCSites: *dcsites, Seed: *continentalSeed,
+		})
+		if err != nil {
+			return err
+		}
+		inst = scn.Inst
+		numLoc = *locations
+		*numDCs = *dcsites
+		decompOpt = &dspp.DecompOptions{
+			MaxShardSize:   *shardSize,
+			NoIncremental:  *noIncremental,
+			RankK:          *rankK,
+			PeriodCarryTol: *carryTol,
+		}
+		// The continental scenario's SLA is built at its own service rate;
+		// follow it for the delay correction unless -mu was given explicitly.
+		muSet := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "mu" {
+				muSet = true
+			}
+		})
+		if !muSet {
+			*mu = 1000
+		}
+	} else {
+		var metros []dspp.City
+		var err error
+		inst, metros, err = buildInstance(*numDCs, *numMetros)
+		if err != nil {
+			return err
+		}
+		numLoc = len(metros)
 	}
 	var pred predict.Predictor
 	switch strings.ToLower(*predictor) {
@@ -99,6 +157,7 @@ func run(args []string) error {
 		Telemetry:      dspp.NewTelemetry(),
 		Addr:           *addr,
 		Out:            os.Stdout,
+		Decomp:         decompOpt,
 	})
 	if err != nil {
 		return err
@@ -114,10 +173,19 @@ func run(args []string) error {
 	if d.Restored() {
 		resumed = fmt.Sprintf(", resumed at period %d", d.Period())
 	}
-	fmt.Fprintf(os.Stderr, "dsppd: %d DCs, %d metros, W=%d, budget=%v%s\n",
-		*numDCs, len(metros), *horizon, *budget, resumed)
+	if *continental {
+		inc := "incremental coordination"
+		if *noIncremental {
+			inc = "incremental coordination off"
+		}
+		fmt.Fprintf(os.Stderr, "dsppd: continental, %d DCs, %d locations, W=%d, budget=%v, decomposed (shard size %d, %s)%s\n",
+			*numDCs, numLoc, *horizon, *budget, *shardSize, inc, resumed)
+	} else {
+		fmt.Fprintf(os.Stderr, "dsppd: %d DCs, %d metros, W=%d, budget=%v%s\n",
+			*numDCs, numLoc, *horizon, *budget, resumed)
+	}
 	fmt.Fprintf(os.Stderr, "dsppd: expecting {\"demand\":[%d],\"prices\":[%d],\"delay\":[%d]?} per line\n",
-		len(metros), *numDCs, len(metros))
+		numLoc, *numDCs, numLoc)
 	if *addr != "" {
 		// The daemon binds inside Run; report the address once it is up.
 		go func() {

@@ -6,6 +6,7 @@ import (
 	"os"
 
 	"dspp"
+	"dspp/internal/telemetry"
 )
 
 // continentalRun bundles the continental-mode parameters.
@@ -15,12 +16,17 @@ type continentalRun struct {
 	seed               int64
 	decomp             bool
 	shardSize          int
+	diurnalAmp         float64
+	noIncremental      bool
+	rankK              bool
+	carryTol           float64
 }
 
 // runContinental simulates a generated continental-scale topology. The
 // steady scenario demand is modulated by a per-location diurnal factor
-// (phase-shifted by longitude, peak = the scenario's sizing point, so the
-// instance stays feasible at every hour); prices keep the scenario's
+// of amplitude cfg.diurnalAmp (phase-shifted by longitude, peak = the
+// scenario's sizing point, so the instance stays feasible at every hour;
+// amplitude 0 is the flat steady state); prices keep the scenario's
 // per-DC draw. The policy is either the decomposed controller or the
 // plain monolithic MPC controller.
 func runContinental(out *os.File, tel *dspp.Telemetry, cfg continentalRun) error {
@@ -38,22 +44,34 @@ func runContinental(out *os.File, tel *dspp.Telemetry, cfg continentalRun) error
 	steps := cfg.periods + cfg.horizon + 1
 	demandTrace := make([][]float64, steps)
 	priceTrace := make([][]float64, steps)
+	amp := cfg.diurnalAmp
 	for k := range demandTrace {
 		demandTrace[k] = make([]float64, cfg.locations)
 		for v := range demandTrace[k] {
 			phase := scn.Net.Access[v].City.Lon/15 + 6
-			f := 0.7 + 0.3*math.Sin(2*math.Pi*(float64(k)+phase)/24)
+			f := (1 - amp) + amp*math.Sin(2*math.Pi*(float64(k)+phase)/24)
 			demandTrace[k][v] = scn.Demand[0][v] * f
 		}
 		priceTrace[k] = append([]float64(nil), scn.Prices[0]...)
+	}
+
+	// The incremental footer needs the coordination counters even when no
+	// ops endpoint asked for a hub; accounting is cheap, the full metrics
+	// table stays gated on the caller's tel.
+	acct := tel
+	if acct == nil && cfg.decomp {
+		acct = dspp.NewTelemetry()
 	}
 
 	var policy dspp.Policy
 	var part *dspp.Partition
 	if cfg.decomp {
 		ctrl, err := dspp.NewDecompController(inst, cfg.horizon, dspp.DecompOptions{
-			MaxShardSize: cfg.shardSize,
-			Telemetry:    tel,
+			MaxShardSize:   cfg.shardSize,
+			Telemetry:      acct,
+			NoIncremental:  cfg.noIncremental,
+			RankK:          cfg.rankK,
+			PeriodCarryTol: cfg.carryTol,
 		})
 		if err != nil {
 			return err
@@ -125,6 +143,16 @@ func runContinental(out *os.File, tel *dspp.Telemetry, cfg continentalRun) error
 	fmt.Fprintln(out, res.DegradationSummary())
 	if res.MonolithicSteps > 0 {
 		fmt.Fprintf(out, "monolithic fallbacks: %d/%d steps\n", res.MonolithicSteps, len(res.Steps))
+	}
+	if part != nil && acct != nil && len(res.Steps) > 0 {
+		reg := acct.Registry()
+		rounds := reg.Counter(telemetry.MetricCoordinationRounds).Value()
+		solves := reg.Counter(telemetry.MetricShardSolves).Value()
+		skipped := reg.Counter(telemetry.MetricShardsSkipped).Value()
+		fast := reg.Counter(telemetry.MetricQuotaFastResolves).Value()
+		slots := float64(len(part.Shards) * len(res.Steps))
+		fmt.Fprintf(out, "incremental: %.0f coordination rounds, %.0f shard solves, %.0f skipped/held, %.0f rank-k fast re-solves — %.2f solves per shard-period\n",
+			rounds, solves, skipped, fast, solves/slots)
 	}
 	if tel != nil {
 		fmt.Fprintf(out, "\ntelemetry:\n%s", dspp.MetricsTable(tel))

@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"dspp"
+	"dspp/internal/decomp"
 	"dspp/internal/experiments"
 	"dspp/internal/profiling"
 )
@@ -221,6 +222,13 @@ func registry() []experiment {
 			}
 			return r.Table, r.Check(), nil
 		}},
+		{"decomp-incremental", func(int64, int) (*experiments.Table, error, error) {
+			r, err := experiments.DecompIncremental(context.Background(), false, nil)
+			if err != nil {
+				return nil, nil, err
+			}
+			return r.Table, r.Check(), nil
+		}},
 	}
 }
 
@@ -239,8 +247,9 @@ func run(args []string) error {
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	telemetryAddr := fs.String("telemetry-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while the suite runs")
-	benchOut := fs.String("bench-out", "", "decomp-scaling only: write the measured records as a JSON array to this file")
-	benchFull := fs.Bool("bench-full", false, "decomp-scaling only: run the full continental sizes (n≥1000; the monolithic references take minutes)")
+	benchOut := fs.String("bench-out", "", "decomp-scaling/decomp-incremental: write the measured records as a JSON array to this file")
+	benchFull := fs.Bool("bench-full", false, "decomp-scaling/decomp-incremental: run the full continental sizes (n≥1000; the monolithic references take minutes)")
+	benchBaseline := fs.String("bench-baseline", "", "decomp-incremental only: BENCH_4-format JSON whose records supply the monolithic references and pre-incremental decomp times")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -265,25 +274,49 @@ func run(args []string) error {
 			}
 		}()
 	}
-	// The scaling benchmark takes its size and output options from the
-	// bench flags, so it runs outside the fixed registry signature.
-	if *benchOut != "" || *benchFull {
-		if !strings.EqualFold(*fig, "decomp-scaling") {
-			return fmt.Errorf("-bench-out/-bench-full require -fig decomp-scaling")
+	// The scaling benchmarks take their size and output options from the
+	// bench flags, so they run outside the fixed registry signature.
+	if *benchOut != "" || *benchFull || *benchBaseline != "" {
+		var table *experiments.Table
+		var shapeErr error
+		var records any
+		switch {
+		case strings.EqualFold(*fig, "decomp-scaling"):
+			if *benchBaseline != "" {
+				return fmt.Errorf("-bench-baseline requires -fig decomp-incremental")
+			}
+			r, err := experiments.DecompScaling(context.Background(), *benchFull)
+			if err != nil {
+				return fmt.Errorf("decomp-scaling: %w", err)
+			}
+			table, shapeErr, records = r.Table, r.Check(), r.Records
+		case strings.EqualFold(*fig, "decomp-incremental"):
+			var baseline []decomp.ScalingRecord
+			if *benchBaseline != "" {
+				data, err := os.ReadFile(*benchBaseline)
+				if err != nil {
+					return err
+				}
+				if err := json.Unmarshal(data, &baseline); err != nil {
+					return fmt.Errorf("baseline %s: %w", *benchBaseline, err)
+				}
+			}
+			r, err := experiments.DecompIncremental(context.Background(), *benchFull, baseline)
+			if err != nil {
+				return fmt.Errorf("decomp-incremental: %w", err)
+			}
+			table, shapeErr, records = r.Table, r.Check(), r.Records
+		default:
+			return fmt.Errorf("-bench-out/-bench-full require -fig decomp-scaling or decomp-incremental")
 		}
-		r, err := experiments.DecompScaling(context.Background(), *benchFull)
-		if err != nil {
-			return fmt.Errorf("decomp-scaling: %w", err)
-		}
-		fmt.Println(r.Table.Render())
-		shapeErr := r.Check()
+		fmt.Println(table.Render())
 		if shapeErr != nil {
-			fmt.Printf("shape check [decomp-scaling]: FAIL: %v\n\n", shapeErr)
+			fmt.Printf("shape check [%s]: FAIL: %v\n\n", strings.ToLower(*fig), shapeErr)
 		} else {
-			fmt.Printf("shape check [decomp-scaling]: PASS\n\n")
+			fmt.Printf("shape check [%s]: PASS\n\n", strings.ToLower(*fig))
 		}
 		if *benchOut != "" {
-			data, err := json.MarshalIndent(r.Records, "", "  ")
+			data, err := json.MarshalIndent(records, "", "  ")
 			if err != nil {
 				return err
 			}

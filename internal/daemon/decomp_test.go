@@ -1,0 +1,80 @@
+package daemon
+
+import (
+	"context"
+	"testing"
+
+	"dspp/internal/decomp"
+)
+
+// TestDaemonDecompSteadyState drives a decomposed daemon through 100
+// quiet periods (identical observations, so the persistence forecast is
+// constant) and pins the incremental-coordination contract at the daemon
+// level: dirty-shard scheduling must actually skip shard-rounds, and
+// once the MPC trajectory settles the loop must re-solve under half the
+// fleet per period — the steady-state economics the dsppd deployment
+// story is built on.
+func TestDaemonDecompSteadyState(t *testing.T) {
+	scn, err := decomp.NewScenario(decomp.ScenarioConfig{
+		Locations: 120, DCSites: 12, Seed: 41,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := decomp.NewPartition(scn.Inst, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := len(part.Shards)
+	if shards < 2 {
+		t.Fatalf("scenario partitioned into %d shards, need ≥ 2", shards)
+	}
+	d, err := New(Config{
+		Instance: scn.Inst,
+		Horizon:  2,
+		Decomp: &decomp.Options{
+			MaxShardSize: 30,
+			// Force coordination regardless of the cost model: this test is
+			// about the incremental loop, not the bypass.
+			BypassRatio:    -1,
+			RankK:          true,
+			PeriodCarryTol: 1e-3,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := Observation{Demand: scn.Demand[0], Prices: scn.Prices[0]}
+	const periods = 100
+	var skipped, tailSolves, tailSlots, heldPeriods int
+	for k := 0; k < periods; k++ {
+		if err := d.runPeriod(context.Background(), obs); err != nil {
+			t.Fatalf("period %d: %v", k, err)
+		}
+		sol := d.LastSolution()
+		if sol == nil {
+			t.Fatalf("period %d: daemon reports no coordinated solution", k)
+		}
+		skipped += sol.SkippedShards + sol.HeldShards
+		if k >= periods/2 {
+			tailSolves += sol.ShardSolves
+			tailSlots += shards
+			if sol.HeldShards == shards {
+				heldPeriods++
+			}
+		}
+	}
+	if got := d.Period(); got != periods {
+		t.Fatalf("daemon completed %d periods, want %d", got, periods)
+	}
+	if skipped == 0 {
+		t.Fatal("100 quiet periods never skipped or held a shard")
+	}
+	frac := float64(tailSolves) / float64(tailSlots)
+	if frac >= 0.5 {
+		t.Fatalf("settled quiet loop re-solves %.0f%% of shard-slots per period, want < 50%%", 100*frac)
+	}
+	if heldPeriods == 0 {
+		t.Fatal("cross-period carry never held a full quiet period")
+	}
+}

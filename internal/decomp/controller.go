@@ -4,10 +4,67 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
+	"time"
 
 	"dspp/internal/core"
 	"dspp/internal/telemetry"
 )
+
+// DecomposeDecision is the cost-model verdict behind the controller's
+// monolithic bypass.
+type DecomposeDecision struct {
+	// Bypass is true when one monolithic solve is modeled to beat the
+	// coordinated sharded solve.
+	Bypass bool
+	// Ratio is the modeled coordinated cost relative to one monolithic
+	// solve (< 1 favors decomposition).
+	Ratio float64
+	// Rounds is the coordination round count the model expected.
+	Rounds int
+}
+
+// DecideBypass models whether coordinating the given partition beats one
+// monolithic solve of the whole instance. Interior-point factorization
+// cost scales cubically in the per-step variable count (the feasible
+// pairs), so round one costs ~Σ E_i³ against the monolith's E³; the
+// expected round count grows with the fraction of DCs whose capacity is
+// shared across shards, since every shared DC is a coupling the quota
+// loop must re-price (calibrated on the BENCH_4 curve: ~3 rounds at 20%
+// shared, ~11 near-total sharing). Follow-on rounds run warm — and with
+// incremental scheduling only the dirty shards — so they are charged at
+// half a cold fan-out. The model reproduces the measured BENCH_4 cost
+// ratios within ~2× at every size, which is enough to separate the
+// n120-shards2 regression (ratio ≈ 1) from the wins (ratio ≤ 0.5).
+func DecideBypass(inst *core.Instance, part *Partition, opt Options) DecomposeDecision {
+	opt = opt.withDefaults()
+	e := float64(inst.NumPairs())
+	var sub float64
+	var buf []int
+	for _, sh := range part.Shards {
+		var ei float64
+		for _, v := range sh.Locations {
+			buf = inst.FeasibleDCs(v, buf[:0])
+			ei += float64(len(buf))
+		}
+		sub += ei * ei * ei
+	}
+	sharedFrac := 0.0
+	if l := inst.NumDataCenters(); l > 0 {
+		sharedFrac = float64(len(part.SharedDCs)) / float64(l)
+	}
+	rounds := 1 + int(math.Round(10*sharedFrac))
+	if rounds > opt.MaxRounds {
+		rounds = opt.MaxRounds
+	}
+	const beta = 0.5 // a warm follow-on round relative to the cold fan-out
+	ratio := sub / (e * e * e) * (1 + beta*float64(rounds-1))
+	return DecomposeDecision{
+		Bypass: opt.BypassRatio >= 0 && ratio >= opt.BypassRatio,
+		Ratio:  ratio,
+		Rounds: rounds,
+	}
+}
 
 // Controller is the decomposed MPC controller: the drop-in continental-
 // scale replacement for core.Controller. It satisfies sim.Policy,
@@ -32,8 +89,11 @@ type Controller struct {
 
 	state   core.State
 	lastDeg core.Degradation
+	lastSol *Solution
+	stall   time.Duration
 	label   string
 	tel     *telemetry.Hub
+	dec     DecomposeDecision
 }
 
 // ControllerOption customizes a Controller.
@@ -75,9 +135,17 @@ func NewController(inst *core.Instance, horizon int, opt Options, opts ...Contro
 		if err != nil {
 			return nil, err
 		}
-		if len(part.Shards) <= 1 {
+		switch {
+		case len(part.Shards) <= 1:
 			bypass = true
-		} else {
+		default:
+			// The partition is real; let the cost model decide whether
+			// coordinating it actually beats one monolithic solve.
+			c.dec = DecideBypass(inst, part, opt)
+			if opt.BypassRatio >= 0 && c.dec.Bypass {
+				bypass = true
+				break
+			}
 			c.solver, err = NewSolver(inst, horizon, part, opt)
 			if err != nil {
 				return nil, err
@@ -110,6 +178,15 @@ func (c *Controller) Name() string {
 
 // Horizon returns the prediction window W.
 func (c *Controller) Horizon() int { return c.w }
+
+// Bypassed reports whether the controller delegates to a monolithic
+// core.Controller instead of coordinating shards.
+func (c *Controller) Bypassed() bool { return c.byp != nil }
+
+// BypassDecision returns the cost-model verdict computed at build time
+// (zero value when the instance was too small for a partition to be
+// built at all).
+func (c *Controller) BypassDecision() DecomposeDecision { return c.dec }
 
 // Partition returns the geographic partition (nil when the instance was
 // small enough to bypass decomposition).
@@ -144,6 +221,23 @@ func (c *Controller) SetState(s core.State) error {
 
 // LastDegradation implements sim.DegradationReporter.
 func (c *Controller) LastDegradation() core.Degradation { return c.lastDeg }
+
+// LastSolution returns the previous coordinated step's Solution with its
+// incremental accounting — rounds, shard solves, skipped shard-rounds,
+// rank-k fast resolves, held shards. Nil when bypassed, before the first
+// step, or when the step fell back to the monolithic rung.
+func (c *Controller) LastSolution() *Solution { return c.lastSol }
+
+// SetStall injects artificial solver latency before each step — the same
+// test plumbing as core.Controller.SetStall (the simulator's `stall`
+// fault, the daemon's watchdog demos). Zero clears it.
+func (c *Controller) SetStall(d time.Duration) {
+	if c.byp != nil {
+		c.byp.SetStall(d)
+		return
+	}
+	c.stall = d
+}
 
 // Step implements sim.Policy.
 func (c *Controller) Step(demand, prices [][]float64) (core.State, core.State, error) {
@@ -185,6 +279,18 @@ func (c *Controller) StepCtx(ctx context.Context, demand, prices [][]float64) (c
 }
 
 func (c *Controller) stepCtx(ctx context.Context, demand, prices [][]float64) (core.State, core.State, error) {
+	if c.stall > 0 {
+		// The injected latency counts against the caller's deadline, like
+		// a genuinely slow coordination fan-out would.
+		t := time.NewTimer(c.stall)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return nil, nil, ctx.Err()
+		}
+	}
+	c.lastSol = nil
 	sol, err := c.solver.SolveCtx(ctx, c.state, demand, prices)
 	switch {
 	case err == nil && (sol.Converged || sol.DeadlineHit || c.opt.NoFallback):
@@ -209,6 +315,7 @@ func (c *Controller) stepCtx(ctx context.Context, demand, prices [][]float64) (c
 			}
 		}
 		c.lastDeg = deg
+		c.lastSol = sol
 		c.state = sol.State
 		return sol.Applied, sol.State, nil
 	case err != nil && (errors.Is(err, core.ErrBadInput) || ctx.Err() != nil):

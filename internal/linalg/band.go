@@ -326,23 +326,49 @@ func (c *BandCholesky) Factorize(a *BandMatrix) error {
 				kmin = lo
 			}
 			s := ad[i*w1+j-i+bw]
-			// The horizon QP's bands are narrow (bw = E, single digits), so
-			// these inner products are a handful of terms: plain loops beat
-			// a DotProd call, whose overhead would exceed the work.
+			// Four-accumulator inner product. The paper-scale horizon QPs
+			// have single-digit bands, where these products are a handful
+			// of terms and run entirely in the remainder loop — as cheap as
+			// a plain loop, and still cheaper than a DotProd call. The
+			// continental shard QPs have bandwidths in the hundreds, where
+			// a single accumulator serializes every iteration on its add
+			// chain; splitting the chain keeps the FPU pipeline full in the
+			// kernel that dominates coordinated-solve time.
 			if cnt := j - kmin; cnt > 0 {
 				la := ri[kmin-i+bw : j-i+bw]
 				lb := l[j*w1+kmin-j+bw : j*w1+bw]
 				lb = lb[:len(la)]
-				for k, v := range la {
-					s -= v * lb[k]
+				var s0, s1, s2, s3 float64
+				k := 0
+				for ; k+4 <= len(la); k += 4 {
+					s0 += la[k] * lb[k]
+					s1 += la[k+1] * lb[k+1]
+					s2 += la[k+2] * lb[k+2]
+					s3 += la[k+3] * lb[k+3]
 				}
+				for ; k < len(la); k++ {
+					s0 += la[k] * lb[k]
+				}
+				s -= (s0 + s2) + (s1 + s3)
 			}
 			ri[j-i+bw] = s * c.dinv[j]
 		}
-		// Diagonal pivot.
+		// Diagonal pivot, same four-lane accumulation.
 		s := ad[i*w1+bw]
-		for _, v := range ri[lo-i+bw : bw] {
-			s -= v * v
+		{
+			row := ri[lo-i+bw : bw]
+			var s0, s1, s2, s3 float64
+			k := 0
+			for ; k+4 <= len(row); k += 4 {
+				s0 += row[k] * row[k]
+				s1 += row[k+1] * row[k+1]
+				s2 += row[k+2] * row[k+2]
+				s3 += row[k+3] * row[k+3]
+			}
+			for ; k < len(row); k++ {
+				s0 += row[k] * row[k]
+			}
+			s -= (s0 + s2) + (s1 + s3)
 		}
 		if s <= 0 || math.IsNaN(s) {
 			return fmt.Errorf("pivot %d = %g: %w", i, s, ErrNotPositiveDefinite)

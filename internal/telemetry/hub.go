@@ -44,6 +44,10 @@ const (
 
 	MetricDecompShards       = "dspp_decomp_shards"
 	MetricCoordinationRounds = "dspp_coordination_rounds_total"
+	MetricShardSolves        = "dspp_decomp_shard_solves_total"
+	MetricShardsSkipped      = "dspp_shards_skipped_total"
+	MetricQuotaFastResolves  = "dspp_quota_fast_resolves_total"
+	MetricRoundDirtyFraction = "dspp_round_dirty_fraction"
 
 	MetricGameRuns            = "dspp_game_runs_total"
 	MetricGameRounds          = "dspp_game_rounds_total"
@@ -68,6 +72,11 @@ const (
 // counts (roughly Fibonacci: warm solves land in the first few buckets,
 // cold solves in the teens, pathologies in the tail).
 var qpIterBuckets = []float64{1, 2, 3, 5, 8, 13, 21, 34, 55, 100}
+
+// DirtyFractionBuckets is the fixed bucket layout for the per-round
+// dirty-fraction histogram: the share of shards a coordination round
+// actually re-solved (1 = every shard, the non-incremental behavior).
+var DirtyFractionBuckets = []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 1}
 
 // costDeltaBuckets covers the best-response per-round relative cost
 // movement, which contracts geometrically toward the ε-stability cutoff.

@@ -5,7 +5,9 @@
 # BENCH_3.json with the best observed numbers next to the BENCH_2
 # baselines. Then run the continental decomposition scaling curve
 # (sharded region QPs vs the monolithic horizon QP, n up to 2000) and
-# refresh BENCH_4.json with its records.
+# refresh BENCH_4.json with its records, and the incremental-coordination
+# curve (dirty-shard scheduling, rank-k quota re-solves, cross-period
+# carry) against the BENCH_4 baseline, refreshing BENCH_5.json.
 #
 # Usage: scripts/bench.sh [count]
 #   count — repetitions per benchmark (default 3); the JSON records the
@@ -132,3 +134,12 @@ echo "  panel back-solve ${SPP}x vs sequential, rank-k update ${SPU}x vs refacto
 echo
 echo "== decomposition shard scaling (BENCH_4, full continental sizes) =="
 go run ./cmd/experiments -fig decomp-scaling -bench-full -bench-out BENCH_4.json
+
+echo
+echo "== incremental coordination (BENCH_5, full continental sizes) =="
+# Cold coordinated solves under the incremental options plus quiet MPC
+# tails; speedup_vs_bench4 compares each size against BENCH_4's
+# from-scratch coordination, so refresh BENCH_4 first (above) when the
+# coordination layer itself changed.
+go run ./cmd/experiments -fig decomp-incremental -bench-full \
+	-bench-out BENCH_5.json -bench-baseline BENCH_4.json

@@ -86,11 +86,41 @@ awk "BEGIN { exit !($sp >= 3) }" || {
 	echo "BENCH_4 n1000-shards8 speedup $sp < 3x vs monolithic"; exit 1; }
 echo "BENCH_4.json present, cost gaps within 1%, n1000-shards8 speedup ${sp}x"
 
+echo "== BENCH_5.json guard =="
+# The incremental-coordination record must exist; every point with a
+# monolithic reference must stay inside the optimality window (gap in
+# [-1e-4, 1%]) and must not be slower than the monolithic solve; the
+# n=1000 8-shard point must beat BENCH_4's from-scratch coordination at
+# least 2x. (-1 cost gaps / 0 speedups mark sizes measured without a
+# monolithic reference.)
+[ -f BENCH_5.json ] || { echo "BENCH_5.json missing (run scripts/bench.sh)"; exit 1; }
+grep -o '"cost_gap": [-0-9.e+]*' BENCH_5.json | sed 's/.*: //' | awk '
+	{ if ($1 != -1 && ($1 > 0.01 || $1 < -1e-4)) { bad = 1; print "cost_gap " $1 " out of [-1e-4, 0.01]" } }
+	END { exit bad }' || { echo "BENCH_5 cost gap guard failed"; exit 1; }
+awk '
+	/"name":/    { name = $2; gsub(/[",]/, "", name) }
+	/"speedup":/ { sp = $2; gsub(/[,]/, "", sp)
+		if (sp + 0 != 0 && sp + 0 < 1) { bad = 1
+			print "BENCH_5 " name " speedup " sp " < 1: slower than monolithic" } }
+	END { exit bad }' BENCH_5.json || { echo "BENCH_5 speedup guard failed"; exit 1; }
+sp5=$(awk '/"name": "n1000-shards8"/ { f = 1 } f && /"speedup_vs_bench4":/ { sub(/.*: */, ""); gsub(/,/, ""); print; exit }' BENCH_5.json)
+[ -n "$sp5" ] || { echo "BENCH_5 n1000-shards8 record missing"; exit 1; }
+awk "BEGIN { exit !($sp5 >= 2) }" || {
+	echo "BENCH_5 n1000-shards8 speedup ${sp5}x vs BENCH_4 coordination, want >= 2x"; exit 1; }
+echo "BENCH_5.json present, cost gaps within 1%, no size slower than monolithic, n1000-shards8 ${sp5}x vs BENCH_4"
+
 echo "== decomposition scaling smoke =="
 # End-to-end smoke of the coordinated sharded solve against the
 # monolithic reference at CI-friendly sizes; the shape check enforces
 # convergence and the 1% gap on every smoke point.
 go run ./cmd/experiments -fig decomp-scaling
+
+echo "== incremental coordination smoke =="
+# Dirty-shard scheduling, rank-k quota re-solves and cross-period carry
+# at CI-friendly sizes; the shape check enforces convergence, the 1% gap,
+# speedup >= 1 at every referenced size, skip/fast-tier liveness, and a
+# <50% steady-state dirty fraction over the 100-period quiet tails.
+go run ./cmd/experiments -fig decomp-incremental
 
 echo "== fault-injection smoke (robust-outage under -race) =="
 # Drives the outage/recovery experiment end to end — the controller must
