@@ -37,10 +37,11 @@
 //
 // SIGTERM or SIGINT shuts down cleanly: the last completed period's
 // checkpoint is already on disk, and restarting with the same -checkpoint
-// resumes with bit-identical plans. -addr serves POST /observe, /healthz
-// and /metrics (Prometheus text format). -stall injects artificial solver
-// latency per period — the quickest way to watch the anytime ladder and
-// the watchdog work.
+// resumes with bit-identical plans. -addr serves POST /observe, /healthz,
+// /metrics (Prometheus text format) and /statusz (per-period cost
+// attribution with capacity dual prices, as JSON). -stall injects
+// artificial solver latency per period — the quickest way to watch the
+// anytime ladder and the watchdog work.
 package main
 
 import (
@@ -56,6 +57,7 @@ import (
 	"dspp"
 	"dspp/internal/daemon"
 	"dspp/internal/predict"
+	"dspp/internal/telemetry"
 )
 
 func main() {
@@ -145,6 +147,7 @@ func run(args []string) error {
 		return fmt.Errorf("unknown predictor %q", *predictor)
 	}
 
+	tel := dspp.NewTelemetry()
 	d, err := daemon.New(daemon.Config{
 		Instance:       inst,
 		Horizon:        *horizon,
@@ -154,7 +157,7 @@ func run(args []string) error {
 		History:        *history,
 		Mu:             *mu,
 		CheckpointPath: *checkpoint,
-		Telemetry:      dspp.NewTelemetry(),
+		Telemetry:      tel,
 		Addr:           *addr,
 		Out:            os.Stdout,
 		Decomp:         decompOpt,
@@ -192,13 +195,25 @@ func run(args []string) error {
 			for d.Addr() == "" {
 				time.Sleep(10 * time.Millisecond)
 			}
-			fmt.Fprintf(os.Stderr, "dsppd: serving http://%s/observe /healthz /metrics\n", d.Addr())
+			fmt.Fprintf(os.Stderr, "dsppd: serving http://%s/observe /healthz /metrics /statusz\n", d.Addr())
 		}()
 	}
 
 	err = d.Run(ctx, os.Stdin)
 	fmt.Fprintf(os.Stderr, "dsppd: stopped after %d periods (%d watchdog restarts)\n",
 		d.Period(), d.WatchdogTrips())
+	// Footer: period wall-time and budget-utilization economics, read back
+	// from the daemon's own histograms so the numbers match /metrics.
+	snap := tel.Registry().Snapshot()
+	if n := snap[telemetry.MetricDaemonPeriodSeconds+"_count"]; n > 0 {
+		line := fmt.Sprintf("dsppd: period wall mean %.1fms over %.0f periods",
+			snap[telemetry.MetricDaemonPeriodSeconds+"_sum"]/n*1e3, n)
+		if bn := snap[telemetry.MetricBudgetUtilization+"_count"]; bn > 0 {
+			line += fmt.Sprintf(", budget utilization mean %.0f%%",
+				snap[telemetry.MetricBudgetUtilization+"_sum"]/bn*100)
+		}
+		fmt.Fprintln(os.Stderr, line)
+	}
 	return err
 }
 

@@ -14,7 +14,7 @@
 // it stops within one round and reports the last (non-equilibrium)
 // iterate instead of hanging on slow scenarios.
 //
-// With -telemetry-addr, a live ops endpoint serves /metrics,
+// With -telemetry-addr, a live ops endpoint serves /metrics, /statusz,
 // /debug/vars and /debug/pprof/* during the run; -trace-out streams the
 // best_response/round/qp_solve span hierarchy as JSONL (replayable with
 // `dsppsim trace-summary`).
@@ -48,7 +48,7 @@ func run(args []string, out *os.File) error {
 	epsilon := fs.Float64("epsilon", 0.01, "relative stability threshold (paper uses 0.05; tighter tracks the optimum closer)")
 	seed := fs.Int64("seed", 11, "random seed")
 	timeout := fs.Duration("timeout", 0, "wall-clock budget for Algorithm 2 (0 = none)")
-	telemetryAddr := fs.String("telemetry-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address during the run")
+	telemetryAddr := fs.String("telemetry-addr", "", "serve /metrics, /statusz, /debug/vars and /debug/pprof on this address during the run")
 	traceOut := fs.String("trace-out", "", "stream the span trace as JSONL to this file")
 	if err := fs.Parse(args); err != nil {
 		return err

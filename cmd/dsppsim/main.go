@@ -40,10 +40,12 @@
 // degradation mode and shed demand.
 //
 // With -telemetry-addr, a live ops endpoint serves /metrics (Prometheus
-// text format), /debug/vars and /debug/pprof/* while the run executes
+// text format), /statusz (per-period cost attribution with capacity dual
+// prices, as JSON), /debug/vars and /debug/pprof/* while the run executes
 // (-serve-after keeps it up afterwards for scraping); -trace-out streams
 // the span hierarchy as JSONL, which `dsppsim trace-summary` replays
-// into the same aggregates offline.
+// into the same aggregates offline — including the coordination
+// critical-path table on decomposed traces.
 package main
 
 import (
@@ -96,7 +98,7 @@ func run(args []string, out *os.File) error {
 	budget := fs.Duration("budget", 0, "per-period wall-clock budget enabling the anytime ladder (0 = off)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
-	telemetryAddr := fs.String("telemetry-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address during the run")
+	telemetryAddr := fs.String("telemetry-addr", "", "serve /metrics, /statusz, /debug/vars and /debug/pprof on this address during the run")
 	serveAfter := fs.Duration("serve-after", 0, "keep the telemetry endpoint up this long after the run (needs -telemetry-addr)")
 	traceOut := fs.String("trace-out", "", "stream the span trace as JSONL to this file (replay with `dsppsim trace-summary`)")
 	continental := fs.Bool("continental", false, "run a generated continental-scale topology instead of the paper's four-DC setup")
@@ -138,7 +140,7 @@ func run(args []string, out *os.File) error {
 			if err != nil {
 				return err
 			}
-			fmt.Fprintf(os.Stderr, "dsppsim: telemetry on http://%s/metrics\n", addr)
+			fmt.Fprintf(os.Stderr, "dsppsim: telemetry on http://%s/metrics /statusz\n", addr)
 			defer func() {
 				if *serveAfter > 0 {
 					fmt.Fprintf(os.Stderr, "dsppsim: serving telemetry for another %s\n", *serveAfter)
@@ -402,6 +404,11 @@ func traceSummary(args []string, out *os.File) error {
 	fmt.Fprint(out, dspp.SummarizeTrace(events).Table())
 	if line, ok := dspp.DegradationFromTrace(events); ok {
 		fmt.Fprintf(out, "\n%s\n", line)
+	}
+	// Decomposed traces carry coordinate→shard_solve spans; reconstruct
+	// which shard dominated each round (the coordination critical path).
+	if table := dspp.FormatCriticalPaths(dspp.CriticalPathsFromTrace(events), 5); table != "" {
+		fmt.Fprintf(out, "\n%s", table)
 	}
 	return nil
 }

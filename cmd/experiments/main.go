@@ -10,8 +10,8 @@
 //	            [-telemetry-addr :8080]
 //
 // With no -fig, all experiments run in order. -telemetry-addr serves the
-// shared ops mux (/metrics, /debug/vars, /debug/pprof/*) while the
-// suite runs — handy for profiling the long experiments live.
+// shared ops mux (/metrics, /statusz, /debug/vars, /debug/pprof/*) while
+// the suite runs — handy for profiling the long experiments live.
 package main
 
 import (
@@ -246,7 +246,7 @@ func run(args []string) error {
 	players := fs.Int("players", 10, "max players for the game experiments")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
-	telemetryAddr := fs.String("telemetry-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while the suite runs")
+	telemetryAddr := fs.String("telemetry-addr", "", "serve /metrics, /statusz, /debug/vars and /debug/pprof on this address while the suite runs")
 	benchOut := fs.String("bench-out", "", "decomp-scaling/decomp-incremental: write the measured records as a JSON array to this file")
 	benchFull := fs.Bool("bench-full", false, "decomp-scaling/decomp-incremental: run the full continental sizes (n≥1000; the monolithic references take minutes)")
 	benchBaseline := fs.String("bench-baseline", "", "decomp-incremental only: BENCH_4-format JSON whose records supply the monolithic references and pre-incremental decomp times")

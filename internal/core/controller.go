@@ -42,6 +42,10 @@ type Controller struct {
 	budget     time.Duration
 	missStreak int
 	stall      time.Duration
+	// lastDuals retains the horizon-summed capacity dual prices of the
+	// last executed step's plan — the explain surface (see LastExplain).
+	// One buffer, refreshed per step; nil until the first step.
+	lastDuals []float64
 	// tel, when non-nil, receives an mpc_step span per StepCtx and wires
 	// the QP solver's counters through opts.Hooks.
 	tel *telemetry.Hub
@@ -391,6 +395,10 @@ func (c *Controller) stepCtx(ctx context.Context, demand, prices [][]float64) (*
 	}
 	c.warm = plan.Warm
 	c.state = plan.X[0].Clone()
+	if c.lastDuals == nil {
+		c.lastDuals = make([]float64, c.inst.l)
+	}
+	plan.TotalCapacityDualsInto(c.lastDuals)
 	return &StepResult{
 		Applied:     plan.U[0],
 		NewState:    plan.X[0],

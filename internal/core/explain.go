@@ -1,0 +1,121 @@
+package core
+
+import (
+	"math"
+	"time"
+
+	"dspp/internal/telemetry"
+)
+
+// BindingTol is the dual-price threshold above which a capacity
+// constraint is reported as binding: interior-point duals of inactive
+// constraints converge to zero but never reach it exactly.
+const BindingTol = 1e-6
+
+// Explain is the decision-provenance surface of a controller's last
+// executed step: the dual prices the QP solution put on the capacity
+// constraints, and — on the decomposed path — the quota split those
+// prices were computed under. It answers "which constraint was binding,
+// and what was one more server there worth" for the plan actually
+// applied.
+type Explain struct {
+	// CapacityDuals[l] is the horizon-summed capacity dual price per DC
+	// (the paper's λ^il reported to the infrastructure provider); zero
+	// for uncapacitated or slack DCs. Nil before the first step.
+	CapacityDuals []float64
+	// Quotas[l] is the capacity the last solve actually enforced per DC.
+	// Nil on the monolithic path (the live instance capacities apply).
+	Quotas []float64
+	// ShardOfDC maps each DC to the shard that owned it in the last
+	// coordinated solve (-1 = shared/quota-managed). Nil on the
+	// monolithic path.
+	ShardOfDC []int
+}
+
+// Binding appends to dst the DCs whose capacity dual exceeds BindingTol
+// and returns the extended slice.
+func (e Explain) Binding(dst []int) []int {
+	for l, d := range e.CapacityDuals {
+		if d > BindingTol {
+			dst = append(dst, l)
+		}
+	}
+	return dst
+}
+
+// Explainer is implemented by controllers that can reconstruct the
+// dual-price provenance of their last step — core.Controller and the
+// decomp controller. Attribution emitters discover it by assertion, so
+// policies without a dual surface simply yield records with no prices.
+type Explainer interface {
+	LastExplain() Explain
+}
+
+// LastExplain returns the dual-price surface of the last executed step
+// (zero Explain before the first step). The slices are copies.
+func (c *Controller) LastExplain() Explain {
+	if c.lastDuals == nil {
+		return Explain{}
+	}
+	return Explain{CapacityDuals: append([]float64(nil), c.lastDuals...)}
+}
+
+// NewAttribution builds one period's provenance record: the realized
+// cost split per component and data center, placement churn against the
+// previous period's allocation, the dual-price surface of the plan that
+// produced the step, and the imputed cost of any demand the degradation
+// ladder shed (at DefaultShedPenalty per unit). The record's four
+// components sum to Total by construction, up to FP rounding against the
+// separately accumulated CostBreakdown.
+func NewAttribution(inst *Instance, period int, state, applied, prev State,
+	prices []float64, cost CostBreakdown, deg Degradation,
+	wall time.Duration, e Explain) (*telemetry.Attribution, error) {
+	dcs, err := inst.AttributeCost(state, applied, prices)
+	if err != nil {
+		return nil, err
+	}
+	shedCost := deg.ShedDemand * DefaultShedPenalty
+	a := &telemetry.Attribution{
+		Period:     period,
+		Shed:       shedCost,
+		Total:      cost.Total() + shedCost,
+		Churn:      inst.PlacementChurn(prev, state),
+		ShedDemand: deg.ShedDemand,
+		Mode:       deg.Mode.String(),
+		WallUS:     wall.Microseconds(),
+		DCs:        make([]telemetry.DCAttribution, len(dcs)),
+	}
+	for l, dc := range dcs {
+		row := telemetry.DCAttribution{
+			DC:        l,
+			Shard:     -1,
+			Resource:  dc.Resource,
+			Bandwidth: dc.Bandwidth,
+			Reconfig:  dc.Reconfig,
+			Servers:   dc.Servers,
+		}
+		if l < len(e.CapacityDuals) {
+			row.Dual = e.CapacityDuals[l]
+			row.Binding = e.CapacityDuals[l] > BindingTol
+		}
+		q := math.Inf(1)
+		if l < len(e.Quotas) {
+			q = e.Quotas[l]
+		} else if c, cerr := inst.Capacity(l); cerr == nil {
+			q = c
+		}
+		// Uncapacitated DCs stay at quota 0: +Inf is not representable in
+		// the /statusz JSON, and a zero dual already says "no constraint".
+		if !math.IsInf(q, 1) {
+			row.Quota = q
+		}
+		if l < len(e.ShardOfDC) {
+			row.Shard = e.ShardOfDC[l]
+		}
+		a.Resource += dc.Resource
+		a.Bandwidth += dc.Bandwidth
+		a.Reconfig += dc.Reconfig
+		a.DCs[l] = row
+	}
+	return a, nil
+}

@@ -62,6 +62,11 @@ type Instance struct {
 	// are a small fraction of the grid.
 	locPairs [][]pairRef
 	dcPairs  [][]pairRef
+	// aBest[v] is the smallest (most SLA-efficient) a^lv over location
+	// v's feasible DCs — the reference rate the cost attribution uses to
+	// split resource cost into a local component and a bandwidth-latency
+	// premium (see AttributeCost).
+	aBest []float64
 
 	// qpCache holds the horizon QP's data-independent structure per
 	// horizon length (see horizonStructure): the repeated solves of an MPC
@@ -176,6 +181,16 @@ func NewInstance(cfg Config) (*Instance, error) {
 		if len(inst.locPairs[vi]) == 0 {
 			return nil, fmt.Errorf("location %d has no feasible data center: %w", vi, ErrInfeasible)
 		}
+	}
+	inst.aBest = make([]float64, v)
+	for vi := 0; vi < v; vi++ {
+		best := math.Inf(1)
+		for _, pr := range inst.locPairs[vi] {
+			if a := inst.a[pr.l][pr.v]; a < best {
+				best = a
+			}
+		}
+		inst.aBest[vi] = best
 	}
 	return inst, nil
 }
@@ -487,4 +502,94 @@ func (in *Instance) PeriodCost(x State, u State, prices []float64) (CostBreakdow
 		}
 	}
 	return cb, nil
+}
+
+// DCCost is one data center's share of a period's realized cost, with
+// the resource term H_k split into a local component and a
+// bandwidth-latency premium: each (l, v) pair's p^l·x^lv scales by
+// aBest_v/a^lv into the cost of serving the same demand share at the
+// location's most SLA-efficient feasible rate, and the remainder is the
+// premium paid for placing it at this (farther, higher-a) DC. The split
+// partitions H_k by construction: Resource + Bandwidth over all DCs
+// sums to PeriodCost's resource term (up to float rounding).
+type DCCost struct {
+	Resource  float64 // p·x at the location-best SLA rate
+	Bandwidth float64 // premium over the location-best rate
+	Reconfig  float64 // c^l Σ_v (u^lv)²
+	Servers   float64 // Σ_v x^lv
+}
+
+// AttributeCost decomposes the period cost of holding x (after control
+// u, which may be nil) at prices into per-DC components. The per-DC
+// rows sum to PeriodCost(x, u, prices) component for component.
+func (in *Instance) AttributeCost(x State, u State, prices []float64) ([]DCCost, error) {
+	if err := in.CheckState(x); err != nil {
+		return nil, err
+	}
+	if len(prices) != in.l {
+		return nil, fmt.Errorf("prices %d, want %d: %w", len(prices), in.l, ErrBadInput)
+	}
+	if u != nil && len(u) != in.l {
+		return nil, fmt.Errorf("control has %d DCs, want %d: %w", len(u), in.l, ErrBadInput)
+	}
+	out := make([]DCCost, in.l)
+	for l := 0; l < in.l; l++ {
+		dc := &out[l]
+		// Infeasible pairs hold x = 0 (CheckState), so iterating the
+		// support adjacency covers the whole resource sum.
+		for _, pr := range in.dcPairs[l] {
+			xv := x[l][pr.v]
+			if xv == 0 {
+				continue
+			}
+			r := prices[l] * xv
+			local := r * (in.aBest[pr.v] * pr.aInv) // aBest/a ≤ 1
+			dc.Resource += local
+			dc.Bandwidth += r - local
+			dc.Servers += xv
+		}
+		if u != nil {
+			if len(u[l]) != in.v {
+				return nil, fmt.Errorf("control row %d has %d cols, want %d: %w", l, len(u[l]), in.v, ErrBadInput)
+			}
+			for v := 0; v < in.v; v++ {
+				dc.Reconfig += in.reconfig[l] * u[l][v] * u[l][v]
+			}
+		}
+	}
+	return out, nil
+}
+
+// PlacementChurn measures the fraction of served demand that moved
+// between DCs from prev to cur: allocations convert to served demand
+// shares (x^lv/a^lv), half the total absolute movement is the moved
+// mass, and the result normalizes by the larger of the two totals —
+// 0 when placements held (or either state is nil/empty), 1 when
+// everything moved. Always in [0, 1].
+func (in *Instance) PlacementChurn(prev, cur State) float64 {
+	if len(prev) != in.l || len(cur) != in.l {
+		return 0
+	}
+	var moved, totPrev, totCur float64
+	for l := 0; l < in.l; l++ {
+		for _, pr := range in.dcPairs[l] {
+			sPrev := prev[l][pr.v] * pr.aInv
+			sCur := cur[l][pr.v] * pr.aInv
+			d := sCur - sPrev
+			if d < 0 {
+				d = -d
+			}
+			moved += d
+			totPrev += sPrev
+			totCur += sCur
+		}
+	}
+	den := totPrev
+	if totCur > den {
+		den = totCur
+	}
+	if den <= 0 {
+		return 0
+	}
+	return 0.5 * moved / den
 }

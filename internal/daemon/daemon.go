@@ -162,6 +162,8 @@ type Daemon struct {
 	mPeriods, mObs, mCkpt, mWatchdog, mOverruns *telemetry.Counter
 	mModes                                      *telemetry.CounterVec
 	gDemandCorr, gDelayCorr                     *telemetry.Gauge
+	hPeriodSeconds, hBudgetUtil                 *telemetry.Histogram
+	sink                                        *telemetry.AttributionSink
 }
 
 // New validates the configuration, builds the controller, and restores
@@ -207,6 +209,9 @@ func New(cfg Config) (*Daemon, error) {
 		d.mModes = reg.CounterVec(telemetry.MetricDegradationSteps, "mode")
 		d.gDemandCorr = reg.Gauge(telemetry.MetricDaemonDemandCorr)
 		d.gDelayCorr = reg.Gauge(telemetry.MetricDaemonDelayCorr)
+		d.hPeriodSeconds = reg.Histogram(telemetry.MetricDaemonPeriodSeconds, telemetry.PeriodSecondsBuckets)
+		d.hBudgetUtil = reg.Histogram(telemetry.MetricBudgetUtilization, telemetry.BudgetUtilizationBuckets)
+		d.sink = h.Attribution()
 	}
 	ctrl, err := d.newController(cfg.InitialState)
 	if err != nil {
@@ -396,12 +401,23 @@ func (d *Daemon) runPeriod(ctx context.Context, obs Observation) error {
 	d.lastForecast = raw0
 	prices := d.forecastPrices(obs.Prices)
 
+	// Snapshot the pre-step allocation for the churn metric before the
+	// solve replaces it (ctrl.State returns a copy).
+	var prev core.State
+	if d.sink != nil {
+		prev = d.ctrl.State()
+	}
+
 	res, tripped, err := d.stepWatchdog(ctx, demand, prices)
 	if err != nil {
 		return err
 	}
 	wall := time.Since(start)
 	d.lastWall = wall
+	d.hPeriodSeconds.Observe(wall.Seconds())
+	if d.cfg.Budget > 0 {
+		d.hBudgetUtil.Observe(float64(wall) / float64(d.cfg.Budget))
+	}
 
 	rep := Report{
 		Period:     d.period,
@@ -422,6 +438,16 @@ func (d *Daemon) runPeriod(ctx context.Context, obs Observation) error {
 		cost, cerr := d.inst.PeriodCost(res.NewState, res.Applied, obs.Prices)
 		if cerr == nil {
 			rep.Cost = cost.Total()
+			if d.sink != nil {
+				var explain core.Explain
+				if ex, ok := d.ctrl.(core.Explainer); ok {
+					explain = ex.LastExplain()
+				}
+				if a, aerr := core.NewAttribution(d.inst, d.period, res.NewState, res.Applied,
+					prev, obs.Prices, cost, deg, wall, explain); aerr == nil {
+					d.sink.Record(a)
+				}
+			}
 		}
 		if d.mModes != nil {
 			d.mModes.With(deg.Mode.String()).Inc()

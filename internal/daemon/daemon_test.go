@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"dspp/internal/core"
+	"dspp/internal/decomp"
 	"dspp/internal/telemetry"
 )
 
@@ -305,7 +306,7 @@ func TestDaemonWatchdogRestart(t *testing.T) {
 }
 
 // TestDaemonHTTP: observations over POST /observe drive periods, and the
-// ops surface answers /healthz and /metrics.
+// ops surface answers /healthz, /metrics and /statusz.
 func TestDaemonHTTP(t *testing.T) {
 	hub := telemetry.New()
 	var out bytes.Buffer
@@ -367,10 +368,166 @@ func TestDaemonHTTP(t *testing.T) {
 	if !strings.Contains(metrics.String(), telemetry.MetricDaemonPeriods) {
 		t.Errorf("/metrics missing %s", telemetry.MetricDaemonPeriods)
 	}
+	if !strings.Contains(metrics.String(), telemetry.MetricDaemonPeriodSeconds) {
+		t.Errorf("/metrics missing %s", telemetry.MetricDaemonPeriodSeconds)
+	}
+
+	// /statusz serves the period's attribution from the ring, and the
+	// components sum to the cost the report line carried.
+	page := getStatusz(t, base)
+	if page.Periods != 1 || len(page.Recent) != 1 {
+		t.Fatalf("statusz page %+v", page)
+	}
 	cancel()
 	if err := <-done; err != nil {
 		t.Fatalf("run: %v", err)
 	}
+	reps := decodeReports(t, &out)
+	if len(reps) != 1 || reps[0].Cost <= 0 {
+		t.Fatalf("reports %+v", reps)
+	}
+	a := page.Recent[0]
+	if relDiff(a.ComponentSum(), a.Total) > 1e-9 || relDiff(a.Total, reps[0].Cost) > 1e-9 {
+		t.Fatalf("attribution %g/%g disagrees with reported cost %g",
+			a.ComponentSum(), a.Total, reps[0].Cost)
+	}
+	if len(a.DCs) != 2 {
+		t.Fatalf("dc rows %d, want 2", len(a.DCs))
+	}
+}
+
+// TestDaemonHTTPDecomp runs the ops surface on the decomposed path: a
+// sharded continental daemon must serve /healthz, /metrics (with the
+// period/budget histograms populated) and /statusz records whose DC rows
+// carry the shard ownership and quota view of the coordinated solve.
+func TestDaemonHTTPDecomp(t *testing.T) {
+	scn, err := decomp.NewScenario(decomp.ScenarioConfig{Locations: 120, DCSites: 12, Seed: 19, Utilization: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub := telemetry.New()
+	var out bytes.Buffer
+	d, err := New(Config{
+		Instance:  scn.Inst,
+		Horizon:   2,
+		Budget:    2 * time.Second,
+		Watchdog:  time.Minute,
+		Telemetry: hub,
+		Addr:      "127.0.0.1:0",
+		Out:       &out,
+		Decomp:    &decomp.Options{MaxShardSize: 30},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- d.Run(ctx, nil) }()
+	waitFor(t, func() bool { return d.Addr() != "" })
+	base := "http://" + d.Addr()
+
+	obs := Observation{Demand: scn.Demand[0], Prices: scn.Prices[0]}
+	body, err := json.Marshal(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 2; k++ {
+		resp, err := http.Post(base+"/observe", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("POST /observe = %d", resp.StatusCode)
+		}
+		waitFor(t, func() bool { return d.Period() == k+1 })
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status string `json:"status"`
+		Period int    `json:"period"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health.Status != "ok" || health.Period != 2 {
+		t.Fatalf("healthz = %+v", health)
+	}
+
+	snap := hub.Registry().Snapshot()
+	if got := snap[telemetry.MetricDaemonPeriodSeconds+"_count"]; got != 2 {
+		t.Errorf("period histogram count = %g, want 2", got)
+	}
+	if got := snap[telemetry.MetricBudgetUtilization+"_count"]; got != 2 {
+		t.Errorf("budget histogram count = %g, want 2", got)
+	}
+
+	page := getStatusz(t, base)
+	if page.Periods != 2 || len(page.Recent) != 2 {
+		t.Fatalf("statusz page periods=%d recent=%d", page.Periods, len(page.Recent))
+	}
+	a := page.Recent[1]
+	if relDiff(a.ComponentSum(), a.Total) > 1e-9 {
+		t.Fatalf("decomp attribution %g != total %g", a.ComponentSum(), a.Total)
+	}
+	if len(a.DCs) != 12 {
+		t.Fatalf("dc rows %d, want 12", len(a.DCs))
+	}
+	owned := 0
+	for _, row := range a.DCs {
+		if row.Shard >= 0 {
+			owned++
+		}
+		if row.Quota <= 0 {
+			t.Errorf("dc %d quota %g, want the coordinated solve's enforced capacity", row.DC, row.Quota)
+		}
+	}
+	if owned == 0 {
+		t.Error("no DC row carries shard ownership on the decomposed path")
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+// getStatusz fetches and decodes /statusz?n=0 (every retained record).
+func getStatusz(t *testing.T, base string) *telemetry.StatuszPage {
+	t.Helper()
+	resp, err := http.Get(base + "/statusz?n=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /statusz = %d", resp.StatusCode)
+	}
+	var page telemetry.StatuszPage
+	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+		t.Fatal(err)
+	}
+	return &page
+}
+
+func relDiff(got, want float64) float64 {
+	d := got - want
+	if d < 0 {
+		d = -d
+	}
+	m := want
+	if m < 0 {
+		m = -m
+	}
+	if m > 1 {
+		return d / m
+	}
+	return d
 }
 
 // waitFor polls cond for up to 5 s.

@@ -68,3 +68,8 @@ func (dc *decompCtrl) RestoreWarm(*core.HorizonWarm) {}
 // LastSolution exposes the coordinated solver's per-step incremental
 // accounting (Daemon.LastSolution type-asserts for it).
 func (dc *decompCtrl) LastSolution() *decomp.Solution { return dc.ctrl.LastSolution() }
+
+// LastExplain implements core.Explainer by forwarding to the decomposed
+// controller, so daemon attribution records carry the retained shard
+// capacity duals and the quota split they were computed under.
+func (dc *decompCtrl) LastExplain() core.Explain { return dc.ctrl.LastExplain() }

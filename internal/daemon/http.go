@@ -19,14 +19,16 @@ func (d *Daemon) Addr() string {
 }
 
 // startHTTP serves the daemon's ops surface: POST /observe enqueues one
-// JSON observation, /healthz reports liveness and loop progress, and
-// /metrics exposes the telemetry registry in Prometheus text format.
+// JSON observation, /healthz reports liveness and loop progress,
+// /metrics exposes the telemetry registry in Prometheus text format, and
+// /statusz serves the per-period cost-attribution ring as JSON.
 func (d *Daemon) startHTTP() (addr string, stop func() error, err error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/observe", d.handleObserve)
 	mux.HandleFunc("/healthz", d.handleHealthz)
 	if d.cfg.Telemetry != nil {
 		mux.Handle("/metrics", telemetry.MetricsHandler(d.cfg.Telemetry.Registry()))
+		mux.Handle("/statusz", telemetry.StatuszHandler(d.cfg.Telemetry))
 	}
 	ln, err := net.Listen("tcp", d.cfg.Addr)
 	if err != nil {

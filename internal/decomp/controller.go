@@ -228,6 +228,28 @@ func (c *Controller) LastDegradation() core.Degradation { return c.lastDeg }
 // step, or when the step fell back to the monolithic rung.
 func (c *Controller) LastSolution() *Solution { return c.lastSol }
 
+// LastExplain implements core.Explainer: the dual-price surface of the
+// last executed step. On the coordinated path it reads the Solution's
+// retained final-round duals and the quota split they were computed
+// under; a step that fell back to the monolithic rung reports that
+// solve's duals instead. Zero Explain before the first step.
+func (c *Controller) LastExplain() core.Explain {
+	if c.byp != nil {
+		return c.byp.LastExplain()
+	}
+	if s := c.lastSol; s != nil {
+		return core.Explain{
+			CapacityDuals: append([]float64(nil), s.CapacityDuals...),
+			Quotas:        append([]float64(nil), s.Quotas...),
+			ShardOfDC:     append([]int(nil), s.ShardOfDC...),
+		}
+	}
+	if c.fallback != nil {
+		return c.fallback.LastExplain()
+	}
+	return core.Explain{}
+}
+
 // SetStall injects artificial solver latency before each step — the same
 // test plumbing as core.Controller.SetStall (the simulator's `stall`
 // fault, the daemon's watchdog demos). Zero clears it.

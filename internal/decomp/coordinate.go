@@ -308,6 +308,21 @@ type Solution struct {
 	// cross-period delta reuse: they held their allocation (zero applied
 	// control) and were never re-solved this call.
 	HeldShards int
+	// CapacityDuals retains the final round's horizon-summed capacity
+	// dual price per global DC — for a shared DC the max over member
+	// shards (at convergence the constrained members' prices agree; the
+	// max is the marginal value of one more server there). Before this
+	// was surfaced the duals died with the round loop, so attribution
+	// could not see which constraints were binding under the quotas
+	// actually applied.
+	CapacityDuals []float64
+	// Quotas is the capacity the coordinated solve actually enforced per
+	// DC: the live quota split total for shared managed DCs (== the live
+	// capacity), the live capacity for exclusive and uncapacitated DCs.
+	Quotas []float64
+	// ShardOfDC maps each DC to its owning shard, -1 when the DC is
+	// shared across shards (quota-managed).
+	ShardOfDC []int
 }
 
 // DirtyFraction is the share of shard-rounds that were actually solved
@@ -733,8 +748,32 @@ func (s *Solver) SolveCtx(ctx context.Context, x0 core.State, demand, prices [][
 	// plan's objective as the standing cost estimate.
 	sol.Applied = s.inst.NewState()
 	sol.State = s.inst.NewState()
+	// Retain the final round's dual prices and the enforced capacity
+	// split: a shard not re-solved in the last round still holds the
+	// duals of the plan the gather uses (solveShard refreshes dualBuf and
+	// solvedCaps together), so the surfaced prices always correspond to
+	// the quotas the gathered solution was actually solved under.
+	nDC := s.inst.NumDataCenters()
+	sol.CapacityDuals = make([]float64, nDC)
+	sol.Quotas = make([]float64, nDC)
+	sol.ShardOfDC = make([]int, nDC)
+	for l := 0; l < nDC; l++ {
+		sol.ShardOfDC[l] = -1
+		if c, err := s.inst.Capacity(l); err == nil {
+			sol.Quotas[l] = c
+		}
+	}
 	var solves, skips, fasts float64
-	for _, r := range s.shards {
+	for si, r := range s.shards {
+		for i, gl := range r.dcs {
+			if d := r.dualBuf[i]; d > sol.CapacityDuals[gl] {
+				sol.CapacityDuals[gl] = d
+			}
+			if s.part.DCShards[gl] == 1 {
+				sol.ShardOfDC[gl] = si
+				sol.Quotas[gl] = r.caps[i]
+			}
+		}
 		if !r.solved {
 			for i, gl := range r.dcs {
 				for j, gv := range r.locs {
@@ -792,6 +831,10 @@ func (s *Solver) solveShard(ctx context.Context, i, round int) error {
 	r := s.shards[i]
 	r.hit = false
 	r.fastLast = false
+	sp := s.opt.Telemetry.Tracer().Start(telemetry.SpanShardSolve, telemetry.SpanIDFromContext(ctx),
+		telemetry.Num("shard", float64(i)), telemetry.Num("round", float64(round)))
+	ctx = telemetry.ContextWithSpan(ctx, sp)
+	defer sp.End()
 	var plan *core.Plan
 	var err error
 	if s.opt.RankK && r.fastOK && r.ses.CanResolveCapacities() {
@@ -833,6 +876,12 @@ func (s *Solver) solveShard(ctx context.Context, i, round int) error {
 	r.lastRound = round
 	r.drift = 0
 	r.fastOK = err == nil
+	fast := 0.0
+	if r.fastLast {
+		fast = 1
+	}
+	sp.SetAttr(telemetry.Num("iterations", float64(plan.QPIterations)),
+		telemetry.Num("fast", fast))
 	return nil
 }
 

@@ -12,15 +12,18 @@ import (
 )
 
 // Serve starts the shared ops endpoint on addr: the telemetry registry in
-// Prometheus text format on /metrics, the expvar JSON dump (including the
-// registry snapshot as dspp_metrics) on /debug/vars, and the full
-// net/http/pprof suite under /debug/pprof/ — one mux, one flag, for both
-// CLIs. addr may use port 0 to pick a free port; the actual listen
-// address is returned. The server runs until stop is called.
-func Serve(addr string, reg *telemetry.Registry) (listenAddr string, stop func() error, err error) {
+// Prometheus text format on /metrics, the per-period cost-attribution
+// ring as JSON on /statusz, the expvar JSON dump (including the registry
+// snapshot as dspp_metrics) on /debug/vars, and the full net/http/pprof
+// suite under /debug/pprof/ — one mux, one flag, for every CLI. addr may
+// use port 0 to pick a free port; the actual listen address is returned.
+// The server runs until stop is called.
+func Serve(addr string, h *telemetry.Hub) (listenAddr string, stop func() error, err error) {
+	reg := h.Registry()
 	telemetry.PublishExpvar(reg)
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", telemetry.MetricsHandler(reg))
+	mux.Handle("/statusz", telemetry.StatuszHandler(h))
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

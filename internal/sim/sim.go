@@ -105,6 +105,11 @@ func (m *MPCPolicy) LastDegradation() core.Degradation { return m.lastDeg }
 // SetStall implements Staller by forwarding to the controller.
 func (m *MPCPolicy) SetStall(d time.Duration) { m.Ctrl.SetStall(d) }
 
+// LastExplain implements core.Explainer by forwarding to the controller,
+// so attribution records carry the dual-price surface of the plan that
+// produced each period.
+func (m *MPCPolicy) LastExplain() core.Explain { return m.Ctrl.LastExplain() }
+
 // Config describes one simulation run.
 type Config struct {
 	// Instance is the DSPP instance being controlled.
@@ -330,6 +335,7 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 	ctxPolicy, _ := cfg.Policy.(CtxPolicy)
 	degrader, _ := cfg.Policy.(DegradationReporter)
 	staller, _ := cfg.Policy.(Staller)
+	explainer, _ := cfg.Policy.(core.Explainer)
 	res := &Result{PolicyName: cfg.Policy.Name()}
 
 	// Degradation/SLA accounting runs through telemetry counters whether
@@ -382,6 +388,13 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 			return nil, err
 		}
 	}
+
+	// The provenance sink decomposes each period's realized cost into the
+	// ring buffer behind /statusz and the component counters. prevState
+	// anchors the churn metric: how much served demand moved DCs between
+	// consecutive periods.
+	sink := hub.Attribution()
+	prevState := cfg.Policy.State().Clone()
 
 	tr := hub.Tracer()
 	runSpan := tr.Start(telemetry.SpanRun, telemetry.SpanIDFromContext(ctx),
@@ -508,6 +521,19 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 			mDeg.With(rec.Degradation.Mode.String()).Inc()
 			mShed.Add(rec.Degradation.ShedDemand)
 		}
+		if sink != nil {
+			var explain core.Explain
+			if explainer != nil {
+				explain = explainer.LastExplain()
+			}
+			a, aerr := core.NewAttribution(inst, k+1, state, applied, prevState, realP,
+				cost, rec.Degradation, stepWall, explain)
+			if aerr != nil {
+				return nil, perr(fmt.Errorf("period %d attribution: %w", k, aerr))
+			}
+			sink.Record(a)
+		}
+		prevState = rec.State
 		mPeriods.Inc()
 		pSpan.SetAttr(
 			telemetry.Str("mode", rec.Degradation.Mode.String()),

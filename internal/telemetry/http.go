@@ -1,8 +1,10 @@
 package telemetry
 
 import (
+	"encoding/json"
 	"expvar"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 )
@@ -13,6 +15,90 @@ func MetricsHandler(r *Registry) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		r.WritePrometheus(w)
+	})
+}
+
+// StatuszRollup aggregates the retained attribution records: component
+// totals, mean churn, and how many periods ran degraded.
+type StatuszRollup struct {
+	Resource        float64 `json:"resource"`
+	Bandwidth       float64 `json:"bandwidth"`
+	Reconfig        float64 `json:"reconfig"`
+	Shed            float64 `json:"shed"`
+	Total           float64 `json:"total"`
+	MeanChurn       float64 `json:"mean_churn"`
+	ShedDemand      float64 `json:"shed_demand"`
+	DegradedPeriods int     `json:"degraded_periods"`
+}
+
+// StatuszPage is the /statusz JSON document: the rolled-up view over
+// every retained period plus the most recent per-period records
+// (oldest-first).
+type StatuszPage struct {
+	Periods  uint64         `json:"periods"`  // periods ever attributed
+	Retained int            `json:"retained"` // periods in the ring
+	Depth    int            `json:"depth"`    // ring capacity
+	Rollup   StatuszRollup  `json:"rollup"`
+	Recent   []*Attribution `json:"recent,omitempty"`
+}
+
+// Statusz builds the /statusz document from the hub's attribution ring:
+// the rollup covers every retained record, recent holds the newest n
+// (n <= 0 = all retained). Nil-safe: a nil hub yields an empty page.
+func Statusz(h *Hub, n int) *StatuszPage {
+	page := &StatuszPage{}
+	ring := h.Attribution().Ring()
+	if ring == nil {
+		return page
+	}
+	recs := ring.Snapshot()
+	page.Periods = ring.Periods()
+	page.Retained = len(recs)
+	page.Depth = ring.Depth()
+	for _, a := range recs {
+		page.Rollup.Resource += a.Resource
+		page.Rollup.Bandwidth += a.Bandwidth
+		page.Rollup.Reconfig += a.Reconfig
+		page.Rollup.Shed += a.Shed
+		page.Rollup.Total += a.Total
+		page.Rollup.MeanChurn += a.Churn
+		page.Rollup.ShedDemand += a.ShedDemand
+		if a.Mode != "" && a.Mode != "none" {
+			page.Rollup.DegradedPeriods++
+		}
+	}
+	if len(recs) > 0 {
+		page.Rollup.MeanChurn /= float64(len(recs))
+	}
+	if n > 0 && len(recs) > n {
+		recs = recs[len(recs)-n:]
+	}
+	page.Recent = recs
+	return page
+}
+
+// statuszDefaultRecent bounds the per-period records a plain GET
+// returns; ?n= overrides (n=0 streams the whole ring).
+const statuszDefaultRecent = 32
+
+// StatuszHandler serves the attribution ring as JSON: rolled-up
+// component totals over the retained window plus the newest per-period
+// records. ?n=K controls how many records are inlined (0 = all).
+func StatuszHandler(h *Hub) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		n := statuszDefaultRecent
+		if raw := req.URL.Query().Get("n"); raw != "" {
+			v, err := strconv.Atoi(raw)
+			if err != nil {
+				http.Error(w, "bad n", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(Statusz(h, n))
 	})
 }
 

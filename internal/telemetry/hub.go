@@ -62,6 +62,7 @@ const (
 	SpanPeriod            = "period"
 	SpanMPCStep           = "mpc_step"
 	SpanCoordinate        = "coordinate"
+	SpanShardSolve        = "shard_solve"
 	SpanQPSolve           = "qp_solve"
 	SpanGameRun           = "game_run"
 	SpanBestResponse      = "best_response"
@@ -113,6 +114,9 @@ type Hub struct {
 
 	qpOnce sync.Once
 	qp     *QPHooks
+
+	attrOnce sync.Once
+	attr     *AttributionSink
 }
 
 // Option configures a Hub.

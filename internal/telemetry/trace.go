@@ -140,6 +140,142 @@ func (s *TraceSummary) Table() string {
 	return b.String()
 }
 
+// CriticalStep is one round of a coordination's critical path: the
+// shard whose solve finished last and therefore bounded the round's
+// wall time (rounds are barriers — the round ends when its slowest
+// shard does).
+type CriticalStep struct {
+	Round  int
+	Shard  int
+	DurUS  int64 // the critical shard's solve time
+	Solves int   // shard solves this round
+	Fast   bool  // critical solve served by the rank-k fast path
+}
+
+// CoordinationPath is the critical-path decomposition of one coordinate
+// span: per round, the dominating shard. CriticalUS sums the per-round
+// critical solves — the fraction of DurUS it covers is how much of the
+// coordination was spent inside shard QPs (the rest is quota pricing,
+// scatter/gather, and scheduling).
+type CoordinationPath struct {
+	ID         uint64
+	DurUS      int64
+	Shards     int
+	Rounds     int
+	Converged  bool
+	CriticalUS int64
+	Steps      []CriticalStep
+}
+
+// CriticalPaths analyzes the span tree of a decoded trace: for every
+// coordinate span, its shard_solve children are grouped by round and
+// the latest-finishing (longest) solve per round becomes the critical
+// step. Coordinations without shard_solve children (monolithic runs,
+// pre-provenance traces) yield no entry. Paths come back in trace
+// order.
+func CriticalPaths(events []TraceEvent) []CoordinationPath {
+	children := make(map[uint64][]*TraceEvent)
+	for i := range events {
+		e := &events[i]
+		if e.Span == SpanShardSolve {
+			children[e.Parent] = append(children[e.Parent], e)
+		}
+	}
+	var paths []CoordinationPath
+	for i := range events {
+		e := &events[i]
+		if e.Span != SpanCoordinate {
+			continue
+		}
+		kids := children[e.ID]
+		if len(kids) == 0 {
+			continue
+		}
+		p := CoordinationPath{ID: e.ID, DurUS: e.DurUS}
+		if n, ok := e.Num("shards"); ok {
+			p.Shards = int(n)
+		}
+		if n, ok := e.Num("rounds"); ok {
+			p.Rounds = int(n)
+		}
+		if s, ok := e.Str("converged"); ok {
+			p.Converged = s == "true"
+		}
+		byRound := make(map[int]*CriticalStep)
+		maxRound := 0
+		for _, k := range kids {
+			round := 0
+			if n, ok := k.Num("round"); ok {
+				round = int(n)
+			}
+			if round > maxRound {
+				maxRound = round
+			}
+			st := byRound[round]
+			if st == nil {
+				st = &CriticalStep{Round: round, Shard: -1}
+				byRound[round] = st
+			}
+			st.Solves++
+			if k.DurUS >= st.DurUS {
+				st.DurUS = k.DurUS
+				if n, ok := k.Num("shard"); ok {
+					st.Shard = int(n)
+				}
+				f, _ := k.Num("fast")
+				st.Fast = f != 0
+			}
+		}
+		for r := 0; r <= maxRound; r++ {
+			if st := byRound[r]; st != nil {
+				p.Steps = append(p.Steps, *st)
+				p.CriticalUS += st.DurUS
+			}
+		}
+		paths = append(paths, p)
+	}
+	return paths
+}
+
+// FormatCriticalPaths renders the critical-path table for the slowest
+// max coordinations (0 = all): one header line per coordination, one
+// line per round naming the dominating shard. Empty string when the
+// trace holds no analyzable coordination.
+func FormatCriticalPaths(paths []CoordinationPath, max int) string {
+	if len(paths) == 0 {
+		return ""
+	}
+	show := append([]CoordinationPath(nil), paths...)
+	sort.SliceStable(show, func(i, j int) bool { return show[i].DurUS > show[j].DurUS })
+	if max > 0 && len(show) > max {
+		show = show[:max]
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "coordination critical path (dominating shard per round, slowest %d of %d):\n",
+		len(show), len(paths))
+	for _, p := range show {
+		conv := "converged"
+		if !p.Converged {
+			conv = "not converged"
+		}
+		share := 0.0
+		if p.DurUS > 0 {
+			share = 100 * float64(p.CriticalUS) / float64(p.DurUS)
+		}
+		fmt.Fprintf(&b, "coordinate #%d  total %.3fms  rounds %d  shards %d  %s  critical path %.3fms (%.0f%%)\n",
+			p.ID, float64(p.DurUS)/1000, p.Rounds, p.Shards, conv, float64(p.CriticalUS)/1000, share)
+		for _, st := range p.Steps {
+			fast := ""
+			if st.Fast {
+				fast = "  rank-k"
+			}
+			fmt.Fprintf(&b, "  round %-3d shard %-4d %10.3fms  (%d solves)%s\n",
+				st.Round, st.Shard, float64(st.DurUS)/1000, st.Solves, fast)
+		}
+	}
+	return b.String()
+}
+
 // FormatDegradationSummary renders the one-line operator summary of a
 // run's degradation ladder activity. It is THE formatter — sim.Result
 // and the trace-summary replay both call it, so the two can only agree

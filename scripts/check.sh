@@ -155,4 +155,18 @@ echo "$deadline_out" | awk '
 		print "deadline guard holds: " overruns "/" periods " overruns, " rungs " anytime rungs"
 	}'
 
+echo "== attribution guard (provenance identity + free disabled path) =="
+# The provenance layer's two contracts. Disabled: no hub means no
+# attribution work at all — the 2-allocs/op warm-solve guard above
+# already pins the solver hot path, and TestRunNoTelemetryNoAttribution
+# pins the engine loop. Enabled: on the fault-injected robust-outage
+# scenario every period's resource+bandwidth+reconfig+shed must sum to
+# the reported period cost (shed imputed at the soft-relaxation penalty)
+# within 1e-9 relative, and /statusz must serve the same numbers from
+# the ring; the continental run checks the same identity across 100
+# coordinated periods plus the critical-path reconstruction.
+go test -run 'TestRunEmitsAttribution|TestRunNoTelemetryNoAttribution' ./internal/sim
+go test -run 'TestContinentalAttributionEndToEnd' .
+echo "attribution identity holds (outage + continental), disabled path stays free"
+
 echo "All checks passed."

@@ -23,6 +23,18 @@ type (
 	TraceEvent = telemetry.TraceEvent
 	// TraceSummary is the replayable aggregate of a JSONL trace.
 	TraceSummary = telemetry.TraceSummary
+	// Attribution is one period's decision-provenance record: realized
+	// cost decomposed per component and DC, capacity dual prices, and
+	// placement churn. The hub retains the last N in a lock-free ring.
+	Attribution = telemetry.Attribution
+	// DCAttribution is one data center's share of a period's attribution.
+	DCAttribution = telemetry.DCAttribution
+	// StatuszPage is the JSON document /statusz serves: rollup plus the
+	// most recent per-period records.
+	StatuszPage = telemetry.StatuszPage
+	// CoordinationPath is one coordination's critical path through its
+	// shard solves (the dominating shard per round).
+	CoordinationPath = telemetry.CoordinationPath
 )
 
 // NewTelemetry returns a telemetry hub with a fresh metrics registry.
@@ -38,11 +50,12 @@ func WithTraceWriter(w io.Writer) TelemetryOption { return telemetry.WithTraceWr
 func WithTelemetry(h *Telemetry) ControllerOption { return core.WithTelemetry(h) }
 
 // ServeTelemetry starts the shared ops endpoint on addr — /metrics
-// (Prometheus text format), /debug/vars (expvar), /debug/pprof/* — and
-// returns the actual listen address (addr may use port 0) plus a stop
-// function. The endpoint serves live while runs execute.
+// (Prometheus text format), /statusz (the per-period cost-attribution
+// ring as JSON), /debug/vars (expvar), /debug/pprof/* — and returns the
+// actual listen address (addr may use port 0) plus a stop function. The
+// endpoint serves live while runs execute.
 func ServeTelemetry(addr string, h *Telemetry) (listenAddr string, stop func() error, err error) {
-	return profiling.Serve(addr, h.Registry())
+	return profiling.Serve(addr, h)
 }
 
 // MetricsTable renders the hub's registry as an aligned name/value
@@ -62,4 +75,21 @@ func SummarizeTrace(events []TraceEvent) *TraceSummary { return telemetry.Summar
 // SimResult.DegradationSummary byte for byte.
 func DegradationFromTrace(events []TraceEvent) (line string, ok bool) {
 	return telemetry.DegradationFromTrace(events)
+}
+
+// Statusz builds the /statusz JSON document from the hub's attribution
+// ring: lifetime rollup plus the newest n per-period records (n <= 0
+// keeps every retained record). Nil-safe.
+func Statusz(h *Telemetry, n int) *StatuszPage { return telemetry.Statusz(h, n) }
+
+// CriticalPathsFromTrace reconstructs each coordination round's critical
+// path — the dominating shard solve per round — from a decoded trace.
+func CriticalPathsFromTrace(events []TraceEvent) []CoordinationPath {
+	return telemetry.CriticalPaths(events)
+}
+
+// FormatCriticalPaths renders critical paths as the operator table
+// `dsppsim trace-summary` prints (slowest max coordinations).
+func FormatCriticalPaths(paths []CoordinationPath, max int) string {
+	return telemetry.FormatCriticalPaths(paths, max)
 }
